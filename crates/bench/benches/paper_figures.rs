@@ -1,0 +1,141 @@
+//! Criterion benchmarks: one group per paper figure, measuring the
+//! regeneration of that figure's data (simulator throughput, not
+//! hardware latency — the figure *values* come from the `fig*`
+//! binaries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use papi_core::experiments::{
+    end_to_end_cell, fig12_breakdown, fig2_roofline, fig3_rlp_decay, fig4_fc_latency,
+    fig6_ai_estimation, fig7_energy_power,
+};
+use papi_core::{DecodingSimulator, DesignKind, SystemConfig};
+use papi_llm::ModelPreset;
+use papi_workload::{DatasetKind, WorkloadSpec};
+use std::hint::black_box;
+
+fn bench_fig2(c: &mut Criterion) {
+    c.bench_function("fig02_roofline_sweeps", |b| {
+        b.iter(|| black_box(fig2_roofline()))
+    });
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    c.bench_function("fig03_rlp_decay_batch32", |b| {
+        b.iter(|| black_box(fig3_rlp_decay(32, 42)))
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    c.bench_function("fig04_fc_latency_grid", |b| {
+        b.iter(|| black_box(fig4_fc_latency()))
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    c.bench_function("fig06_ai_estimation_grid", |b| {
+        b.iter(|| black_box(fig6_ai_estimation()))
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    c.bench_function("fig07_energy_power_curves", |b| {
+        b.iter(|| black_box(fig7_energy_power()))
+    });
+}
+
+fn bench_fig8_cell(c: &mut Criterion) {
+    // One representative Fig. 8 cell (LLaMA-65B, spec 2, batch 16, all
+    // four designs); the full grid is the fig08 binary's job.
+    c.bench_function("fig08_one_cell_llama_s2_b16", |b| {
+        b.iter(|| {
+            black_box(end_to_end_cell(
+                ModelPreset::Llama65B,
+                DatasetKind::CreativeWriting,
+                2,
+                16,
+                &DesignKind::FIG8,
+                42,
+            ))
+        })
+    });
+}
+
+fn bench_fig9_cell(c: &mut Criterion) {
+    c.bench_function("fig09_one_cell_gpt3_s2_b16", |b| {
+        b.iter(|| {
+            black_box(end_to_end_cell(
+                ModelPreset::Gpt3_175B,
+                DatasetKind::GeneralQa,
+                2,
+                16,
+                &[DesignKind::A100AttAcc, DesignKind::AttAccOnly, DesignKind::Papi],
+                42,
+            ))
+        })
+    });
+}
+
+fn bench_fig10_point(c: &mut Criterion) {
+    c.bench_function("fig10_one_point_batch128", |b| {
+        b.iter(|| {
+            black_box(end_to_end_cell(
+                ModelPreset::Llama65B,
+                DatasetKind::CreativeWriting,
+                1,
+                128,
+                &[DesignKind::A100AttAcc, DesignKind::AttAccOnly, DesignKind::Papi],
+                42,
+            ))
+        })
+    });
+}
+
+fn bench_fig11_point(c: &mut Criterion) {
+    c.bench_function("fig11_one_point_s4_b64", |b| {
+        b.iter(|| {
+            black_box(end_to_end_cell(
+                ModelPreset::Llama65B,
+                DatasetKind::CreativeWriting,
+                4,
+                64,
+                &[DesignKind::AttAccOnly, DesignKind::PimOnlyPapi],
+                42,
+            ))
+        })
+    });
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    c.bench_function("fig12_breakdown", |b| {
+        b.iter(|| black_box(fig12_breakdown(42)))
+    });
+}
+
+fn bench_decode_iteration_throughput(c: &mut Criterion) {
+    // How fast the simulator prices decoding iterations — the unit of
+    // all end-to-end experiments.
+    let config = SystemConfig::pim_only_papi(ModelPreset::Llama65B.config());
+    let sim = DecodingSimulator::new(config);
+    let trace = WorkloadSpec::static_batching(DatasetKind::CreativeWriting, 16, 2)
+        .with_seed(42)
+        .trace();
+    c.bench_function("decode_trace_pim_only_llama_b16", |b| {
+        b.iter(|| black_box(sim.run_trace(&trace)))
+    });
+}
+
+criterion_group!(
+    figures,
+    bench_fig2,
+    bench_fig3,
+    bench_fig4,
+    bench_fig6,
+    bench_fig7,
+    bench_fig8_cell,
+    bench_fig9_cell,
+    bench_fig10_point,
+    bench_fig11_point,
+    bench_fig12,
+    bench_decode_iteration_throughput,
+);
+criterion_main!(figures);

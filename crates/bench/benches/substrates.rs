@@ -1,0 +1,82 @@
+//! Criterion benchmarks for the substrate models: the cycle-level DRAM
+//! controller, the PIM kernel executors, and the GPU roofline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use papi_dram::{derive, BusModel, Controller, HbmDevice, TimingParams};
+use papi_gpu::{execute_kernel, GpuEnergyModel, KernelProfile, MultiGpu};
+use papi_pim::attention::execute_attention;
+use papi_pim::gemv::execute_gemv;
+use papi_pim::{AttentionSpec, GemvSpec, PimDevice};
+use papi_types::{Bytes, DataType, Flops};
+use std::hint::black_box;
+
+fn bench_dram_streaming(c: &mut Criterion) {
+    c.bench_function("dram_pim_stream_8banks_16rows", |b| {
+        b.iter(|| {
+            let mut ctrl = Controller::new(TimingParams::hbm3(), 8, 32, BusModel::PerBankPim);
+            for bank in 0..8 {
+                for row in 0..16 {
+                    ctrl.enqueue_row_stream(bank, row, 64);
+                }
+            }
+            black_box(ctrl.run_until_drained(10_000_000).unwrap())
+        })
+    });
+}
+
+fn bench_dram_shared_bus(c: &mut Criterion) {
+    c.bench_function("dram_shared_bus_8banks_16rows", |b| {
+        b.iter(|| {
+            let mut ctrl = Controller::new(TimingParams::hbm3(), 8, 32, BusModel::SharedDataBus);
+            for bank in 0..8 {
+                for row in 0..16 {
+                    ctrl.enqueue_row_stream(bank, row, 64);
+                }
+            }
+            black_box(ctrl.run_until_drained(10_000_000).unwrap())
+        })
+    });
+}
+
+fn bench_bandwidth_derivation(c: &mut Criterion) {
+    let device = HbmDevice::hbm3_16gb();
+    c.bench_function("derive_pim_streaming_bandwidth", |b| {
+        b.iter(|| black_box(derive::pim_streaming_bandwidth(&device, 8, 32)))
+    });
+}
+
+fn bench_pim_gemv(c: &mut Criterion) {
+    let fc = PimDevice::fc_pim();
+    let spec = GemvSpec::new(3 * 8192, 8192, 16, DataType::Fp16);
+    c.bench_function("pim_gemv_qkv_llama_t16", |b| {
+        b.iter(|| black_box(execute_gemv(&fc, 30, &spec)))
+    });
+}
+
+fn bench_pim_attention(c: &mut Criterion) {
+    let attn = PimDevice::attn_pim();
+    let spec = AttentionSpec::new(16, 64, 128, 512, 2, DataType::Fp16);
+    c.bench_function("pim_attention_llama_b16", |b| {
+        b.iter(|| black_box(execute_attention(&attn, 60, &spec)))
+    });
+}
+
+fn bench_gpu_roofline(c: &mut Criterion) {
+    let gpus = MultiGpu::dgx6_a100();
+    let em = GpuEnergyModel::a100();
+    let kernel = KernelProfile::new(Flops::from_tflops(2.0), Bytes::from_gib(100.0));
+    c.bench_function("gpu_roofline_kernel", |b| {
+        b.iter(|| black_box(execute_kernel(&gpus, &em, &kernel)))
+    });
+}
+
+criterion_group!(
+    substrates,
+    bench_dram_streaming,
+    bench_dram_shared_bus,
+    bench_bandwidth_derivation,
+    bench_pim_gemv,
+    bench_pim_attention,
+    bench_gpu_roofline,
+);
+criterion_main!(substrates);

@@ -1,0 +1,50 @@
+//! Ablation: sensitivity of PAPI's end-to-end latency to the threshold
+//! α. The calibrated value should sit at (or very near) the sweep's
+//! minimum; the endpoints degenerate into the two static mappings.
+
+use papi_bench::{f2, print_table};
+use papi_core::{DecodingSimulator, SystemConfig};
+use papi_llm::ModelPreset;
+use papi_workload::{DatasetKind, WorkloadSpec};
+
+fn main() {
+    let model = ModelPreset::Llama65B.config();
+    let calibrated = SystemConfig::calibrate(&model).alpha;
+    let workload =
+        WorkloadSpec::static_batching(DatasetKind::CreativeWriting, 64, 1).with_seed(42);
+    let trace = workload.trace();
+
+    println!("== α ablation — LLaMA-65B, creative-writing, batch 64 ==");
+    println!("(calibrated α = {calibrated:.1})\n");
+    let mut rows = Vec::new();
+    let mut best = (f64::INFINITY, 0.0);
+    for alpha in [
+        1.0, 2.0, 4.0, 8.0, 16.0, calibrated, 32.0, 64.0, 128.0, 512.0, 1e9,
+    ] {
+        let sim = DecodingSimulator::new(SystemConfig::papi_with_alpha(model.clone(), alpha));
+        let report = sim.run_trace(&trace);
+        let latency = report.total_latency().as_secs();
+        if latency < best.0 {
+            best = (latency, alpha);
+        }
+        let label = if alpha >= 1e9 {
+            "∞ (always FC-PIM)".to_owned()
+        } else if alpha == 1.0 {
+            "1 (≈always PU)".to_owned()
+        } else if (alpha - calibrated).abs() < 1e-9 {
+            format!("{alpha:.1} (calibrated)")
+        } else {
+            format!("{alpha:.0}")
+        };
+        rows.push(vec![
+            label,
+            f2(latency),
+            report.scheduler.switches.to_string(),
+        ]);
+    }
+    print_table(&["alpha", "latency (s)", "reschedules"], &rows);
+    println!(
+        "\nBest α in sweep: {:.1} ({:.2} s) — calibration found {:.1}.",
+        best.1, best.0, calibrated
+    );
+}

@@ -1,0 +1,42 @@
+//! Ablation: fixed versus batch-co-optimized speculation length
+//! (§3.2's runtime-TLP scenario). The adaptive controller keeps
+//! `RLP × TLP` near a target as the batch drains, which (a) finishes the
+//! tail in far fewer iterations and (b) keeps the FC kernel's placement
+//! stable — the PAPI scheduler simply tracks the TLP register (§5.2.2).
+
+use papi_bench::{f2, print_table};
+use papi_core::{DecodingSimulator, DesignKind, SystemConfig};
+use papi_llm::ModelPreset;
+use papi_workload::{DatasetKind, WorkloadSpec};
+
+fn main() {
+    let model = ModelPreset::Llama65B.config();
+    let fixed = WorkloadSpec::static_batching(DatasetKind::CreativeWriting, 32, 2).with_seed(42);
+    let adaptive = fixed.clone().with_adaptive_tlp(64, 8);
+
+    println!("== dynamic-TLP ablation — LLaMA-65B, batch 32 ==\n");
+    let mut rows = Vec::new();
+    for (label, workload) in [("fixed TLP=2", &fixed), ("adaptive (target 64, max 8)", &adaptive)]
+    {
+        let trace = workload.trace();
+        for kind in [DesignKind::A100AttAcc, DesignKind::Papi] {
+            let report = DecodingSimulator::new(SystemConfig::build(kind, model.clone()))
+                .run_trace(&trace);
+            rows.push(vec![
+                label.to_owned(),
+                report.design.clone(),
+                trace.len().to_string(),
+                f2(report.total_latency().as_secs()),
+                f2(report.tokens_per_second()),
+                report.scheduler.switches.to_string(),
+            ]);
+        }
+    }
+    print_table(
+        &["TLP policy", "design", "iterations", "latency (s)", "tokens/s", "reschedules"],
+        &rows,
+    );
+    println!("\nAdaptive TLP shortens the decayed tail (fewer iterations) and keeps");
+    println!("tokens-in-flight near the target, so PAPI leaves FC on the PU —");
+    println!("dynamic parallelism handled by tracking the TLP register, as §5.2.2 describes.");
+}

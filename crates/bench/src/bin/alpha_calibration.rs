@@ -1,0 +1,35 @@
+//! §5.2.1: the offline α-calibration sweep — FC latency on FC-PIM vs
+//! the PUs across token counts, and the chosen threshold per model.
+
+use papi_bench::{f3, print_table};
+use papi_core::SystemConfig;
+use papi_llm::ModelPreset;
+
+fn main() {
+    for preset in ModelPreset::EVALUATED {
+        let model = preset.config();
+        let cal = SystemConfig::calibrate(&model);
+        println!("\n== α calibration — {} ==", model.name);
+        let table: Vec<Vec<String>> = cal
+            .samples
+            .iter()
+            .filter(|(tokens, ..)| {
+                [1, 2, 4, 8, 16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512]
+                    .contains(tokens)
+            })
+            .map(|(tokens, pim, pu)| {
+                vec![
+                    tokens.to_string(),
+                    f3(pim.as_millis()),
+                    f3(pu.as_millis()),
+                    if pu.value() < pim.value() { "PU" } else { "FC-PIM" }.to_string(),
+                ]
+            })
+            .collect();
+        print_table(
+            &["tokens (RLP×TLP)", "FC-PIM (ms)", "PU (ms)", "winner"],
+            &table,
+        );
+        println!("chosen α = {:.1}", cal.alpha);
+    }
+}

@@ -1,0 +1,41 @@
+//! Fig. 7: PIM energy breakdown (a)(b) and power vs data-reuse level
+//! against the 116 W HBM3 budget (c).
+
+use papi_bench::{f2, print_table};
+use papi_core::experiments::fig7_energy_power;
+
+fn main() {
+    let (no_reuse, reuse64, power_rows) = fig7_energy_power();
+
+    for (title, b) in [
+        ("Fig. 7(a) — energy split, no data reuse", &no_reuse),
+        ("Fig. 7(b) — energy split, data reuse 64", &reuse64),
+    ] {
+        let (dram, transfer, compute) = b.fractions();
+        println!("\n== {title} ==");
+        print_table(
+            &["DRAM access", "Transfer", "Computation"],
+            &[vec![
+                format!("{:.1}%", dram * 100.0),
+                format!("{:.1}%", transfer * 100.0),
+                format!("{:.1}%", compute * 100.0),
+            ]],
+        );
+    }
+
+    println!("\n== Fig. 7(c) — device power vs data-reuse level (budget 116 W) ==");
+    let table: Vec<Vec<String>> = power_rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.config.clone(),
+                r.reuse.to_string(),
+                f2(r.power_watts),
+                if r.within_budget { "yes" } else { "NO" }.to_string(),
+            ]
+        })
+        .collect();
+    print_table(&["config", "reuse", "power (W)", "within budget"], &table);
+    println!("\nPaper check: 4P1B ~390 W without reuse, inside budget from reuse 4;");
+    println!("1P1B slightly over budget without reuse (why Attn-PIM is 1P2B).");
+}

@@ -1,0 +1,33 @@
+//! Fig. 12: execution-time breakdown per token in the decoding phase —
+//! AttAcc-only vs PIM-only PAPI, LLaMA-65B, batch 4, speculation 4.
+
+use papi_bench::{f3, print_table};
+use papi_core::experiments::fig12_breakdown;
+
+fn main() {
+    let rows = fig12_breakdown(42);
+    println!("== Fig. 12 — per-token execution time (ms), LLaMA-65B b4 s4 ==");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.design.clone(),
+                f3(r.attention_ms),
+                f3(r.fc_ms),
+                f3(r.communication_ms),
+                f3(r.other_ms),
+                f3(r.total_ms()),
+            ]
+        })
+        .collect();
+    print_table(
+        &["design", "attention", "FC", "communication", "other", "total"],
+        &table,
+    );
+    let fc_ratio = rows[0].fc_ms / rows[1].fc_ms;
+    let attn_ratio = rows[1].attention_ms / rows[0].attention_ms;
+    let comm_share = rows[1].communication_ms / rows[1].total_ms();
+    println!("\nFC speedup (PIM-only PAPI vs AttAcc-only): {fc_ratio:.2}× (paper: 2.9×)");
+    println!("Attention slowdown on 1P2B Attn-PIM: {attn_ratio:.2}× (paper: 1.7×)");
+    println!("Communication share of PIM-only PAPI: {:.1}% (paper: 28.2%)", comm_share * 100.0);
+}

@@ -1,0 +1,459 @@
+//! The decoding-iteration engine.
+//!
+//! One [`DecodingSimulator`] prices every iteration of a
+//! [`DecodeTrace`]: the scheduler picks the FC placement from the
+//! observed `(RLP, TLP)`, the hardware models price the FC and attention
+//! kernels on their assigned devices, the interconnect models price the
+//! activation movement, and the host dispatch overhead covers the
+//! paper's §5.2.2 token-gather/`<|eos|>`-scan monitoring step.
+
+use crate::config::SystemConfig;
+use crate::metrics::{ExecutionReport, IterationCost, PhaseBreakdown};
+use papi_gpu::{execute_kernel, GpuEnergyModel, KernelProfile, MultiGpu};
+use papi_interconnect::Route;
+use papi_llm::{FcKernel, FcKernelKind, ModelConfig, Parallelism};
+use papi_pim::attention::execute_attention;
+use papi_pim::gemv::execute_gemv;
+use papi_pim::{AttentionSpec, GemvSpec, PimDevice};
+use papi_sched::Placement;
+use papi_types::{Bytes, Energy, Time};
+use papi_workload::{DecodeTrace, IterationRecord, WorkloadSpec};
+use std::collections::HashMap;
+
+/// FC-kernel latency of the whole model (all layers) on a PIM pool at
+/// the given token count (`RLP × TLP`). Shared by the engine and the
+/// §5.2.1 α calibration so both see the same machine.
+pub fn fc_latency_on_pim(
+    model: &ModelConfig,
+    device: &PimDevice,
+    n_devices: usize,
+    tokens: u64,
+) -> Time {
+    fc_cost_on_pim(model, device, n_devices, tokens).0
+}
+
+/// FC-kernel latency of the whole model on the GPU complement at the
+/// given token count.
+pub fn fc_latency_on_pu(
+    model: &ModelConfig,
+    gpus: &MultiGpu,
+    energy: &GpuEnergyModel,
+    tokens: u64,
+) -> Time {
+    fc_cost_on_pu(model, gpus, energy, tokens).0
+}
+
+/// (latency, energy) of all FC kernels on PIM.
+pub fn fc_cost_on_pim(
+    model: &ModelConfig,
+    device: &PimDevice,
+    n_devices: usize,
+    tokens: u64,
+) -> (Time, Energy) {
+    let mut time = Time::ZERO;
+    let mut energy = Energy::ZERO;
+    for kernel in FcKernel::layer_kernels(model) {
+        let spec = GemvSpec::new(kernel.out_features, kernel.in_features, tokens, model.dtype);
+        let result = execute_gemv(device, n_devices, &spec);
+        time += result.time;
+        energy += result.energy.total();
+    }
+    (time * model.layers as f64, energy * model.layers as f64)
+}
+
+/// (latency, energy) of all FC kernels on the GPUs, Megatron-style
+/// tensor parallelism: row-parallel kernels (the attention projection
+/// and FFN down projection) all-reduce their `tokens × h` outputs.
+pub fn fc_cost_on_pu(
+    model: &ModelConfig,
+    gpus: &MultiGpu,
+    energy_model: &GpuEnergyModel,
+    tokens: u64,
+) -> (Time, Energy) {
+    let p = Parallelism::new(tokens, 1);
+    let mut time = Time::ZERO;
+    let mut energy = Energy::ZERO;
+    for kernel in FcKernel::layer_kernels(model) {
+        let mut profile = KernelProfile::new(kernel.flops(p), kernel.bytes(model, p));
+        if matches!(kernel.kind, FcKernelKind::Projection | FcKernelKind::FfnDown) {
+            profile = profile
+                .with_allreduce((tokens * model.hidden) as f64 * model.dtype.size());
+        }
+        let result = execute_kernel(gpus, energy_model, &profile);
+        time += result.time;
+        energy += result.energy;
+    }
+    (time * model.layers as f64, energy * model.layers as f64)
+}
+
+/// Simulates LLM decoding on one [`SystemConfig`].
+#[derive(Debug, Clone)]
+pub struct DecodingSimulator {
+    config: SystemConfig,
+}
+
+impl DecodingSimulator {
+    /// Wraps a system configuration.
+    pub fn new(config: SystemConfig) -> Self {
+        Self { config }
+    }
+
+    /// The wrapped configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Generates the workload's trace and decodes it.
+    pub fn run(&self, workload: &WorkloadSpec) -> ExecutionReport {
+        self.run_trace(&workload.trace())
+    }
+
+    /// Like [`DecodingSimulator::run`], but also prices the prefill
+    /// phase (GPU where available, PIM otherwise — see
+    /// [`prefill_cost`](crate::prefill::prefill_cost)). The report's
+    /// [`end_to_end_latency`](ExecutionReport::end_to_end_latency)
+    /// then covers the whole request lifetime.
+    pub fn run_end_to_end(&self, workload: &WorkloadSpec) -> ExecutionReport {
+        let trace = workload.trace();
+        let mut report = self.run_trace(&trace);
+        let prefill = crate::prefill::prefill_cost(&self.config, &trace);
+        report.prefill_time = prefill.time;
+        report.prefill_energy = prefill.energy;
+        report
+    }
+
+    /// Decodes a pre-built trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the KV-cache demand of any iteration exceeds the
+    /// attention pool's capacity (the configuration is physically
+    /// impossible; size the batch with
+    /// [`KvCachePlanner`](papi_llm::kvcache::KvCachePlanner) first).
+    pub fn run_trace(&self, trace: &DecodeTrace) -> ExecutionReport {
+        let peak_kv_tokens = trace
+            .iterations
+            .iter()
+            .map(|it| it.total_kv_len)
+            .max()
+            .unwrap_or(0);
+        let kv_demand =
+            peak_kv_tokens as f64 * self.config.model.kv_bytes_per_token().value();
+        if let Err(msg) = self.config.validate_capacity(kv_demand) {
+            panic!("{msg}");
+        }
+
+        let mut scheduler = self.config.scheduler.build();
+        let mut phases = PhaseBreakdown::default();
+        let mut energy_parts = (Energy::ZERO, Energy::ZERO, Energy::ZERO, Energy::ZERO);
+        let mut placements = Vec::with_capacity(trace.len());
+        // FC cost depends only on (placement, tokens): memoize across the
+        // decaying-RLP iterations.
+        let mut fc_cache: HashMap<(Placement, u64), (Time, Energy)> = HashMap::new();
+
+        for it in &trace.iterations {
+            let placement = scheduler.decide(it.rlp, it.tlp);
+            let cost = self.iteration_cost(placement, it, &mut fc_cache);
+            phases.fc += cost.fc_time;
+            phases.attention += cost.attn_time;
+            phases.communication += cost.comm_time;
+            phases.other += cost.other_time;
+            energy_parts.0 += cost.fc_energy;
+            energy_parts.1 += cost.attn_energy;
+            energy_parts.2 += cost.comm_energy;
+            energy_parts.3 += cost.static_energy;
+            placements.push(placement);
+        }
+
+        ExecutionReport {
+            design: self.config.design.label().to_owned(),
+            model: self.config.model.name.clone(),
+            iterations: trace.len() as u64,
+            tokens: trace.total_tokens,
+            requests: trace.requests,
+            phases,
+            energy: energy_parts.0 + energy_parts.1 + energy_parts.2 + energy_parts.3,
+            energy_parts,
+            scheduler: scheduler.stats(),
+            placements,
+            prefill_time: papi_types::Time::ZERO,
+            prefill_energy: papi_types::Energy::ZERO,
+        }
+    }
+
+    /// Prices one iteration.
+    fn iteration_cost(
+        &self,
+        placement: Placement,
+        it: &IterationRecord,
+        fc_cache: &mut HashMap<(Placement, u64), (Time, Energy)>,
+    ) -> IterationCost {
+        let model = &self.config.model;
+        let tokens = it.tokens_in_flight();
+
+        // --- FC kernels ---
+        let (fc_time, fc_energy) =
+            *fc_cache.entry((placement, tokens)).or_insert_with(|| {
+                match placement {
+                    Placement::FcPim => {
+                        let (device, count) = self
+                            .config
+                            .fc_pim
+                            .as_ref()
+                            .expect("scheduler placed FC on PIM but the design has none");
+                        fc_cost_on_pim(model, device, *count, tokens)
+                    }
+                    Placement::Pu => {
+                        let gpus = self
+                            .config
+                            .gpus
+                            .as_ref()
+                            .expect("scheduler placed FC on the PU but the design has none");
+                        fc_cost_on_pu(model, gpus, &self.config.gpu_energy, tokens)
+                    }
+                }
+            });
+
+        // --- Attention ---
+        let kv_per_request = it.total_kv_len.div_ceil(it.rlp).max(1);
+        let attn_spec = AttentionSpec::new(
+            it.rlp,
+            model.heads,
+            model.head_dim(),
+            kv_per_request,
+            it.tlp,
+            model.dtype,
+        );
+        let (attn_device, attn_count) = &self.config.attn_pim;
+        let attn = execute_attention(attn_device, *attn_count, &attn_spec);
+        let attn_time = attn.time * model.layers as f64;
+        let attn_energy = attn.energy.total() * model.layers as f64;
+
+        // --- Communication ---
+        let (comm_time, comm_energy) = self.comm_cost(placement, it);
+
+        // --- Host dispatch / monitoring ---
+        let other_time = self.config.dispatch_per_layer * model.layers as f64
+            + self.config.dispatch_per_iteration;
+
+        // --- Static energy of powered PIM pools ---
+        let iter_time = fc_time + attn_time + comm_time + other_time;
+        let mut static_power = attn_device.hbm.energy.background * *attn_count as f64;
+        if let Some((fc_device, fc_count)) = &self.config.fc_pim {
+            static_power += fc_device.hbm.energy.background * *fc_count as f64;
+        }
+        let static_energy = static_power * iter_time;
+
+        IterationCost {
+            placement,
+            fc_time,
+            attn_time,
+            comm_time,
+            other_time,
+            fc_energy,
+            attn_energy,
+            comm_energy,
+            static_energy,
+            new_tokens: it.new_tokens,
+        }
+    }
+
+    /// Interconnect time/energy of one iteration.
+    ///
+    /// Attention traffic (Q vectors out, context vectors back) always
+    /// crosses to the disaggregated Attn-PIM pool; FC activation traffic
+    /// crosses NVLink only when the FC kernels run on FC-PIM.
+    fn comm_cost(&self, placement: Placement, it: &IterationRecord) -> (Time, Energy) {
+        let model = &self.config.model;
+        let topo = &self.config.topology;
+        let layers = model.layers as f64;
+        let tokens = it.tokens_in_flight();
+        let dsize = model.dtype.size();
+
+        let q_bytes = tokens as f64 * model.hidden as f64 * dsize.value();
+        let attn_leg = topo.transfer_time(Route::PuToAttnPim, Bytes::new(q_bytes));
+        let mut time = attn_leg * 2.0 * layers;
+        let mut energy =
+            topo.transfer_energy(Route::PuToAttnPim, Bytes::new(q_bytes)) * 2.0 * layers;
+
+        if placement == Placement::FcPim {
+            for kernel in FcKernel::layer_kernels(model) {
+                let in_bytes = Bytes::new(tokens as f64 * kernel.in_features as f64 * dsize.value());
+                let out_bytes =
+                    Bytes::new(tokens as f64 * kernel.out_features as f64 * dsize.value());
+                time += (topo.transfer_time(Route::PuToFcPim, in_bytes)
+                    + topo.transfer_time(Route::PuToFcPim, out_bytes))
+                    * layers;
+                energy += (topo.transfer_energy(Route::PuToFcPim, in_bytes)
+                    + topo.transfer_energy(Route::PuToFcPim, out_bytes))
+                    * layers;
+            }
+        }
+        (time, energy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use papi_llm::ModelPreset;
+    use papi_workload::{DatasetKind, IterationRecord, WorkloadSpec};
+
+    fn llama() -> ModelConfig {
+        ModelPreset::Llama65B.config()
+    }
+
+    fn short_workload(batch: u64, spec: u64) -> WorkloadSpec {
+        WorkloadSpec::static_batching(DatasetKind::CreativeWriting, batch, spec)
+            .with_seed(3)
+            .with_max_iterations(48)
+    }
+
+    #[test]
+    fn fc_pim_beats_gpu_at_low_tokens_and_loses_at_high() {
+        let model = llama();
+        let fc_pim = PimDevice::fc_pim();
+        let gpus = MultiGpu::dgx6_a100();
+        let em = GpuEnergyModel::a100();
+        let pim_low = fc_latency_on_pim(&model, &fc_pim, 30, 4);
+        let pu_low = fc_latency_on_pu(&model, &gpus, &em, 4);
+        assert!(
+            pim_low.value() < pu_low.value(),
+            "at 4 tokens FC-PIM ({pim_low}) must beat the GPUs ({pu_low})"
+        );
+        let pim_high = fc_latency_on_pim(&model, &fc_pim, 30, 128);
+        let pu_high = fc_latency_on_pu(&model, &gpus, &em, 128);
+        assert!(
+            pu_high.value() < pim_high.value(),
+            "at 128 tokens the GPUs ({pu_high}) must beat FC-PIM ({pim_high})"
+        );
+    }
+
+    #[test]
+    fn gpu_fc_latency_flat_while_memory_bound() {
+        // The GPU side of Fig. 4: below the roofline knee, more tokens
+        // are free.
+        let model = llama();
+        let gpus = MultiGpu::dgx6_a100();
+        let em = GpuEnergyModel::a100();
+        let t4 = fc_latency_on_pu(&model, &gpus, &em, 4);
+        let t64 = fc_latency_on_pu(&model, &gpus, &em, 64);
+        // Only the all-reduce volume grows with tokens; the roofline leg
+        // is flat below the knee.
+        assert!(
+            (t64.value() / t4.value() - 1.0).abs() < 0.12,
+            "GPU FC should be near-flat: {t4} vs {t64}"
+        );
+    }
+
+    #[test]
+    fn papi_beats_a100_attacc_on_low_batch() {
+        let w = short_workload(4, 1);
+        let papi = DecodingSimulator::new(SystemConfig::papi(llama())).run(&w);
+        let base = DecodingSimulator::new(SystemConfig::a100_attacc(llama())).run(&w);
+        let speedup = papi.speedup_over(&base);
+        assert!(
+            speedup > 1.5,
+            "PAPI speedup at batch 4 was only {speedup:.2}×"
+        );
+    }
+
+    #[test]
+    fn papi_matches_gpu_baseline_at_high_parallelism() {
+        // With RLP × TLP far above α, PAPI schedules FC on the GPUs and
+        // converges to A100+AttAcc (§7.3's TLP observation).
+        let w = short_workload(64, 4);
+        let papi = DecodingSimulator::new(SystemConfig::papi(llama())).run(&w);
+        let base = DecodingSimulator::new(SystemConfig::a100_attacc(llama())).run(&w);
+        let speedup = papi.speedup_over(&base);
+        assert!(
+            speedup > 0.95 && speedup < 1.3,
+            "PAPI at high parallelism should track the GPU baseline: {speedup:.2}×"
+        );
+    }
+
+    #[test]
+    fn attacc_only_collapses_at_high_batch() {
+        let w = short_workload(64, 2);
+        let attacc = DecodingSimulator::new(SystemConfig::attacc_only(llama())).run(&w);
+        let base = DecodingSimulator::new(SystemConfig::a100_attacc(llama())).run(&w);
+        let slowdown = base.speedup_over(&attacc);
+        assert!(
+            slowdown > 4.0,
+            "AttAcc-only at batch 64 should be many times slower: {slowdown:.2}×"
+        );
+    }
+
+    #[test]
+    fn papi_scheduler_switches_as_rlp_decays() {
+        // A batch that starts above α and decays below it must produce
+        // at least one PU → FC-PIM rescheduling event (Fig. 5(d)).
+        let w = WorkloadSpec::static_batching(DatasetKind::CreativeWriting, 64, 1).with_seed(9);
+        let papi = DecodingSimulator::new(SystemConfig::papi(llama()));
+        let report = papi.run(&w);
+        assert!(report.scheduler.switches >= 1, "no rescheduling happened");
+        assert!(report.scheduler.pu_decisions > 0);
+        assert!(report.scheduler.fc_pim_decisions > 0);
+        // The decay direction means PU placements come first.
+        assert_eq!(report.placements.first(), Some(&Placement::Pu));
+        assert_eq!(report.placements.last(), Some(&Placement::FcPim));
+    }
+
+    #[test]
+    fn energy_parts_sum_to_total() {
+        let w = short_workload(16, 2);
+        let r = DecodingSimulator::new(SystemConfig::pim_only_papi(llama())).run(&w);
+        let sum = r.energy_parts.0 + r.energy_parts.1 + r.energy_parts.2 + r.energy_parts.3;
+        assert!((sum.value() - r.energy.value()).abs() < 1e-12 * r.energy.value().max(1.0));
+    }
+
+    #[test]
+    fn fig12_shape_fc_dominates_comm_significant() {
+        // LLaMA-65B, batch 4, speculation 4, PIM-only PAPI: FC dominates,
+        // communication ≈ 28 % (paper Fig. 12).
+        let trace = WorkloadSpec::static_batching(DatasetKind::CreativeWriting, 4, 4)
+            .with_seed(1)
+            .trace();
+        let r = DecodingSimulator::new(SystemConfig::pim_only_papi(llama())).run_trace(&trace);
+        let (fc, attn, comm, other) = r.phases.fractions();
+        assert!(fc > 0.5, "FC share {fc}");
+        assert!(attn < 0.15, "attention share {attn}");
+        assert!(
+            comm > 0.15 && comm < 0.40,
+            "communication share {comm}, paper reports 28.2 %"
+        );
+        assert!(other < 0.1, "other share {other}");
+    }
+
+    #[test]
+    #[should_panic(expected = "KV cache")]
+    fn kv_overflow_panics() {
+        let sim = DecodingSimulator::new(SystemConfig::pim_only_papi(llama()));
+        let trace = papi_workload::DecodeTrace {
+            iterations: vec![IterationRecord {
+                rlp: 1000,
+                tlp: 1,
+                total_kv_len: 800_000_000, // ~1 PB of KV
+                max_kv_len: 800_000,
+                new_tokens: 1000,
+                finished: 1000,
+            }],
+            requests: 1000,
+            total_tokens: 1000,
+            total_input_tokens: 0,
+            sum_input_len_squared: 0,
+        };
+        let _ = sim.run_trace(&trace);
+    }
+
+    #[test]
+    fn deterministic_reports() {
+        let w = short_workload(8, 2);
+        let sim = DecodingSimulator::new(SystemConfig::pim_only_papi(llama()));
+        let a = sim.run(&w);
+        let b = sim.run(&w);
+        assert_eq!(a.total_latency(), b.total_latency());
+        assert_eq!(a.energy, b.energy);
+    }
+}

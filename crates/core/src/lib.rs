@@ -1,0 +1,52 @@
+//! `papi-core` — the PAPI heterogeneous system simulator.
+//!
+//! This crate assembles every substrate into the computing systems the
+//! paper evaluates, and drives them over serving workloads:
+//!
+//! | Design | FC kernels | Attention | paper role |
+//! |---|---|---|---|
+//! | **PAPI** | dynamic: PU or FC-PIM (α-threshold) | Attn-PIM (1P2B) | the contribution |
+//! | A100+AttAcc | always 6×A100 | AttAcc (1P1B) | SOTA heterogeneous baseline |
+//! | A100+HBM-PIM | always 6×A100 | HBM-PIM (1P2B) | commercial-PIM baseline |
+//! | AttAcc-only | AttAcc PIM | AttAcc PIM | SOTA PIM-only baseline |
+//! | PIM-only PAPI | always FC-PIM (4P1B) | Attn-PIM | hybrid-PIM ablation (Fig. 11/12) |
+//!
+//! Every system exposes the same 90-HBM-device budget (30 for FC
+//! weights, 60 for attention KV), per the paper's §7.1 fairness setup.
+//!
+//! - [`config`] — system assembly and α calibration.
+//! - [`engine`] — the per-iteration decoding simulator.
+//! - [`metrics`] — execution reports (latency/energy breakdowns).
+//! - [`experiments`] — one function per paper figure (Fig. 2–12).
+//!
+//! # Example
+//!
+//! ```
+//! use papi_core::{DecodingSimulator, SystemConfig};
+//! use papi_llm::ModelPreset;
+//! use papi_workload::{DatasetKind, WorkloadSpec};
+//!
+//! let model = ModelPreset::Llama65B.config();
+//! let workload = WorkloadSpec::static_batching(DatasetKind::CreativeWriting, 8, 1)
+//!     .with_max_iterations(32);
+//! let papi = DecodingSimulator::new(SystemConfig::papi(model.clone()));
+//! let baseline = DecodingSimulator::new(SystemConfig::a100_attacc(model));
+//! let (r_papi, r_base) = (papi.run(&workload), baseline.run(&workload));
+//! // At batch 8 the FC kernel is memory-bound: PAPI's FC-PIM wins.
+//! assert!(r_papi.total_latency().value() < r_base.total_latency().value());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod engine;
+pub mod experiments;
+pub mod metrics;
+pub mod prefill;
+pub mod slo;
+
+pub use config::{DesignKind, SchedulerKind, SystemConfig};
+pub use engine::DecodingSimulator;
+pub use metrics::{ExecutionReport, IterationCost, PhaseBreakdown};
+pub use prefill::{prefill_cost, PrefillCost};

@@ -1,0 +1,254 @@
+//! Execution reports: latency and energy, split by phase.
+
+use papi_sched::policy::SchedulerStats;
+use papi_sched::Placement;
+use papi_types::{Energy, Time};
+use serde::{Deserialize, Serialize};
+
+/// Latency/energy of one decoding iteration, split the way Fig. 12
+/// splits per-token time: attention / FC / communication / other.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IterationCost {
+    /// Where the FC kernels ran.
+    pub placement: Placement,
+    /// FC-kernel time.
+    pub fc_time: Time,
+    /// Attention-kernel time.
+    pub attn_time: Time,
+    /// Interconnect time.
+    pub comm_time: Time,
+    /// Host dispatch/monitoring time.
+    pub other_time: Time,
+    /// FC energy.
+    pub fc_energy: Energy,
+    /// Attention energy.
+    pub attn_energy: Energy,
+    /// Interconnect energy.
+    pub comm_energy: Energy,
+    /// Background/static energy of powered device pools.
+    pub static_energy: Energy,
+    /// Tokens banked this iteration.
+    pub new_tokens: u64,
+}
+
+impl IterationCost {
+    /// Total iteration latency.
+    pub fn total_time(&self) -> Time {
+        self.fc_time + self.attn_time + self.comm_time + self.other_time
+    }
+
+    /// Total iteration energy.
+    pub fn total_energy(&self) -> Energy {
+        self.fc_energy + self.attn_energy + self.comm_energy + self.static_energy
+    }
+}
+
+/// Aggregated per-phase times over a whole decode.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseBreakdown {
+    /// FC-kernel time.
+    pub fc: Time,
+    /// Attention time.
+    pub attention: Time,
+    /// Communication time.
+    pub communication: Time,
+    /// Dispatch/monitoring time.
+    pub other: Time,
+}
+
+impl PhaseBreakdown {
+    /// Sum of all phases.
+    pub fn total(&self) -> Time {
+        self.fc + self.attention + self.communication + self.other
+    }
+
+    /// Fractions `(fc, attention, communication, other)` of the total.
+    pub fn fractions(&self) -> (f64, f64, f64, f64) {
+        let total = self.total().value();
+        if total == 0.0 {
+            return (0.0, 0.0, 0.0, 0.0);
+        }
+        (
+            self.fc.value() / total,
+            self.attention.value() / total,
+            self.communication.value() / total,
+            self.other.value() / total,
+        )
+    }
+}
+
+/// The outcome of decoding one workload on one system.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExecutionReport {
+    /// Design label (e.g. `"PAPI"`).
+    pub design: String,
+    /// Model name.
+    pub model: String,
+    /// Decoding iterations executed.
+    pub iterations: u64,
+    /// Output tokens produced.
+    pub tokens: u64,
+    /// Requests completed.
+    pub requests: u64,
+    /// Per-phase latency totals.
+    pub phases: PhaseBreakdown,
+    /// Total energy.
+    pub energy: Energy,
+    /// Energy split: FC / attention / communication / static.
+    pub energy_parts: (Energy, Energy, Energy, Energy),
+    /// Scheduler decision statistics.
+    pub scheduler: SchedulerStats,
+    /// FC placement chosen at each iteration (the Fig. 5(d) series).
+    pub placements: Vec<Placement>,
+    /// Prefill latency (zero unless the run included the prefill phase).
+    pub prefill_time: Time,
+    /// Prefill energy (zero unless the run included the prefill phase).
+    pub prefill_energy: Energy,
+}
+
+impl ExecutionReport {
+    /// Total decode latency (prefill excluded, as in the paper's Fig. 8).
+    pub fn total_latency(&self) -> Time {
+        self.phases.total()
+    }
+
+    /// Total energy consumed (decode + prefill if the run included it).
+    pub fn total_energy(&self) -> Energy {
+        self.energy + self.prefill_energy
+    }
+
+    /// Prefill + decode latency (the true end-to-end view; the prefill
+    /// part is zero unless produced by
+    /// [`DecodingSimulator::run_end_to_end`](crate::DecodingSimulator::run_end_to_end)).
+    pub fn end_to_end_latency(&self) -> Time {
+        self.prefill_time + self.phases.total()
+    }
+
+    /// Mean latency per generated token.
+    pub fn time_per_token(&self) -> Time {
+        if self.tokens == 0 {
+            return Time::ZERO;
+        }
+        self.total_latency() / self.tokens as f64
+    }
+
+    /// Generation throughput.
+    pub fn tokens_per_second(&self) -> f64 {
+        let t = self.total_latency().as_secs();
+        if t == 0.0 {
+            return 0.0;
+        }
+        self.tokens as f64 / t
+    }
+
+    /// Energy per generated token.
+    pub fn energy_per_token(&self) -> Energy {
+        if self.tokens == 0 {
+            return Energy::ZERO;
+        }
+        self.energy / self.tokens as f64
+    }
+
+    /// This report's speedup over `baseline` (same workload assumed).
+    pub fn speedup_over(&self, baseline: &ExecutionReport) -> f64 {
+        baseline.total_latency().value() / self.total_latency().value()
+    }
+
+    /// This report's energy-efficiency improvement over `baseline`.
+    pub fn energy_efficiency_over(&self, baseline: &ExecutionReport) -> f64 {
+        baseline.total_energy().value() / self.total_energy().value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cost(fc_ms: f64, tokens: u64) -> IterationCost {
+        IterationCost {
+            placement: Placement::FcPim,
+            fc_time: Time::from_millis(fc_ms),
+            attn_time: Time::from_millis(0.5),
+            comm_time: Time::from_millis(1.0),
+            other_time: Time::from_millis(0.1),
+            fc_energy: Energy::from_millijoules(10.0),
+            attn_energy: Energy::from_millijoules(1.0),
+            comm_energy: Energy::from_millijoules(0.5),
+            static_energy: Energy::from_millijoules(0.2),
+            new_tokens: tokens,
+        }
+    }
+
+    #[test]
+    fn iteration_cost_totals() {
+        let c = cost(8.0, 16);
+        assert!((c.total_time().as_millis() - 9.6).abs() < 1e-12);
+        assert!((c.total_energy().as_millijoules() - 11.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_fractions_sum_to_one() {
+        let p = PhaseBreakdown {
+            fc: Time::from_millis(8.0),
+            attention: Time::from_millis(1.0),
+            communication: Time::from_millis(3.0),
+            other: Time::from_millis(0.5),
+        };
+        let (a, b, c, d) = p.fractions();
+        assert!((a + b + c + d - 1.0).abs() < 1e-12);
+        assert!(a > b && a > c && a > d, "FC should dominate");
+    }
+
+    #[test]
+    fn empty_breakdown_fractions_are_zero() {
+        assert_eq!(PhaseBreakdown::default().fractions(), (0.0, 0.0, 0.0, 0.0));
+    }
+
+    fn report(latency_ms: f64, energy_mj: f64, tokens: u64) -> ExecutionReport {
+        ExecutionReport {
+            design: "test".into(),
+            model: "m".into(),
+            iterations: 1,
+            tokens,
+            requests: 1,
+            phases: PhaseBreakdown {
+                fc: Time::from_millis(latency_ms),
+                ..Default::default()
+            },
+            energy: Energy::from_millijoules(energy_mj),
+            energy_parts: (
+                Energy::from_millijoules(energy_mj),
+                Energy::ZERO,
+                Energy::ZERO,
+                Energy::ZERO,
+            ),
+            scheduler: SchedulerStats::default(),
+            placements: vec![],
+            prefill_time: Time::ZERO,
+            prefill_energy: Energy::ZERO,
+        }
+    }
+
+    #[test]
+    fn speedup_and_efficiency_ratios() {
+        let fast = report(10.0, 50.0, 100);
+        let slow = report(20.0, 200.0, 100);
+        assert!((fast.speedup_over(&slow) - 2.0).abs() < 1e-12);
+        assert!((fast.energy_efficiency_over(&slow) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_token_metrics() {
+        let r = report(100.0, 200.0, 50);
+        assert!((r.time_per_token().as_millis() - 2.0).abs() < 1e-12);
+        assert!((r.energy_per_token().as_millijoules() - 4.0).abs() < 1e-12);
+        assert!((r.tokens_per_second() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_token_report_is_safe() {
+        let r = report(1.0, 1.0, 0);
+        assert_eq!(r.time_per_token(), Time::ZERO);
+        assert_eq!(r.energy_per_token(), Energy::ZERO);
+    }
+}

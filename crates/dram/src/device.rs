@@ -1,0 +1,134 @@
+//! Assembled HBM device presets.
+
+use crate::controller::{BusModel, Controller};
+use crate::energy::EnergyParams;
+use crate::organization::Topology;
+use crate::timing::TimingParams;
+use papi_types::{Bandwidth, Bytes};
+use serde::{Deserialize, Serialize};
+
+/// One HBM3 stack: geometry + timing + energy parameters.
+///
+/// # Example
+///
+/// ```
+/// use papi_dram::HbmDevice;
+///
+/// let std16 = HbmDevice::hbm3_16gb();
+/// assert!((std16.capacity().as_gib() - 16.0).abs() < 1e-9);
+/// let fc = HbmDevice::fc_pim_12gb();
+/// assert!((fc.capacity().as_gib() - 12.0).abs() < 1e-9);
+/// assert!(fc.topology.total_banks() < std16.topology.total_banks());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HbmDevice {
+    /// Human-readable device name.
+    pub name: String,
+    /// Bank hierarchy and row/column geometry.
+    pub topology: Topology,
+    /// Timing constraints.
+    pub timing: TimingParams,
+    /// Energy parameters.
+    pub energy: EnergyParams,
+}
+
+impl HbmDevice {
+    /// The standard 16 GB / 128-bank HBM3 stack used by the AttAcc (1P1B),
+    /// HBM-PIM (1P2B) and Attn-PIM devices in the paper.
+    pub fn hbm3_16gb() -> Self {
+        Self {
+            name: "HBM3-16GB".to_owned(),
+            topology: Topology::hbm3_16gb(),
+            timing: TimingParams::hbm3(),
+            energy: EnergyParams::hbm3(),
+        }
+    }
+
+    /// The 12 GB / 96-bank FC-PIM die (paper §6.1, Eq. (4)): a quarter of
+    /// the banks is traded for the area of 4 FPUs per bank.
+    pub fn fc_pim_12gb() -> Self {
+        Self {
+            name: "FC-PIM-12GB".to_owned(),
+            topology: Topology::fc_pim_12gb(),
+            timing: TimingParams::hbm3(),
+            energy: EnergyParams::hbm3(),
+        }
+    }
+
+    /// Total capacity of the stack.
+    pub fn capacity(&self) -> Bytes {
+        self.topology.capacity()
+    }
+
+    /// Theoretical per-bank streaming bandwidth (one column access every
+    /// `t_ccd`, ignoring row turnaround): ≈ 21.3 GB/s for the HBM3 preset,
+    /// matching the paper's per-bank figure.
+    pub fn peak_bank_bandwidth(&self) -> Bandwidth {
+        let bytes_per_sec = self.topology.column_bytes as f64
+            / (self.timing.t_ck.as_secs() * self.timing.t_ccd as f64);
+        Bandwidth::new(bytes_per_sec)
+    }
+
+    /// Theoretical aggregate near-bank (PIM) streaming bandwidth: all
+    /// banks concurrently.
+    pub fn peak_pim_bandwidth(&self) -> Bandwidth {
+        self.peak_bank_bandwidth() * self.topology.total_banks() as f64
+    }
+
+    /// Theoretical external bandwidth (shared data bus, one burst per
+    /// `t_bus` per pseudo-channel).
+    pub fn peak_external_bandwidth(&self) -> Bandwidth {
+        let per_pc = self.topology.column_bytes as f64
+            / (self.timing.t_ck.as_secs() * self.timing.t_bus as f64);
+        Bandwidth::new(per_pc * self.topology.total_pseudo_channels() as f64)
+    }
+
+    /// Builds a cycle-level controller over one pseudo-channel of this
+    /// device.
+    pub fn pseudo_channel_controller(&self, bus: BusModel) -> Controller {
+        Controller::new(
+            self.timing.clone(),
+            self.topology.banks_per_pseudo_channel(),
+            self.topology.column_bytes,
+            bus,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_bank_bandwidth_matches_paper() {
+        let d = HbmDevice::hbm3_16gb();
+        // 32 B / 1.5 ns = 21.33 GB/s — the paper's ~20.8 GB/s per bank.
+        assert!((d.peak_bank_bandwidth().as_gb_per_sec() - 21.33).abs() < 0.05);
+    }
+
+    #[test]
+    fn aggregate_pim_bandwidth_dwarfs_external() {
+        let d = HbmDevice::hbm3_16gb();
+        let pim = d.peak_pim_bandwidth();
+        let ext = d.peak_external_bandwidth();
+        // 128 banks near-bank vs 16 pseudo-channel buses.
+        assert!(pim.value() > 3.0 * ext.value());
+        // External peak lands near the HBM3 datasheet (~665 GB/s).
+        assert!(ext.as_gb_per_sec() > 600.0 && ext.as_gb_per_sec() < 750.0);
+    }
+
+    #[test]
+    fn fc_pim_loses_quarter_of_banks_and_capacity() {
+        let std16 = HbmDevice::hbm3_16gb();
+        let fc = HbmDevice::fc_pim_12gb();
+        assert_eq!(fc.topology.total_banks() * 4, std16.topology.total_banks() * 3);
+        assert!((fc.capacity().value() * 4.0 - std16.capacity().value() * 3.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn controller_has_pseudo_channel_banks() {
+        let d = HbmDevice::hbm3_16gb();
+        let c = d.pseudo_channel_controller(BusModel::PerBankPim);
+        assert_eq!(c.bank_count(), d.topology.banks_per_pseudo_channel());
+    }
+}

@@ -1,0 +1,303 @@
+//! DRAM organization: the channel → pseudo-channel → bank-group → bank
+//! hierarchy, row/column geometry, and linear-address mapping.
+
+use papi_types::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// Geometry of one HBM stack.
+///
+/// The paper's devices map onto this as:
+///
+/// - standard 16 GB PIM device (AttAcc 1P1B, HBM-PIM 1P2B, Attn-PIM):
+///   4 channels × 4 pseudo-channels × 4 bank groups × 2 banks = 128 banks;
+/// - FC-PIM device (Eq. (4) area constraint): 3 bank groups per
+///   pseudo-channel → 96 banks and 12 GB.
+///
+/// # Example
+///
+/// ```
+/// use papi_dram::Topology;
+///
+/// let t = Topology::hbm3_16gb();
+/// assert_eq!(t.total_banks(), 128);
+/// assert!((t.capacity().as_gib() - 16.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    /// Independent channels per stack.
+    pub channels: usize,
+    /// Pseudo-channels per channel.
+    pub pseudo_channels_per_channel: usize,
+    /// Bank groups per pseudo-channel.
+    pub bank_groups_per_pseudo_channel: usize,
+    /// Banks per bank group.
+    pub banks_per_bank_group: usize,
+    /// Rows per bank.
+    pub rows_per_bank: u64,
+    /// Bytes per row (row-buffer size).
+    pub row_bytes: u64,
+    /// Bytes per column access (prefetch × DQ width).
+    pub column_bytes: u64,
+}
+
+impl Topology {
+    /// The standard 16 GB HBM3 stack with 128 banks used for AttAcc-style
+    /// (1P1B), HBM-PIM-style (1P2B) and Attn-PIM devices.
+    pub fn hbm3_16gb() -> Self {
+        Self {
+            channels: 4,
+            pseudo_channels_per_channel: 4,
+            bank_groups_per_pseudo_channel: 4,
+            banks_per_bank_group: 2,
+            rows_per_bank: 65_536, // 16 GiB / 128 banks / 2 KiB rows
+            row_bytes: 2048,
+            column_bytes: 32,
+        }
+    }
+
+    /// The 12 GB FC-PIM die of the paper's §6.1: the Eq. (4) area
+    /// constraint caps a 4P1B die at 96 banks (3 bank groups), trading a
+    /// quarter of the capacity for FPU area.
+    pub fn fc_pim_12gb() -> Self {
+        Self {
+            bank_groups_per_pseudo_channel: 3,
+            ..Self::hbm3_16gb()
+        }
+    }
+
+    /// Total number of banks in the stack.
+    pub fn total_banks(&self) -> usize {
+        self.channels
+            * self.pseudo_channels_per_channel
+            * self.bank_groups_per_pseudo_channel
+            * self.banks_per_bank_group
+    }
+
+    /// Banks visible to a single pseudo-channel controller.
+    pub fn banks_per_pseudo_channel(&self) -> usize {
+        self.bank_groups_per_pseudo_channel * self.banks_per_bank_group
+    }
+
+    /// Total pseudo-channels in the stack.
+    pub fn total_pseudo_channels(&self) -> usize {
+        self.channels * self.pseudo_channels_per_channel
+    }
+
+    /// Column accesses needed to stream one full row.
+    pub fn columns_per_row(&self) -> u64 {
+        self.row_bytes / self.column_bytes
+    }
+
+    /// Total stack capacity.
+    pub fn capacity(&self) -> Bytes {
+        Bytes::from_u64(self.total_banks() as u64 * self.rows_per_bank * self.row_bytes)
+    }
+
+    /// Validates that the geometry is internally consistent (non-zero
+    /// dimensions, row size divisible by column size).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.channels == 0
+            || self.pseudo_channels_per_channel == 0
+            || self.bank_groups_per_pseudo_channel == 0
+            || self.banks_per_bank_group == 0
+            || self.rows_per_bank == 0
+        {
+            return Err("all topology dimensions must be non-zero".to_owned());
+        }
+        if self.row_bytes == 0 || self.column_bytes == 0 {
+            return Err("row and column sizes must be non-zero".to_owned());
+        }
+        if !self.row_bytes.is_multiple_of(self.column_bytes) {
+            return Err(format!(
+                "row_bytes ({}) must be a multiple of column_bytes ({})",
+                self.row_bytes, self.column_bytes
+            ));
+        }
+        Ok(())
+    }
+
+    /// Decodes a linear byte address into its bank/row/column coordinates
+    /// using a Ro–Ba–Bg–Co–Pc–Ch interleaving: channel and pseudo-channel
+    /// bits sit *below* the column bits, so consecutive column-granularity
+    /// addresses stride across channels for bandwidth while each row's
+    /// columns stay within one bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside the device capacity.
+    #[track_caller]
+    pub fn decode(&self, addr: u64) -> Address {
+        let cap = self.capacity().value() as u64;
+        assert!(addr < cap, "address {addr:#x} beyond capacity {cap:#x}");
+        let mut a = addr / self.column_bytes;
+        let channel = (a % self.channels as u64) as usize;
+        a /= self.channels as u64;
+        let pseudo_channel = (a % self.pseudo_channels_per_channel as u64) as usize;
+        a /= self.pseudo_channels_per_channel as u64;
+        let col = a % self.columns_per_row();
+        a /= self.columns_per_row();
+        let bank_group = (a % self.bank_groups_per_pseudo_channel as u64) as usize;
+        a /= self.bank_groups_per_pseudo_channel as u64;
+        let bank = (a % self.banks_per_bank_group as u64) as usize;
+        a /= self.banks_per_bank_group as u64;
+        let row = a;
+        Address {
+            bank: BankAddr {
+                channel,
+                pseudo_channel,
+                bank_group,
+                bank,
+            },
+            row,
+            column: col,
+        }
+    }
+
+    /// Encodes bank/row/column coordinates back into a linear byte address
+    /// (inverse of [`Topology::decode`]).
+    pub fn encode(&self, address: &Address) -> u64 {
+        let mut a = address.row;
+        a = a * self.banks_per_bank_group as u64 + address.bank.bank as u64;
+        a = a * self.bank_groups_per_pseudo_channel as u64 + address.bank.bank_group as u64;
+        a = a * self.columns_per_row() + address.column;
+        a = a * self.pseudo_channels_per_channel as u64 + address.bank.pseudo_channel as u64;
+        a = a * self.channels as u64 + address.bank.channel as u64;
+        a * self.column_bytes
+    }
+}
+
+/// Coordinates of one bank within a stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BankAddr {
+    /// Channel index.
+    pub channel: usize,
+    /// Pseudo-channel index within the channel.
+    pub pseudo_channel: usize,
+    /// Bank-group index within the pseudo-channel.
+    pub bank_group: usize,
+    /// Bank index within the bank group.
+    pub bank: usize,
+}
+
+impl BankAddr {
+    /// Flattens the coordinates into an index in `0..topology.total_banks()`.
+    pub fn flat_index(&self, topology: &Topology) -> usize {
+        ((self.channel * topology.pseudo_channels_per_channel + self.pseudo_channel)
+            * topology.bank_groups_per_pseudo_channel
+            + self.bank_group)
+            * topology.banks_per_bank_group
+            + self.bank
+    }
+}
+
+/// A fully decoded DRAM address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Address {
+    /// Which bank the address falls in.
+    pub bank: BankAddr,
+    /// Row within the bank.
+    pub row: u64,
+    /// Column (in column-access units) within the row.
+    pub column: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn standard_device_geometry() {
+        let t = Topology::hbm3_16gb();
+        t.validate().unwrap();
+        assert_eq!(t.total_banks(), 128);
+        assert_eq!(t.banks_per_pseudo_channel(), 8);
+        assert_eq!(t.total_pseudo_channels(), 16);
+        assert_eq!(t.columns_per_row(), 64);
+        assert!((t.capacity().as_gib() - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fc_pim_device_geometry_matches_eq4() {
+        let t = Topology::fc_pim_12gb();
+        t.validate().unwrap();
+        // Eq. (4): m(4 × 0.1025 + 0.83) <= 121  =>  m <= 97, paper picks 96.
+        assert_eq!(t.total_banks(), 96);
+        assert!((t.capacity().as_gib() - 12.0).abs() < 1e-9);
+        assert_eq!(t.bank_groups_per_pseudo_channel, 3);
+    }
+
+    #[test]
+    fn validation_rejects_bad_geometry() {
+        let mut t = Topology::hbm3_16gb();
+        t.row_bytes = 1000; // not a multiple of 32
+        assert!(t.validate().is_err());
+        let mut t = Topology::hbm3_16gb();
+        t.channels = 0;
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn sequential_addresses_interleave_channels() {
+        let t = Topology::hbm3_16gb();
+        let a0 = t.decode(0);
+        let a1 = t.decode(t.column_bytes);
+        assert_eq!(a0.bank.channel, 0);
+        assert_eq!(a1.bank.channel, 1);
+        assert_eq!(a0.row, a1.row);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond capacity")]
+    fn decode_out_of_range_panics() {
+        let t = Topology::hbm3_16gb();
+        let _ = t.decode(t.capacity().value() as u64);
+    }
+
+    #[test]
+    fn flat_index_is_dense_and_unique() {
+        let t = Topology::hbm3_16gb();
+        let mut seen = vec![false; t.total_banks()];
+        for ch in 0..t.channels {
+            for pc in 0..t.pseudo_channels_per_channel {
+                for bg in 0..t.bank_groups_per_pseudo_channel {
+                    for b in 0..t.banks_per_bank_group {
+                        let idx = BankAddr {
+                            channel: ch,
+                            pseudo_channel: pc,
+                            bank_group: bg,
+                            bank: b,
+                        }
+                        .flat_index(&t);
+                        assert!(!seen[idx], "duplicate flat index {idx}");
+                        seen[idx] = true;
+                    }
+                }
+            }
+        }
+        assert!(seen.into_iter().all(|s| s));
+    }
+
+    proptest! {
+        #[test]
+        fn decode_encode_roundtrip(raw in 0u64..(16u64 << 30)) {
+            let t = Topology::hbm3_16gb();
+            // Align to column granularity: decode ignores intra-column offset.
+            let addr = raw - raw % t.column_bytes;
+            let decoded = t.decode(addr);
+            prop_assert_eq!(t.encode(&decoded), addr);
+        }
+
+        #[test]
+        fn decode_fields_in_range(raw in 0u64..(12u64 << 30)) {
+            let t = Topology::fc_pim_12gb();
+            let d = t.decode(raw);
+            prop_assert!(d.bank.channel < t.channels);
+            prop_assert!(d.bank.pseudo_channel < t.pseudo_channels_per_channel);
+            prop_assert!(d.bank.bank_group < t.bank_groups_per_pseudo_channel);
+            prop_assert!(d.bank.bank < t.banks_per_bank_group);
+            prop_assert!(d.row < t.rows_per_bank);
+            prop_assert!(d.column < t.columns_per_row());
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! `papi-gpu` — a roofline model of computation-centric accelerators.
+//!
+//! The PAPI paper evaluates its GPU side (NVIDIA A100, and the 6-GPU
+//! DGX-style node) at roofline granularity: a kernel with `F` FLOPs and
+//! `B` bytes of traffic takes `max(F / peak_flops, B / peak_bandwidth)`
+//! adjusted by empirical efficiency factors. That is exactly the model
+//! here, plus:
+//!
+//! - multi-GPU tensor parallelism with an all-reduce cost on the
+//!   activation volume,
+//! - a kernel-launch floor (small kernels cannot beat a few
+//!   microseconds),
+//! - an energy model (pJ/FLOP for the tensor cores, pJ/byte for the
+//!   off-chip hierarchy, plus base board power) calibrated so the
+//!   paper's end-to-end energy-efficiency ratios hold.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod energy;
+mod exec;
+mod spec;
+
+pub use energy::GpuEnergyModel;
+pub use exec::{execute_kernel, GpuKernelResult, KernelProfile};
+pub use spec::{GpuSpec, MultiGpu};

@@ -1,0 +1,23 @@
+//! `papi-interconnect` — link and topology models for the PAPI system.
+//!
+//! The paper's system (§6.3) wires three classes of traffic differently:
+//!
+//! - **PU ↔ FC-PIM**: weight-volume traffic over NVLink (high bandwidth,
+//!   on-package);
+//! - **host/PU ↔ Attn-PIM**: small Q-vector/score traffic over PCIe or
+//!   CXL (cheap, scales to many disaggregated devices — PCIe to 32 per
+//!   bus, CXL to 4096);
+//! - **host ↔ PU**: command/launch traffic over PCIe.
+//!
+//! This crate provides the latency/bandwidth/energy link model
+//! ([`LinkSpec`]), and the [`SystemTopology`] that assigns a link to each
+//! route and validates device fan-out.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod link;
+mod topology;
+
+pub use link::LinkSpec;
+pub use topology::{Route, SystemTopology, TopologyError};

@@ -1,0 +1,150 @@
+//! Point-to-point link model.
+
+use papi_types::{Bandwidth, Bytes, Energy, Time};
+use serde::{Deserialize, Serialize};
+
+/// One interconnect link: latency + bandwidth + per-byte energy, with a
+/// device fan-out limit.
+///
+/// # Example
+///
+/// ```
+/// use papi_interconnect::LinkSpec;
+/// use papi_types::Bytes;
+///
+/// let nvlink = LinkSpec::nvlink();
+/// let pcie = LinkSpec::pcie_gen5_x16();
+/// let payload = Bytes::from_mib(64.0);
+/// assert!(nvlink.transfer_time(payload).value() < pcie.transfer_time(payload).value());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Link name.
+    pub name: String,
+    /// Per-direction sustained bandwidth.
+    pub bandwidth: Bandwidth,
+    /// One-way message latency (includes protocol/synchronization cost).
+    pub latency: Time,
+    /// Energy per byte moved, in picojoules.
+    pub pj_per_byte: f64,
+    /// Maximum devices attachable to one instance of this fabric.
+    pub max_devices: usize,
+}
+
+impl LinkSpec {
+    /// NVLink (A100 generation): 300 GB/s per direction.
+    pub fn nvlink() -> Self {
+        Self {
+            name: "NVLink".to_owned(),
+            bandwidth: Bandwidth::from_gb_per_sec(300.0),
+            latency: Time::from_micros(2.0),
+            pj_per_byte: 10.0,
+            max_devices: 18,
+        }
+    }
+
+    /// PCIe Gen5 ×16: 64 GB/s per direction, up to 32 devices per bus
+    /// (paper §6.3).
+    pub fn pcie_gen5_x16() -> Self {
+        Self {
+            name: "PCIe-Gen5-x16".to_owned(),
+            bandwidth: Bandwidth::from_gb_per_sec(64.0),
+            latency: Time::from_micros(2.5),
+            pj_per_byte: 20.0,
+            max_devices: 32,
+        }
+    }
+
+    /// CXL 2.0 over PCIe Gen5 phy: same bandwidth class, lower protocol
+    /// latency, scales to 4096 devices (paper §6.3).
+    pub fn cxl() -> Self {
+        Self {
+            name: "CXL".to_owned(),
+            bandwidth: Bandwidth::from_gb_per_sec(64.0),
+            latency: Time::from_micros(1.5),
+            pj_per_byte: 18.0,
+            max_devices: 4096,
+        }
+    }
+
+    /// Time to move `bytes` in one message.
+    pub fn transfer_time(&self, bytes: Bytes) -> Time {
+        self.latency + bytes / self.bandwidth
+    }
+
+    /// Time to move `bytes` split over `streams` concurrent messages that
+    /// share the link bandwidth (latency paid once; the wire is the
+    /// bottleneck).
+    pub fn contended_transfer_time(&self, bytes: Bytes, streams: usize) -> Time {
+        let _ = streams.max(1);
+        self.transfer_time(bytes)
+    }
+
+    /// Energy to move `bytes`.
+    pub fn transfer_energy(&self, bytes: Bytes) -> Energy {
+        Energy::from_picojoules(bytes.value() * self.pj_per_byte)
+    }
+
+    /// Whether `devices` endpoints fit on one instance of this fabric.
+    pub fn supports_devices(&self, devices: usize) -> bool {
+        devices <= self.max_devices
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn presets_ordering() {
+        let nv = LinkSpec::nvlink();
+        let pcie = LinkSpec::pcie_gen5_x16();
+        let cxl = LinkSpec::cxl();
+        assert!(nv.bandwidth.value() > pcie.bandwidth.value());
+        assert!(cxl.latency.value() < pcie.latency.value());
+        assert!(cxl.max_devices > pcie.max_devices);
+    }
+
+    #[test]
+    fn transfer_time_has_latency_floor() {
+        let l = LinkSpec::pcie_gen5_x16();
+        let t = l.transfer_time(Bytes::new(1.0));
+        assert!((t.value() - l.latency.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fan_out_limits() {
+        assert!(LinkSpec::pcie_gen5_x16().supports_devices(32));
+        assert!(!LinkSpec::pcie_gen5_x16().supports_devices(33));
+        assert!(LinkSpec::cxl().supports_devices(60));
+        assert!(LinkSpec::cxl().supports_devices(4096));
+    }
+
+    #[test]
+    fn energy_linear_in_bytes() {
+        let l = LinkSpec::nvlink();
+        let e1 = l.transfer_energy(Bytes::from_mib(1.0));
+        let e4 = l.transfer_energy(Bytes::from_mib(4.0));
+        assert!((e4.value() - 4.0 * e1.value()).abs() < 1e-18);
+    }
+
+    proptest! {
+        #[test]
+        fn transfer_time_monotone(bytes_a in 0.0..1e12f64, bytes_b in 0.0..1e12f64) {
+            let l = LinkSpec::cxl();
+            let (lo, hi) = if bytes_a <= bytes_b { (bytes_a, bytes_b) } else { (bytes_b, bytes_a) };
+            prop_assert!(
+                l.transfer_time(Bytes::new(lo)).value() <= l.transfer_time(Bytes::new(hi)).value()
+            );
+        }
+
+        #[test]
+        fn contended_no_faster_than_single(bytes in 1.0..1e10f64, streams in 1usize..64) {
+            let l = LinkSpec::pcie_gen5_x16();
+            let single = l.transfer_time(Bytes::new(bytes));
+            let contended = l.contended_transfer_time(Bytes::new(bytes), streams);
+            prop_assert!(contended.value() >= single.value() - 1e-15);
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Offline α calibration (paper §5.2.1).
+//!
+//! "The threshold α is determined through offline iterative evaluation,
+//! where we run the FC kernel on both PIM and PU units under varying
+//! parallelization levels, using the observed execution times to
+//! establish the best α to choose."
+//!
+//! [`calibrate_alpha`] does exactly that: sweep the token count
+//! `B = RLP × TLP`, measure both latencies, and return the crossover.
+
+use papi_types::Time;
+
+/// Result of an α calibration sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Calibration {
+    /// The chosen threshold: FC kernels with `RLP × TLP > α` go to the
+    /// PU.
+    pub alpha: f64,
+    /// The sweep's `(tokens, pim_latency, pu_latency)` samples, for
+    /// reporting.
+    pub samples: Vec<(u64, Time, Time)>,
+}
+
+/// Sweeps token counts `1..=max_tokens` and returns the crossover
+/// threshold: the midpoint between the last token count where PIM wins
+/// and the first where the PU wins.
+///
+/// If the PU never wins within the sweep, α is `max_tokens` (everything
+/// stays on PIM); if the PU always wins, α is 0.5 (everything goes to
+/// the PU).
+///
+/// # Panics
+///
+/// Panics if `max_tokens` is zero.
+#[track_caller]
+pub fn calibrate_alpha(
+    mut pim_latency: impl FnMut(u64) -> Time,
+    mut pu_latency: impl FnMut(u64) -> Time,
+    max_tokens: u64,
+) -> Calibration {
+    assert!(max_tokens > 0, "sweep needs at least one point");
+    let mut samples = Vec::new();
+    let mut last_pim_win: Option<u64> = None;
+    let mut first_pu_win: Option<u64> = None;
+    for tokens in 1..=max_tokens {
+        let pim = pim_latency(tokens);
+        let pu = pu_latency(tokens);
+        samples.push((tokens, pim, pu));
+        if pu.value() < pim.value() {
+            if first_pu_win.is_none() {
+                first_pu_win = Some(tokens);
+            }
+        } else if first_pu_win.is_none() {
+            last_pim_win = Some(tokens);
+        }
+    }
+    let alpha = match (last_pim_win, first_pu_win) {
+        (Some(pim), Some(pu)) => (pim as f64 + pu as f64) / 2.0,
+        (Some(_), None) => max_tokens as f64,
+        (None, Some(_)) => 0.5,
+        (None, None) => unreachable!("sweep covered at least one point"),
+    };
+    Calibration { alpha, samples }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn finds_crossover_of_linear_vs_flat() {
+        // PIM: 1 µs per token. PU: flat 10 µs. Crossover between 10 and 11.
+        let cal = calibrate_alpha(
+            |t| Time::from_micros(t as f64),
+            |_| Time::from_micros(10.0),
+            64,
+        );
+        assert!((cal.alpha - 10.5).abs() < 1e-9, "alpha {}", cal.alpha);
+        assert_eq!(cal.samples.len(), 64);
+    }
+
+    #[test]
+    fn pim_always_wins_gives_max() {
+        let cal = calibrate_alpha(
+            |_| Time::from_micros(1.0),
+            |_| Time::from_micros(100.0),
+            32,
+        );
+        assert_eq!(cal.alpha, 32.0);
+    }
+
+    #[test]
+    fn pu_always_wins_gives_half() {
+        let cal = calibrate_alpha(
+            |_| Time::from_micros(100.0),
+            |_| Time::from_micros(1.0),
+            32,
+        );
+        assert_eq!(cal.alpha, 0.5);
+    }
+
+    #[test]
+    fn ties_go_to_pim() {
+        // Equal latency is "PIM wins" (cheaper energy); crossover sits
+        // past the tie point.
+        let cal = calibrate_alpha(
+            |_| Time::from_micros(5.0),
+            |_| Time::from_micros(5.0),
+            8,
+        );
+        assert_eq!(cal.alpha, 8.0);
+    }
+
+    proptest! {
+        #[test]
+        fn alpha_separates_the_two_regimes(crossover in 2u64..100) {
+            // A synthetic pair with a known crossover.
+            let cal = calibrate_alpha(
+                move |t| Time::from_micros(t as f64),
+                move |_| Time::from_micros(crossover as f64 + 0.5),
+                128,
+            );
+            // PIM wins up to `crossover`, PU wins after.
+            prop_assert!(cal.alpha > crossover as f64);
+            prop_assert!(cal.alpha < crossover as f64 + 1.0);
+        }
+    }
+}

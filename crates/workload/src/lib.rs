@@ -1,0 +1,34 @@
+//! `papi-workload` — LLM serving workloads.
+//!
+//! The dynamic behaviour that motivates PAPI comes from the *workload*:
+//! requests with unpredictable output lengths finish at different times,
+//! so request-level parallelism (RLP) decays over a batch's lifetime
+//! (paper Fig. 3); operators batch and speculate differently per
+//! deployment, so token-level parallelism (TLP) varies too. This crate
+//! generates those dynamics:
+//!
+//! - [`dataset`] — seeded synthetic stand-ins for the Dolly dataset's
+//!   creative-writing (long, heavy-tailed outputs) and general-qa
+//!   (short outputs) categories. *Substitution note*: the paper uses the
+//!   real Dolly records; the figures depend only on the length
+//!   distributions, which we match qualitatively (see DESIGN.md).
+//! - [`speculative`] — speculation length (TLP) and token-acceptance
+//!   models.
+//! - [`batching`] — static batching and mixed continuous batching.
+//! - [`trace`] — per-iteration decode traces: the RLP/TLP/KV state the
+//!   system simulator executes against.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod batching;
+pub mod dataset;
+pub mod request;
+pub mod speculative;
+pub mod trace;
+
+pub use batching::{BatchingPolicy, WorkloadSpec};
+pub use dataset::DatasetKind;
+pub use request::Request;
+pub use speculative::{AcceptanceModel, SpeculativeConfig, TlpPolicy};
+pub use trace::{DecodeTrace, IterationRecord};

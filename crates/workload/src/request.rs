@@ -1,0 +1,63 @@
+//! A single inference request.
+
+use serde::{Deserialize, Serialize};
+
+/// One user request: a prompt of `input_len` tokens that will generate
+/// `output_len` tokens before emitting `<|eos|>`.
+///
+/// Output lengths are a property of the *workload* (the model decides
+/// when to stop); the serving system cannot observe them in advance —
+/// which is exactly why runtime RLP is unpredictable (paper §3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Request {
+    /// Request identifier.
+    pub id: u64,
+    /// Prompt length in tokens.
+    pub input_len: u64,
+    /// Tokens the request will generate before finishing.
+    pub output_len: u64,
+}
+
+impl Request {
+    /// Creates a request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either length is zero (the paper's serving model always
+    /// has a prompt and generates at least the first token).
+    #[track_caller]
+    pub fn new(id: u64, input_len: u64, output_len: u64) -> Self {
+        assert!(
+            input_len > 0 && output_len > 0,
+            "request lengths must be positive"
+        );
+        Self {
+            id,
+            input_len,
+            output_len,
+        }
+    }
+
+    /// Total sequence length once complete (KV-cache footprint in
+    /// tokens).
+    pub fn total_len(&self) -> u64 {
+        self.input_len + self.output_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_len_sums() {
+        let r = Request::new(1, 100, 50);
+        assert_eq!(r.total_len(), 150);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_output_rejected() {
+        Request::new(1, 10, 0);
+    }
+}

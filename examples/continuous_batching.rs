@@ -1,0 +1,43 @@
+//! Extension beyond the paper's evaluation: mixed continuous batching
+//! (§2.2.1) versus the static batching the paper measures. Continuous
+//! refill keeps RLP — and therefore FC data reuse — high, which shrinks
+//! PAPI's edge over a static GPU mapping exactly as §7.3 predicts for
+//! high-parallelism regimes.
+//!
+//! ```sh
+//! cargo run --release --example continuous_batching
+//! ```
+
+use papi::core::{DecodingSimulator, SystemConfig};
+use papi::llm::ModelPreset;
+use papi::workload::{DatasetKind, WorkloadSpec};
+
+fn main() {
+    let model = ModelPreset::Llama65B.config();
+    let batch = 32;
+    let queue = 96;
+
+    let static_wl =
+        WorkloadSpec::static_batching(DatasetKind::GeneralQa, batch, 1).with_seed(17);
+    let continuous_wl =
+        WorkloadSpec::continuous_batching(DatasetKind::GeneralQa, batch, 1, queue).with_seed(17);
+
+    println!("LLaMA-65B, general-qa, batch {batch} (continuous refills from a {queue}-deep queue)\n");
+    for (label, workload) in [("static", &static_wl), ("continuous", &continuous_wl)] {
+        let trace = workload.trace();
+        let papi = DecodingSimulator::new(SystemConfig::papi(model.clone())).run_trace(&trace);
+        let base =
+            DecodingSimulator::new(SystemConfig::a100_attacc(model.clone())).run_trace(&trace);
+        println!(
+            "{label:11} | {:4} requests | mean RLP {:5.1} | PAPI {:7.1} tok/s | A100+AttAcc {:7.1} tok/s | PAPI speedup {:.2}x",
+            trace.requests,
+            trace.mean_rlp(),
+            papi.tokens_per_second(),
+            base.tokens_per_second(),
+            papi.speedup_over(&base),
+        );
+    }
+    println!("\nContinuous batching holds RLP near the maximum, so the scheduler");
+    println!("keeps FC on the GPU and PAPI converges towards the baseline —");
+    println!("while static batching's RLP decay is where dynamic scheduling pays.");
+}

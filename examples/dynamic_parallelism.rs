@@ -1,0 +1,59 @@
+//! The paper's Fig. 5(d) scenario: watch runtime RLP decay as requests
+//! finish, and the PAPI scheduler migrate the FC kernels from the GPU's
+//! processing units to FC-PIM the moment `RLP × TLP` crosses α.
+//!
+//! ```sh
+//! cargo run --release --example dynamic_parallelism
+//! ```
+
+use papi::core::{DecodingSimulator, SystemConfig};
+use papi::llm::ModelPreset;
+use papi::sched::Placement;
+use papi::workload::{DatasetKind, WorkloadSpec};
+
+fn main() {
+    let model = ModelPreset::Llama65B.config();
+    let calibration = SystemConfig::calibrate(&model);
+    println!("calibrated alpha = {:.1} tokens (RLP x TLP)\n", calibration.alpha);
+
+    let workload =
+        WorkloadSpec::static_batching(DatasetKind::CreativeWriting, 48, 1).with_seed(11);
+    let trace = workload.trace();
+    let sim = DecodingSimulator::new(SystemConfig::papi_with_alpha(model, calibration.alpha));
+    let report = sim.run_trace(&trace);
+
+    println!("iter | RLP | RLPxTLP | FC placement");
+    println!("-----|-----|---------|-------------");
+    let mut last: Option<Placement> = None;
+    for (i, (it, placement)) in trace
+        .iterations
+        .iter()
+        .zip(&report.placements)
+        .enumerate()
+    {
+        let changed = last != Some(*placement);
+        let first_or_sampled = i == 0 || i % 50 == 0;
+        if changed || first_or_sampled {
+            println!(
+                "{:4} | {:3} | {:7} | {}{}",
+                i,
+                it.rlp,
+                it.tokens_in_flight(),
+                placement,
+                if changed && i > 0 { "   <-- RESCHEDULED" } else { "" },
+            );
+        }
+        last = Some(*placement);
+    }
+    println!(
+        "\n{} iterations, {} reschedules, {} on PU / {} on FC-PIM",
+        report.iterations,
+        report.scheduler.switches,
+        report.scheduler.pu_decisions,
+        report.scheduler.fc_pim_decisions,
+    );
+    println!(
+        "fraction of decode below alpha (GPU-starved on a static design): {:.0}%",
+        trace.fraction_below_rlp(calibration.alpha as u64) * 100.0
+    );
+}

@@ -1,0 +1,68 @@
+//! §6.5 extension: Mixture-of-Experts FFN execution on FC-PIM.
+//!
+//! MoE routing turns a big dense FFN into a sparse one: only the routed
+//! experts' weights stream from DRAM, and per-expert data reuse is
+//! `top_k / experts` of the dense level. Lower reuse is the regime where
+//! FC-PIM beats the GPU (Fig. 4), so — as the paper argues — MoE widens
+//! PIM's window.
+//!
+//! ```sh
+//! cargo run --release --example moe_sparsity
+//! ```
+
+use papi::gpu::{execute_kernel, GpuEnergyModel, KernelProfile, MultiGpu};
+use papi::llm::moe::MoeModel;
+use papi::pim::gemv::execute_gemv;
+use papi::pim::{GemvSpec, PimDevice};
+use papi::types::{Bytes, Flops};
+
+fn main() {
+    let moe = MoeModel::mixtral_like();
+    let fc_pim = PimDevice::fc_pim();
+    let gpus = MultiGpu::dgx6_a100();
+    let gpu_energy = GpuEnergyModel::a100();
+    let devices = 30;
+    let h = moe.base.hidden;
+
+    println!(
+        "{}: {} experts, top-{} routing, {:.0} B total / {:.0} B active parameters\n",
+        moe.base.name,
+        moe.experts,
+        moe.top_k,
+        moe.total_parameters() as f64 / 1e9,
+        moe.active_parameters() as f64 / 1e9,
+    );
+    println!("tokens | distinct experts | eff. reuse | FFN on FC-PIM | FFN on 6xA100 | PIM wins?");
+    println!("-------|------------------|------------|---------------|---------------|----------");
+    for tokens in [1u64, 4, 16, 64, 256] {
+        let distinct = moe.expected_distinct_experts(tokens);
+        let reuse = moe.effective_ffn_reuse(tokens).round().max(1.0) as u64;
+        // One layer's FFN over the routed experts, priced as a GEMV with
+        // the MoE-effective reuse.
+        let rows = (distinct * (moe.expert_weights() / h) as f64).round() as u64;
+        let spec = GemvSpec::new(rows.max(1), h, reuse, moe.base.dtype);
+        let pim = execute_gemv(&fc_pim, devices, &spec);
+        let pim_time = pim.time * moe.base.layers as f64;
+
+        // The GPU streams the same distinct-expert weights.
+        let flops = 2.0 * moe.expert_weights() as f64 * (tokens * moe.top_k) as f64;
+        let bytes = moe.ffn_fetch_bytes_per_layer(tokens);
+        let gpu = execute_kernel(
+            &gpus,
+            &gpu_energy,
+            &KernelProfile::new(Flops::new(flops), bytes + Bytes::new(0.0)),
+        );
+        let gpu_time = gpu.time * moe.base.layers as f64;
+
+        println!(
+            "{tokens:6} | {distinct:16.2} | {reuse:10} | {:10.2} ms | {:10.2} ms | {}",
+            pim_time.as_millis(),
+            gpu_time.as_millis(),
+            if pim_time.value() < gpu_time.value() { "yes" } else { "no" },
+        );
+    }
+    println!("\nCompare the dense rule of thumb (PIM wins below ~25 tokens):");
+    println!("MoE's k/E reuse dilution keeps FC-PIM competitive to ~{}x larger",
+        moe.experts / moe.top_k);
+    println!("batches — the §6.5 claim, quantified.");
+}

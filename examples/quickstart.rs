@@ -1,0 +1,48 @@
+//! Quickstart: build the PAPI system and a state-of-the-art baseline,
+//! decode the same batch on both, and print the comparison.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use papi::core::{DecodingSimulator, SystemConfig};
+use papi::llm::ModelPreset;
+use papi::workload::{DatasetKind, WorkloadSpec};
+
+fn main() {
+    // A LLaMA-65B batch of 16 creative-writing requests, speculation
+    // length 2 — a realistic mid-parallelism serving point.
+    let model = ModelPreset::Llama65B.config();
+    let workload =
+        WorkloadSpec::static_batching(DatasetKind::CreativeWriting, 16, 2).with_seed(7);
+
+    let papi = DecodingSimulator::new(SystemConfig::papi(model.clone()));
+    let baseline = DecodingSimulator::new(SystemConfig::a100_attacc(model));
+
+    let r_papi = papi.run(&workload);
+    let r_base = baseline.run(&workload);
+
+    println!("model            : {}", r_papi.model);
+    println!("requests / tokens: {} / {}", r_papi.requests, r_papi.tokens);
+    for r in [&r_base, &r_papi] {
+        println!(
+            "{:12} | latency {:7.2} s | {:7.1} tokens/s | {:6.1} mJ/token",
+            r.design,
+            r.total_latency().as_secs(),
+            r.tokens_per_second(),
+            r.energy_per_token().as_millijoules(),
+        );
+    }
+    println!(
+        "\nPAPI speedup: {:.2}x   energy efficiency: {:.2}x",
+        r_papi.speedup_over(&r_base),
+        r_papi.energy_efficiency_over(&r_base),
+    );
+    println!(
+        "scheduler: {} decisions, {} PU / {} FC-PIM, {} reschedules",
+        r_papi.scheduler.decisions,
+        r_papi.scheduler.pu_decisions,
+        r_papi.scheduler.fc_pim_decisions,
+        r_papi.scheduler.switches,
+    );
+}

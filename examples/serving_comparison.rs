@@ -1,0 +1,51 @@
+//! Serve both Dolly-like workload categories on all five systems and
+//! print the full comparison — the paper's Fig. 8/9 in miniature.
+//!
+//! ```sh
+//! cargo run --release --example serving_comparison
+//! ```
+
+use papi::core::{DecodingSimulator, DesignKind, SystemConfig};
+use papi::llm::ModelPreset;
+use papi::workload::{DatasetKind, WorkloadSpec};
+
+fn main() {
+    let model = ModelPreset::Gpt3_66B.config();
+    let designs = [
+        DesignKind::A100AttAcc,
+        DesignKind::A100HbmPim,
+        DesignKind::AttAccOnly,
+        DesignKind::PimOnlyPapi,
+        DesignKind::Papi,
+    ];
+    for dataset in [DatasetKind::CreativeWriting, DatasetKind::GeneralQa] {
+        println!("\n=== {} — GPT-3 66B, batch 16, speculation 2 ===", dataset);
+        let workload = WorkloadSpec::static_batching(dataset, 16, 2).with_seed(23);
+        let trace = workload.trace();
+        println!(
+            "{} requests, {} tokens, {} decoding iterations",
+            trace.requests,
+            trace.total_tokens,
+            trace.len()
+        );
+        let mut baseline_latency = None;
+        for kind in designs {
+            let report = DecodingSimulator::new(SystemConfig::build(kind, model.clone()))
+                .run_trace(&trace);
+            let latency = report.total_latency().as_secs();
+            let base = *baseline_latency.get_or_insert(latency);
+            let (fc, attn, comm, other) = report.phases.fractions();
+            println!(
+                "{:14} {:7.2} s ({:4.2}x) | energy {:7.0} J | fc {:4.1}% attn {:4.1}% comm {:4.1}% other {:4.1}%",
+                report.design,
+                latency,
+                base / latency,
+                report.total_energy().as_joules(),
+                fc * 100.0,
+                attn * 100.0,
+                comm * 100.0,
+                other * 100.0,
+            );
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Integration tests for the features beyond the paper's core
+//! evaluation: prefill accounting, dynamic TLP, MoE sparsity analysis,
+//! quantized weights, and report serialization.
+
+use papi::core::{DecodingSimulator, DesignKind, SystemConfig};
+use papi::llm::moe::MoeModel;
+use papi::llm::{ModelConfig, ModelPreset};
+use papi::types::DataType;
+use papi::workload::{DatasetKind, WorkloadSpec};
+
+/// Charging prefill wrecks PIM-only designs but barely moves designs
+/// that own GPUs — the §7.4 rationale, quantified end to end.
+#[test]
+fn prefill_collapses_pim_only_end_to_end() {
+    let model = ModelPreset::Gpt3_66B.config();
+    let workload =
+        WorkloadSpec::static_batching(DatasetKind::CreativeWriting, 32, 2).with_seed(8);
+    let papi = DecodingSimulator::new(SystemConfig::papi(model.clone()))
+        .run_end_to_end(&workload);
+    let attacc = DecodingSimulator::new(SystemConfig::attacc_only(model))
+        .run_end_to_end(&workload);
+    // PAPI prefills on its GPUs: on long-output workloads prefill is a
+    // small share (on short-output general-qa it reaches ~25 % — the
+    // paper's own explanation of the dataset gap).
+    let papi_share = papi.prefill_time.value() / papi.end_to_end_latency().value();
+    assert!(papi_share < 0.15, "PAPI prefill share {papi_share:.2}");
+    // AttAcc-only prefills on FPUs: an order of magnitude slower.
+    assert!(attacc.prefill_time.value() > 8.0 * papi.prefill_time.value());
+    // End-to-end, PAPI's lead grows versus the decode-only account.
+    let decode_ratio = attacc.total_latency().value() / papi.total_latency().value();
+    let e2e_ratio = attacc.end_to_end_latency().value() / papi.end_to_end_latency().value();
+    assert!(e2e_ratio > decode_ratio, "{e2e_ratio:.2} vs {decode_ratio:.2}");
+}
+
+/// Dynamic TLP keeps the PAPI scheduler on the PU through the decayed
+/// tail and improves throughput for everyone.
+#[test]
+fn adaptive_tlp_improves_tail_throughput() {
+    let model = ModelPreset::Llama65B.config();
+    let fixed = WorkloadSpec::static_batching(DatasetKind::CreativeWriting, 32, 2).with_seed(6);
+    let adaptive = fixed.clone().with_adaptive_tlp(64, 8);
+    let sim = DecodingSimulator::new(SystemConfig::papi(model));
+    let r_fixed = sim.run(&fixed);
+    let r_adaptive = sim.run(&adaptive);
+    assert_eq!(r_fixed.tokens, r_adaptive.tokens, "same work either way");
+    assert!(
+        r_adaptive.tokens_per_second() > r_fixed.tokens_per_second(),
+        "adaptive {:.0} tok/s should beat fixed {:.0} tok/s",
+        r_adaptive.tokens_per_second(),
+        r_fixed.tokens_per_second()
+    );
+}
+
+/// Weight-only quantization (dtype plumbing end to end): INT8 halves
+/// weight traffic, so the memory-bound decode gets materially faster
+/// and the same pools hold a bigger model share.
+#[test]
+fn int8_weights_speed_up_memory_bound_decode() {
+    let fp16 = ModelPreset::Llama65B.config();
+    let int8 = ModelConfig {
+        dtype: DataType::Int8,
+        name: "LLaMA-65B-int8".to_owned(),
+        ..fp16.clone()
+    };
+    assert!(int8.weight_bytes().value() < 0.51 * fp16.weight_bytes().value());
+
+    let workload = WorkloadSpec::static_batching(DatasetKind::GeneralQa, 8, 1)
+        .with_seed(2)
+        .with_max_iterations(32);
+    let r16 = DecodingSimulator::new(SystemConfig::a100_attacc(fp16)).run(&workload);
+    let r8 = DecodingSimulator::new(SystemConfig::a100_attacc(int8)).run(&workload);
+    let speedup = r16.total_latency().value() / r8.total_latency().value();
+    assert!(
+        speedup > 1.6 && speedup < 2.2,
+        "INT8 should roughly halve memory-bound latency: {speedup:.2}×"
+    );
+}
+
+/// The MoE analysis composes with the PIM executors: effective reuse
+/// drives the same GEMV model the dense path uses.
+#[test]
+fn moe_reuse_extends_pim_win_region() {
+    let moe = MoeModel::mixtral_like();
+    // At 64 tokens, the dense model's reuse (64) is deep in GPU
+    // territory (α ≈ 25), but the MoE-effective reuse is only 16.
+    let reuse = moe.effective_ffn_reuse(64);
+    assert!(reuse > 12.0 && reuse < 20.0, "effective reuse {reuse}");
+    // The fetch volume never exceeds the full expert pool.
+    let all = moe.experts as f64 * moe.expert_weights() as f64
+        * moe.base.dtype.size().value();
+    assert!(moe.ffn_fetch_bytes_per_layer(1_000_000).value() <= all * 1.001);
+}
+
+/// Reports serialize and deserialize losslessly (operational requirement
+/// for sweep tooling).
+#[test]
+fn reports_round_trip_through_serde() {
+    let workload = WorkloadSpec::static_batching(DatasetKind::GeneralQa, 4, 1)
+        .with_seed(1)
+        .with_max_iterations(8);
+    let report = DecodingSimulator::new(SystemConfig::build(
+        DesignKind::PimOnlyPapi,
+        ModelPreset::Llama65B.config(),
+    ))
+    .run(&workload);
+    let json = serde_json::to_string(&report).expect("serialize");
+    let back: papi::core::ExecutionReport = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back.total_latency(), report.total_latency());
+    assert_eq!(back.placements, report.placements);
+
+    // Traces round-trip too.
+    let trace = workload.trace();
+    let json = serde_json::to_string(&trace).expect("serialize trace");
+    let back: papi::workload::DecodeTrace = serde_json::from_str(&json).expect("trace back");
+    assert_eq!(back, trace);
+}

@@ -1,0 +1,114 @@
+//! Integration tests for the dynamic scheduler against the whole stack:
+//! calibration quality, oracle proximity, and rescheduling behaviour.
+
+use papi::core::engine::{fc_latency_on_pim, fc_latency_on_pu};
+use papi::core::{DecodingSimulator, SystemConfig};
+use papi::gpu::{GpuEnergyModel, GpuSpec, MultiGpu};
+use papi::llm::ModelPreset;
+use papi::pim::PimDevice;
+use papi::sched::{FcScheduler, OracleScheduler, Placement};
+use papi::workload::{DatasetKind, WorkloadSpec};
+
+fn papi_gpus() -> MultiGpu {
+    let mut gpus = MultiGpu::dgx6_a100();
+    gpus.gpu = GpuSpec::a100_papi_60gb();
+    gpus
+}
+
+/// The calibrated α reproduces the oracle's decisions across the whole
+/// token range: below α the PIM latency really is lower, above it the
+/// PU's is.
+#[test]
+fn alpha_threshold_agrees_with_oracle() {
+    let model = ModelPreset::Llama65B.config();
+    let calibration = SystemConfig::calibrate(&model);
+    let fc_pim = PimDevice::fc_pim();
+    let gpus = papi_gpus();
+    let energy = GpuEnergyModel::a100();
+
+    let mut oracle = OracleScheduler::new(
+        |tokens| fc_latency_on_pim(&model, &fc_pim, 30, tokens),
+        |tokens| fc_latency_on_pu(&model, &gpus, &energy, tokens),
+    );
+    let mut disagreements = 0;
+    for tokens in 1..=256u64 {
+        let oracle_says = oracle.decide(tokens, 1);
+        let alpha_says = if tokens as f64 > calibration.alpha {
+            Placement::Pu
+        } else {
+            Placement::FcPim
+        };
+        if oracle_says != alpha_says {
+            disagreements += 1;
+        }
+    }
+    assert!(
+        disagreements <= 2,
+        "alpha disagreed with the oracle {disagreements}/256 times"
+    );
+}
+
+/// Running PAPI with a miscalibrated α costs real performance — the
+/// threshold is load-bearing, not decorative.
+#[test]
+fn miscalibrated_alpha_hurts() {
+    let model = ModelPreset::Llama65B.config();
+    let good_alpha = SystemConfig::calibrate(&model).alpha;
+    let workload = WorkloadSpec::static_batching(DatasetKind::CreativeWriting, 64, 1)
+        .with_seed(7)
+        .with_max_iterations(200);
+    let trace = workload.trace();
+
+    let tuned = DecodingSimulator::new(SystemConfig::papi_with_alpha(model.clone(), good_alpha))
+        .run_trace(&trace);
+    // α = 1: everything (except RLP=1) goes to the GPU, even when
+    // memory-bound.
+    let all_gpu =
+        DecodingSimulator::new(SystemConfig::papi_with_alpha(model.clone(), 1.0)).run_trace(&trace);
+    // Huge α: everything stays on FC-PIM, even when compute-bound.
+    let all_pim =
+        DecodingSimulator::new(SystemConfig::papi_with_alpha(model, 1e9)).run_trace(&trace);
+
+    assert!(
+        tuned.total_latency().value() <= all_gpu.total_latency().value(),
+        "tuned alpha must beat always-GPU"
+    );
+    assert!(
+        tuned.total_latency().value() <= all_pim.total_latency().value(),
+        "tuned alpha must beat always-PIM"
+    );
+    let worst = all_gpu
+        .total_latency()
+        .value()
+        .max(all_pim.total_latency().value());
+    assert!(
+        worst / tuned.total_latency().value() > 1.2,
+        "the threshold should matter by >20%"
+    );
+}
+
+/// On a decaying batch, the scheduler's switch count stays small (one
+/// crossing per decay through α, not thrashing).
+#[test]
+fn scheduler_does_not_thrash() {
+    let model = ModelPreset::Gpt3_66B.config();
+    let workload =
+        WorkloadSpec::static_batching(DatasetKind::CreativeWriting, 64, 1).with_seed(3);
+    let report = DecodingSimulator::new(SystemConfig::papi(model)).run(&workload);
+    assert!(report.scheduler.switches >= 1, "should reschedule at least once");
+    assert!(
+        report.scheduler.switches <= 4,
+        "monotone RLP decay should not cause {} switches",
+        report.scheduler.switches
+    );
+    // Once switched to FC-PIM, it stays there: the placement series is
+    // monotone (PU-prefix, FC-PIM-suffix).
+    let first_pim = report
+        .placements
+        .iter()
+        .position(|p| *p == Placement::FcPim)
+        .expect("decay must reach FC-PIM territory");
+    assert!(report.placements[first_pim..]
+        .iter()
+        .all(|p| *p == Placement::FcPim));
+}
