@@ -68,7 +68,11 @@ fn bench_fig9_cell(c: &mut Criterion) {
                 DatasetKind::GeneralQa,
                 2,
                 16,
-                &[DesignKind::A100AttAcc, DesignKind::AttAccOnly, DesignKind::Papi],
+                &[
+                    DesignKind::A100AttAcc,
+                    DesignKind::AttAccOnly,
+                    DesignKind::Papi,
+                ],
                 42,
             ))
         })
@@ -83,7 +87,11 @@ fn bench_fig10_point(c: &mut Criterion) {
                 DatasetKind::CreativeWriting,
                 1,
                 128,
-                &[DesignKind::A100AttAcc, DesignKind::AttAccOnly, DesignKind::Papi],
+                &[
+                    DesignKind::A100AttAcc,
+                    DesignKind::AttAccOnly,
+                    DesignKind::Papi,
+                ],
                 42,
             ))
         })

@@ -10,8 +10,7 @@ use papi_workload::{DatasetKind, WorkloadSpec};
 fn main() {
     let model = ModelPreset::Llama65B.config();
     let calibrated = SystemConfig::calibrate(&model).alpha;
-    let workload =
-        WorkloadSpec::static_batching(DatasetKind::CreativeWriting, 64, 1).with_seed(42);
+    let workload = WorkloadSpec::static_batching(DatasetKind::CreativeWriting, 64, 1).with_seed(42);
     let trace = workload.trace();
 
     println!("== α ablation — LLaMA-65B, creative-writing, batch 64 ==");

@@ -16,12 +16,14 @@ fn main() {
 
     println!("== dynamic-TLP ablation — LLaMA-65B, batch 32 ==\n");
     let mut rows = Vec::new();
-    for (label, workload) in [("fixed TLP=2", &fixed), ("adaptive (target 64, max 8)", &adaptive)]
-    {
+    for (label, workload) in [
+        ("fixed TLP=2", &fixed),
+        ("adaptive (target 64, max 8)", &adaptive),
+    ] {
         let trace = workload.trace();
         for kind in [DesignKind::A100AttAcc, DesignKind::Papi] {
-            let report = DecodingSimulator::new(SystemConfig::build(kind, model.clone()))
-                .run_trace(&trace);
+            let report =
+                DecodingSimulator::new(SystemConfig::build(kind, model.clone())).run_trace(&trace);
             rows.push(vec![
                 label.to_owned(),
                 report.design.clone(),
@@ -33,7 +35,14 @@ fn main() {
         }
     }
     print_table(
-        &["TLP policy", "design", "iterations", "latency (s)", "tokens/s", "reschedules"],
+        &[
+            "TLP policy",
+            "design",
+            "iterations",
+            "latency (s)",
+            "tokens/s",
+            "reschedules",
+        ],
         &rows,
     );
     println!("\nAdaptive TLP shortens the decayed tail (fewer iterations) and keeps");

@@ -18,13 +18,17 @@ fn main() {
     for (batch, spec) in [(4u64, 1u64), (16, 2), (64, 4)] {
         let workload =
             WorkloadSpec::static_batching(DatasetKind::CreativeWriting, batch, spec).with_seed(42);
-        let reports: Vec<_> = [DesignKind::A100AttAcc, DesignKind::AttAccOnly, DesignKind::Papi]
-            .into_iter()
-            .map(|kind| {
-                DecodingSimulator::new(SystemConfig::build(kind, model.clone()))
-                    .run_end_to_end(&workload)
-            })
-            .collect();
+        let reports: Vec<_> = [
+            DesignKind::A100AttAcc,
+            DesignKind::AttAccOnly,
+            DesignKind::Papi,
+        ]
+        .into_iter()
+        .map(|kind| {
+            DecodingSimulator::new(SystemConfig::build(kind, model.clone()))
+                .run_end_to_end(&workload)
+        })
+        .collect();
         let base = &reports[0];
         for report in &reports {
             rows.push(vec![

@@ -14,15 +14,19 @@ fn main() {
             .samples
             .iter()
             .filter(|(tokens, ..)| {
-                [1, 2, 4, 8, 16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512]
-                    .contains(tokens)
+                [1, 2, 4, 8, 16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512].contains(tokens)
             })
             .map(|(tokens, pim, pu)| {
                 vec![
                     tokens.to_string(),
                     f3(pim.as_millis()),
                     f3(pu.as_millis()),
-                    if pu.value() < pim.value() { "PU" } else { "FC-PIM" }.to_string(),
+                    if pu.value() < pim.value() {
+                        "PU"
+                    } else {
+                        "FC-PIM"
+                    }
+                    .to_string(),
                 ]
             })
             .collect();

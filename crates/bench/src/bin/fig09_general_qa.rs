@@ -19,7 +19,10 @@ fn main() {
             ]
         })
         .collect();
-    print_table(&["spec", "batch", "design", "speedup", "energy eff."], &table);
+    print_table(
+        &["spec", "batch", "design", "speedup", "energy eff."],
+        &table,
+    );
     print_design_summary("Fig. 9", &rows);
     println!("\nPaper check: ≈1.7× over A100+AttAcc and ≈8.1× over AttAcc-only —");
     println!("lower than creative-writing because general-qa outputs are short,");

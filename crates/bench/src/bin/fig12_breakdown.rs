@@ -21,7 +21,14 @@ fn main() {
         })
         .collect();
     print_table(
-        &["design", "attention", "FC", "communication", "other", "total"],
+        &[
+            "design",
+            "attention",
+            "FC",
+            "communication",
+            "other",
+            "total",
+        ],
         &table,
     );
     let fc_ratio = rows[0].fc_ms / rows[1].fc_ms;
@@ -29,5 +36,8 @@ fn main() {
     let comm_share = rows[1].communication_ms / rows[1].total_ms();
     println!("\nFC speedup (PIM-only PAPI vs AttAcc-only): {fc_ratio:.2}× (paper: 2.9×)");
     println!("Attention slowdown on 1P2B Attn-PIM: {attn_ratio:.2}× (paper: 1.7×)");
-    println!("Communication share of PIM-only PAPI: {:.1}% (paper: 28.2%)", comm_share * 100.0);
+    println!(
+        "Communication share of PIM-only PAPI: {:.1}% (paper: 28.2%)",
+        comm_share * 100.0
+    );
 }

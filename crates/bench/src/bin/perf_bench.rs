@@ -1,0 +1,97 @@
+//! Machine-readable simulator-performance harness.
+//!
+//! Times the simulator itself (not the modeled hardware) over a fixed
+//! trajectory of scenarios covering both execution paths — closed-batch
+//! trace pricing and the online serving engine — and emits one JSON
+//! document on stdout for CI trend tracking:
+//!
+//! ```json
+//! {"schema":"papi-perf-bench/1","scenarios":[
+//!   {"scenario":"trace_llama65b_b64_s2","wall_ms":12.3,
+//!    "tokens":9000,"tokens_per_sec":730000.0,"iterations":220}]}
+//! ```
+//!
+//! `tokens_per_sec` is simulated output tokens per wall-clock second of
+//! simulation — the harness's throughput figure of merit. Run with
+//! `cargo run --release -p papi-bench --bin perf_bench`.
+
+use papi_core::{DecodingSimulator, DesignKind, ServingEngine, SystemConfig};
+use papi_llm::ModelPreset;
+use papi_workload::{DatasetKind, ServingWorkload, WorkloadSpec};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Debug, Serialize)]
+struct ScenarioResult {
+    scenario: String,
+    wall_ms: f64,
+    tokens: u64,
+    tokens_per_sec: f64,
+    iterations: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct PerfReport {
+    schema: String,
+    scenarios: Vec<ScenarioResult>,
+}
+
+fn time_scenario(name: &str, run: impl Fn() -> (u64, u64)) -> ScenarioResult {
+    // One warmup, then the timed run.
+    let _ = run();
+    let start = Instant::now();
+    let (tokens, iterations) = run();
+    let wall = start.elapsed();
+    let wall_ms = wall.as_secs_f64() * 1e3;
+    ScenarioResult {
+        scenario: name.to_owned(),
+        wall_ms,
+        tokens,
+        tokens_per_sec: tokens as f64 / wall.as_secs_f64().max(1e-12),
+        iterations,
+    }
+}
+
+fn main() {
+    let model = ModelPreset::Llama65B;
+    let mut scenarios = Vec::new();
+
+    // Closed-batch trace pricing, low and high parallelism.
+    for (batch, speculation) in [(4u64, 1u64), (64, 2)] {
+        let name = format!("trace_llama65b_b{batch}_s{speculation}");
+        scenarios.push(time_scenario(&name, || {
+            let workload =
+                WorkloadSpec::static_batching(DatasetKind::CreativeWriting, batch, speculation)
+                    .with_seed(42);
+            let report = DecodingSimulator::new(SystemConfig::papi(model.config())).run(&workload);
+            (report.tokens, report.iterations)
+        }));
+    }
+
+    // The §5.2.1 offline α calibration (runs the FC latency models).
+    scenarios.push(time_scenario("alpha_calibration_llama65b", || {
+        let calibration = SystemConfig::calibrate(&model.config());
+        (calibration.alpha as u64, 1)
+    }));
+
+    // Online serving: moderate and saturating Poisson load.
+    for rate in [2.0f64, 16.0] {
+        let name = format!("serving_llama65b_poisson_r{rate:.0}");
+        scenarios.push(time_scenario(&name, || {
+            let workload = ServingWorkload::poisson(DatasetKind::GeneralQa, rate, 96).with_seed(42);
+            let report = ServingEngine::new(SystemConfig::build(DesignKind::Papi, model.config()))
+                .with_max_batch(32)
+                .run(&workload);
+            (report.tokens, report.iterations)
+        }));
+    }
+
+    let report = PerfReport {
+        schema: "papi-perf-bench/1".to_owned(),
+        scenarios,
+    };
+    println!(
+        "{}",
+        serde_json::to_string(&report).expect("perf report serializes")
+    );
+}

@@ -316,7 +316,10 @@ mod tests {
 
         let attacc_only = SystemConfig::attacc_only(model);
         assert!(attacc_only.gpus.is_none());
-        assert_eq!(attacc_only.fc_pim.as_ref().unwrap().0.config.label(), "1P1B");
+        assert_eq!(
+            attacc_only.fc_pim.as_ref().unwrap().0.config.label(),
+            "1P1B"
+        );
     }
 
     #[test]

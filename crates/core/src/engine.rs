@@ -1,90 +1,21 @@
-//! The decoding-iteration engine.
+//! The batch-mode decoding engine.
 //!
-//! One [`DecodingSimulator`] prices every iteration of a
-//! [`DecodeTrace`]: the scheduler picks the FC placement from the
-//! observed `(RLP, TLP)`, the hardware models price the FC and attention
-//! kernels on their assigned devices, the interconnect models price the
-//! activation movement, and the host dispatch overhead covers the
-//! paper's §5.2.2 token-gather/`<|eos|>`-scan monitoring step.
+//! One [`DecodingSimulator`] prices every iteration of a pre-generated
+//! [`DecodeTrace`] — the paper-figure path, where the workload is a
+//! closed batch and only the total latency/energy matter. All hardware
+//! math lives in [`crate::pricer`]; this engine just walks the trace,
+//! asks the scheduler for a placement, and aggregates the per-iteration
+//! costs. The online serving counterpart (arrivals, queueing,
+//! per-request latency) is [`crate::serving::ServingEngine`], which
+//! prices through the exact same [`IterationPricer`](crate::pricer::IterationPricer).
 
 use crate::config::SystemConfig;
-use crate::metrics::{ExecutionReport, IterationCost, PhaseBreakdown};
-use papi_gpu::{execute_kernel, GpuEnergyModel, KernelProfile, MultiGpu};
-use papi_interconnect::Route;
-use papi_llm::{FcKernel, FcKernelKind, ModelConfig, Parallelism};
-use papi_pim::attention::execute_attention;
-use papi_pim::gemv::execute_gemv;
-use papi_pim::{AttentionSpec, GemvSpec, PimDevice};
-use papi_sched::Placement;
-use papi_types::{Bytes, Energy, Time};
-use papi_workload::{DecodeTrace, IterationRecord, WorkloadSpec};
-use std::collections::HashMap;
+use crate::metrics::{ExecutionReport, PhaseBreakdown};
+use crate::pricer::IterationPricer;
+use papi_types::Energy;
+use papi_workload::{DecodeTrace, WorkloadSpec};
 
-/// FC-kernel latency of the whole model (all layers) on a PIM pool at
-/// the given token count (`RLP × TLP`). Shared by the engine and the
-/// §5.2.1 α calibration so both see the same machine.
-pub fn fc_latency_on_pim(
-    model: &ModelConfig,
-    device: &PimDevice,
-    n_devices: usize,
-    tokens: u64,
-) -> Time {
-    fc_cost_on_pim(model, device, n_devices, tokens).0
-}
-
-/// FC-kernel latency of the whole model on the GPU complement at the
-/// given token count.
-pub fn fc_latency_on_pu(
-    model: &ModelConfig,
-    gpus: &MultiGpu,
-    energy: &GpuEnergyModel,
-    tokens: u64,
-) -> Time {
-    fc_cost_on_pu(model, gpus, energy, tokens).0
-}
-
-/// (latency, energy) of all FC kernels on PIM.
-pub fn fc_cost_on_pim(
-    model: &ModelConfig,
-    device: &PimDevice,
-    n_devices: usize,
-    tokens: u64,
-) -> (Time, Energy) {
-    let mut time = Time::ZERO;
-    let mut energy = Energy::ZERO;
-    for kernel in FcKernel::layer_kernels(model) {
-        let spec = GemvSpec::new(kernel.out_features, kernel.in_features, tokens, model.dtype);
-        let result = execute_gemv(device, n_devices, &spec);
-        time += result.time;
-        energy += result.energy.total();
-    }
-    (time * model.layers as f64, energy * model.layers as f64)
-}
-
-/// (latency, energy) of all FC kernels on the GPUs, Megatron-style
-/// tensor parallelism: row-parallel kernels (the attention projection
-/// and FFN down projection) all-reduce their `tokens × h` outputs.
-pub fn fc_cost_on_pu(
-    model: &ModelConfig,
-    gpus: &MultiGpu,
-    energy_model: &GpuEnergyModel,
-    tokens: u64,
-) -> (Time, Energy) {
-    let p = Parallelism::new(tokens, 1);
-    let mut time = Time::ZERO;
-    let mut energy = Energy::ZERO;
-    for kernel in FcKernel::layer_kernels(model) {
-        let mut profile = KernelProfile::new(kernel.flops(p), kernel.bytes(model, p));
-        if matches!(kernel.kind, FcKernelKind::Projection | FcKernelKind::FfnDown) {
-            profile = profile
-                .with_allreduce((tokens * model.hidden) as f64 * model.dtype.size());
-        }
-        let result = execute_kernel(gpus, energy_model, &profile);
-        time += result.time;
-        energy += result.energy;
-    }
-    (time * model.layers as f64, energy * model.layers as f64)
-}
+pub use crate::pricer::{fc_cost_on_pim, fc_cost_on_pu, fc_latency_on_pim, fc_latency_on_pu};
 
 /// Simulates LLM decoding on one [`SystemConfig`].
 #[derive(Debug, Clone)]
@@ -137,23 +68,20 @@ impl DecodingSimulator {
             .map(|it| it.total_kv_len)
             .max()
             .unwrap_or(0);
-        let kv_demand =
-            peak_kv_tokens as f64 * self.config.model.kv_bytes_per_token().value();
+        let kv_demand = peak_kv_tokens as f64 * self.config.model.kv_bytes_per_token().value();
         if let Err(msg) = self.config.validate_capacity(kv_demand) {
             panic!("{msg}");
         }
 
         let mut scheduler = self.config.scheduler.build();
+        let mut pricer = IterationPricer::new(&self.config);
         let mut phases = PhaseBreakdown::default();
         let mut energy_parts = (Energy::ZERO, Energy::ZERO, Energy::ZERO, Energy::ZERO);
         let mut placements = Vec::with_capacity(trace.len());
-        // FC cost depends only on (placement, tokens): memoize across the
-        // decaying-RLP iterations.
-        let mut fc_cache: HashMap<(Placement, u64), (Time, Energy)> = HashMap::new();
 
         for it in &trace.iterations {
             let placement = scheduler.decide(it.rlp, it.tlp);
-            let cost = self.iteration_cost(placement, it, &mut fc_cache);
+            let cost = pricer.price_iteration(placement, it);
             phases.fc += cost.fc_time;
             phases.attention += cost.attn_time;
             phases.communication += cost.comm_time;
@@ -180,124 +108,16 @@ impl DecodingSimulator {
             prefill_energy: papi_types::Energy::ZERO,
         }
     }
-
-    /// Prices one iteration.
-    fn iteration_cost(
-        &self,
-        placement: Placement,
-        it: &IterationRecord,
-        fc_cache: &mut HashMap<(Placement, u64), (Time, Energy)>,
-    ) -> IterationCost {
-        let model = &self.config.model;
-        let tokens = it.tokens_in_flight();
-
-        // --- FC kernels ---
-        let (fc_time, fc_energy) =
-            *fc_cache.entry((placement, tokens)).or_insert_with(|| {
-                match placement {
-                    Placement::FcPim => {
-                        let (device, count) = self
-                            .config
-                            .fc_pim
-                            .as_ref()
-                            .expect("scheduler placed FC on PIM but the design has none");
-                        fc_cost_on_pim(model, device, *count, tokens)
-                    }
-                    Placement::Pu => {
-                        let gpus = self
-                            .config
-                            .gpus
-                            .as_ref()
-                            .expect("scheduler placed FC on the PU but the design has none");
-                        fc_cost_on_pu(model, gpus, &self.config.gpu_energy, tokens)
-                    }
-                }
-            });
-
-        // --- Attention ---
-        let kv_per_request = it.total_kv_len.div_ceil(it.rlp).max(1);
-        let attn_spec = AttentionSpec::new(
-            it.rlp,
-            model.heads,
-            model.head_dim(),
-            kv_per_request,
-            it.tlp,
-            model.dtype,
-        );
-        let (attn_device, attn_count) = &self.config.attn_pim;
-        let attn = execute_attention(attn_device, *attn_count, &attn_spec);
-        let attn_time = attn.time * model.layers as f64;
-        let attn_energy = attn.energy.total() * model.layers as f64;
-
-        // --- Communication ---
-        let (comm_time, comm_energy) = self.comm_cost(placement, it);
-
-        // --- Host dispatch / monitoring ---
-        let other_time = self.config.dispatch_per_layer * model.layers as f64
-            + self.config.dispatch_per_iteration;
-
-        // --- Static energy of powered PIM pools ---
-        let iter_time = fc_time + attn_time + comm_time + other_time;
-        let mut static_power = attn_device.hbm.energy.background * *attn_count as f64;
-        if let Some((fc_device, fc_count)) = &self.config.fc_pim {
-            static_power += fc_device.hbm.energy.background * *fc_count as f64;
-        }
-        let static_energy = static_power * iter_time;
-
-        IterationCost {
-            placement,
-            fc_time,
-            attn_time,
-            comm_time,
-            other_time,
-            fc_energy,
-            attn_energy,
-            comm_energy,
-            static_energy,
-            new_tokens: it.new_tokens,
-        }
-    }
-
-    /// Interconnect time/energy of one iteration.
-    ///
-    /// Attention traffic (Q vectors out, context vectors back) always
-    /// crosses to the disaggregated Attn-PIM pool; FC activation traffic
-    /// crosses NVLink only when the FC kernels run on FC-PIM.
-    fn comm_cost(&self, placement: Placement, it: &IterationRecord) -> (Time, Energy) {
-        let model = &self.config.model;
-        let topo = &self.config.topology;
-        let layers = model.layers as f64;
-        let tokens = it.tokens_in_flight();
-        let dsize = model.dtype.size();
-
-        let q_bytes = tokens as f64 * model.hidden as f64 * dsize.value();
-        let attn_leg = topo.transfer_time(Route::PuToAttnPim, Bytes::new(q_bytes));
-        let mut time = attn_leg * 2.0 * layers;
-        let mut energy =
-            topo.transfer_energy(Route::PuToAttnPim, Bytes::new(q_bytes)) * 2.0 * layers;
-
-        if placement == Placement::FcPim {
-            for kernel in FcKernel::layer_kernels(model) {
-                let in_bytes = Bytes::new(tokens as f64 * kernel.in_features as f64 * dsize.value());
-                let out_bytes =
-                    Bytes::new(tokens as f64 * kernel.out_features as f64 * dsize.value());
-                time += (topo.transfer_time(Route::PuToFcPim, in_bytes)
-                    + topo.transfer_time(Route::PuToFcPim, out_bytes))
-                    * layers;
-                energy += (topo.transfer_energy(Route::PuToFcPim, in_bytes)
-                    + topo.transfer_energy(Route::PuToFcPim, out_bytes))
-                    * layers;
-            }
-        }
-        (time, energy)
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::SystemConfig;
-    use papi_llm::ModelPreset;
+    use papi_gpu::{GpuEnergyModel, MultiGpu};
+    use papi_llm::{ModelConfig, ModelPreset};
+    use papi_pim::PimDevice;
+    use papi_sched::Placement;
     use papi_workload::{DatasetKind, IterationRecord, WorkloadSpec};
 
     fn llama() -> ModelConfig {

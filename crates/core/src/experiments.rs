@@ -8,13 +8,16 @@
 use crate::config::{DesignKind, SystemConfig};
 use crate::engine::DecodingSimulator;
 use crate::metrics::ExecutionReport;
+use crate::serving::ServingEngine;
+use crate::slo::SloSpec;
 use papi_gpu::{GpuEnergyModel, GpuSpec, MultiGpu};
 use papi_llm::{ModelPreset, RooflinePoint};
 use papi_pim::power::power_draw;
 use papi_pim::{PimConfig, PimDevice, PimEnergyBreakdown, PimEnergyModel};
 use papi_sched::estimator::AiComparison;
 use papi_types::{DataType, Power};
-use papi_workload::{DatasetKind, WorkloadSpec};
+use papi_workload::{DatasetKind, ServingWorkload, WorkloadSpec};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// The paper's standard batch sizes for Figs. 8/9/11.
@@ -77,8 +80,8 @@ pub struct RequestLifetime {
 /// Fig. 3: per-request decoding iterations and the remaining-RLP series
 /// for one static batch.
 pub fn fig3_rlp_decay(batch: u64, seed: u64) -> (Vec<RequestLifetime>, Vec<u64>) {
-    let spec = WorkloadSpec::static_batching(DatasetKind::CreativeWriting, batch, 1)
-        .with_seed(seed);
+    let spec =
+        WorkloadSpec::static_batching(DatasetKind::CreativeWriting, batch, 1).with_seed(seed);
     let lifetimes = spec
         .requests()
         .iter()
@@ -122,8 +125,7 @@ pub fn fig4_fc_latency() -> Vec<FcLatencyRow> {
     for speculation in [2u64, 8] {
         for batch in [1u64, 4, 16, 64] {
             let tokens = batch * speculation;
-            let gpu_t =
-                crate::engine::fc_latency_on_pu(&model, &gpus, &gpu_energy, tokens);
+            let gpu_t = crate::engine::fc_latency_on_pu(&model, &gpus, &gpu_energy, tokens);
             let hbm_t = crate::engine::fc_latency_on_pim(
                 &model,
                 &hbm_pim,
@@ -187,16 +189,9 @@ pub fn fig7_energy_power() -> (PimEnergyBreakdown, PimEnergyBreakdown, Vec<Power
     let device = PimDevice::attacc();
     let pj_per_byte = device.dram_access_pj_per_byte();
     let macs = 1e9;
-    let no_reuse = energy_model.breakdown(
-        papi_types::Bytes::new(macs * 2.0),
-        pj_per_byte,
-        macs,
-    );
-    let reuse64 = energy_model.breakdown(
-        papi_types::Bytes::new(macs * 2.0 / 64.0),
-        pj_per_byte,
-        macs,
-    );
+    let no_reuse = energy_model.breakdown(papi_types::Bytes::new(macs * 2.0), pj_per_byte, macs);
+    let reuse64 =
+        energy_model.breakdown(papi_types::Bytes::new(macs * 2.0 / 64.0), pj_per_byte, macs);
 
     let budget = Power::from_watts(116.0);
     let mut rows = Vec::new();
@@ -263,11 +258,7 @@ pub struct EndToEndRow {
     pub energy_j: f64,
 }
 
-fn run_design(
-    kind: DesignKind,
-    model: ModelPreset,
-    workload: &WorkloadSpec,
-) -> ExecutionReport {
+fn run_design(kind: DesignKind, model: ModelPreset, workload: &WorkloadSpec) -> ExecutionReport {
     DecodingSimulator::new(SystemConfig::build(kind, model.config())).run(workload)
 }
 
@@ -309,23 +300,35 @@ pub fn end_to_end_cell(
 
 /// Fig. 8: the full creative-writing grid — 3 models × speculation
 /// {1, 2, 4} × batch {4, 16, 64} × 4 designs, normalized to A100+AttAcc.
+///
+/// Cells are independent simulator runs, so the grid fans out across
+/// cores; the row order (and every value) stays deterministic.
 pub fn fig8_end_to_end(seed: u64) -> Vec<EndToEndRow> {
-    let mut rows = Vec::new();
-    for model in ModelPreset::EVALUATED {
-        for speculation in SPECULATION_LENGTHS {
-            for batch in BATCHES {
-                rows.extend(end_to_end_cell(
-                    model,
-                    DatasetKind::CreativeWriting,
-                    speculation,
-                    batch,
-                    &DesignKind::FIG8,
-                    seed,
-                ));
-            }
-        }
-    }
-    rows
+    let cells: Vec<(ModelPreset, u64, u64)> = ModelPreset::EVALUATED
+        .into_iter()
+        .flat_map(|model| {
+            SPECULATION_LENGTHS
+                .into_iter()
+                .flat_map(move |speculation| {
+                    BATCHES
+                        .into_iter()
+                        .map(move |batch| (model, speculation, batch))
+                })
+        })
+        .collect();
+    cells
+        .par_iter()
+        .flat_map_iter(|&(model, speculation, batch)| {
+            end_to_end_cell(
+                model,
+                DatasetKind::CreativeWriting,
+                speculation,
+                batch,
+                &DesignKind::FIG8,
+                seed,
+            )
+        })
+        .collect()
 }
 
 /// Fig. 9: the general-qa grid for GPT-3 175B with the three designs the
@@ -336,20 +339,23 @@ pub fn fig9_general_qa(seed: u64) -> Vec<EndToEndRow> {
         DesignKind::AttAccOnly,
         DesignKind::Papi,
     ];
-    let mut rows = Vec::new();
-    for speculation in SPECULATION_LENGTHS {
-        for batch in BATCHES {
-            rows.extend(end_to_end_cell(
+    let cells: Vec<(u64, u64)> = SPECULATION_LENGTHS
+        .into_iter()
+        .flat_map(|speculation| BATCHES.into_iter().map(move |batch| (speculation, batch)))
+        .collect();
+    cells
+        .par_iter()
+        .flat_map_iter(|&(speculation, batch)| {
+            end_to_end_cell(
                 ModelPreset::Gpt3_175B,
                 DatasetKind::GeneralQa,
                 speculation,
                 batch,
                 &designs,
                 seed,
-            ));
-        }
-    }
-    rows
+            )
+        })
+        .collect()
 }
 
 /// Fig. 10(a): batch sweep 4→128 at speculation 1; Fig. 10(b):
@@ -362,28 +368,32 @@ pub fn fig10_sensitivity(seed: u64) -> (Vec<EndToEndRow>, Vec<EndToEndRow>) {
         DesignKind::Papi,
     ];
     let batches = [4u64, 8, 16, 32, 64, 128];
-    let mut sweep_a = Vec::new();
-    for batch in batches {
-        sweep_a.extend(end_to_end_cell(
-            ModelPreset::Llama65B,
-            DatasetKind::CreativeWriting,
-            1,
-            batch,
-            &designs,
-            seed,
-        ));
-    }
-    let mut sweep_b = Vec::new();
-    for speculation in [1u64, 2, 4, 8] {
-        sweep_b.extend(end_to_end_cell(
-            ModelPreset::Llama65B,
-            DatasetKind::CreativeWriting,
-            speculation,
-            4,
-            &designs,
-            seed,
-        ));
-    }
+    let sweep_a: Vec<EndToEndRow> = batches
+        .par_iter()
+        .flat_map_iter(|&batch| {
+            end_to_end_cell(
+                ModelPreset::Llama65B,
+                DatasetKind::CreativeWriting,
+                1,
+                batch,
+                &designs,
+                seed,
+            )
+        })
+        .collect();
+    let sweep_b: Vec<EndToEndRow> = [1u64, 2, 4, 8]
+        .par_iter()
+        .flat_map_iter(|&speculation| {
+            end_to_end_cell(
+                ModelPreset::Llama65B,
+                DatasetKind::CreativeWriting,
+                speculation,
+                4,
+                &designs,
+                seed,
+            )
+        })
+        .collect();
     (sweep_a, sweep_b)
 }
 
@@ -393,20 +403,23 @@ pub fn fig10_sensitivity(seed: u64) -> (Vec<EndToEndRow>, Vec<EndToEndRow>) {
 /// the figure's bar height.
 pub fn fig11_pim_only(seed: u64) -> Vec<EndToEndRow> {
     let designs = [DesignKind::AttAccOnly, DesignKind::PimOnlyPapi];
-    let mut rows = Vec::new();
-    for speculation in SPECULATION_LENGTHS {
-        for batch in BATCHES {
-            rows.extend(end_to_end_cell(
+    let cells: Vec<(u64, u64)> = SPECULATION_LENGTHS
+        .into_iter()
+        .flat_map(|speculation| BATCHES.into_iter().map(move |batch| (speculation, batch)))
+        .collect();
+    cells
+        .par_iter()
+        .flat_map_iter(|&(speculation, batch)| {
+            end_to_end_cell(
                 ModelPreset::Llama65B,
                 DatasetKind::CreativeWriting,
                 speculation,
                 batch,
                 &designs,
                 seed,
-            ));
-        }
-    }
-    rows
+            )
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------
@@ -438,8 +451,8 @@ impl BreakdownRow {
 /// Fig. 12: per-token execution-time breakdown of AttAcc-only vs
 /// PIM-only PAPI (LLaMA-65B, batch 4, speculation 4).
 pub fn fig12_breakdown(seed: u64) -> Vec<BreakdownRow> {
-    let workload = WorkloadSpec::static_batching(DatasetKind::CreativeWriting, 4, 4)
-        .with_seed(seed);
+    let workload =
+        WorkloadSpec::static_batching(DatasetKind::CreativeWriting, 4, 4).with_seed(seed);
     [DesignKind::AttAccOnly, DesignKind::PimOnlyPapi]
         .into_iter()
         .map(|kind| {
@@ -456,6 +469,107 @@ pub fn fig12_breakdown(seed: u64) -> Vec<BreakdownRow> {
         .collect()
 }
 
+// ---------------------------------------------------------------------
+// Serving load sweeps (beyond the paper: the online regime)
+// ---------------------------------------------------------------------
+
+/// One `(design, arrival rate)` point of a serving load sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServingSweepRow {
+    /// Design label.
+    pub design: String,
+    /// Offered load, requests per second.
+    pub rate_per_sec: f64,
+    /// Requests served.
+    pub requests: u64,
+    /// Median time-to-first-token, ms.
+    pub ttft_p50_ms: f64,
+    /// 99th-percentile time-to-first-token, ms.
+    pub ttft_p99_ms: f64,
+    /// Median time-per-output-token, ms.
+    pub tpot_p50_ms: f64,
+    /// 99th-percentile time-per-output-token, ms.
+    pub tpot_p99_ms: f64,
+    /// 99th-percentile queueing delay, ms.
+    pub queue_p99_ms: f64,
+    /// Requests completed within the SLO, per second.
+    pub goodput_rps: f64,
+    /// Fraction of requests meeting the SLO.
+    pub slo_attainment: f64,
+    /// Output-token throughput.
+    pub tokens_per_sec: f64,
+    /// Online rescheduling events (PU ↔ FC-PIM migrations).
+    pub scheduler_switches: u64,
+    /// KV-pressure preemption events.
+    pub preemptions: u64,
+}
+
+/// A serving load-sweep specification: which designs serve which
+/// Poisson loads, scored against which SLO.
+#[derive(Debug, Clone)]
+pub struct LoadSweep {
+    /// Model served.
+    pub model: ModelPreset,
+    /// Dataset category requests are drawn from.
+    pub dataset: DatasetKind,
+    /// Offered loads, requests per second.
+    pub rates: Vec<f64>,
+    /// Requests per `(design, rate)` point.
+    pub num_requests: usize,
+    /// Designs compared.
+    pub designs: Vec<DesignKind>,
+    /// Batch cap (scheduler window) for every engine.
+    pub max_batch: u64,
+    /// Latency objective goodput is scored against.
+    pub slo: SloSpec,
+    /// Seed shared by every point, so the curves differ only by
+    /// hardware and scheduling.
+    pub seed: u64,
+}
+
+impl LoadSweep {
+    /// Serves every `(rate, design)` point and collects one row each.
+    ///
+    /// Points are independent simulator runs and fan out across cores;
+    /// the results are deterministic and ordered rate-major,
+    /// design-minor.
+    pub fn run(&self) -> Vec<ServingSweepRow> {
+        let points: Vec<(f64, DesignKind)> = self
+            .rates
+            .iter()
+            .flat_map(|&rate| self.designs.iter().map(move |&design| (rate, design)))
+            .collect();
+        points
+            .par_iter()
+            .map(|&(rate, design)| {
+                let workload = ServingWorkload::poisson(self.dataset, rate, self.num_requests)
+                    .with_seed(self.seed);
+                let engine = ServingEngine::new(SystemConfig::build(design, self.model.config()))
+                    .with_max_batch(self.max_batch);
+                let report = engine.run(&workload);
+                let ttft = report.ttft_summary().expect("non-empty episode");
+                let tpot = report.tpot_summary().expect("non-empty episode");
+                let queue = report.queueing_summary().expect("non-empty episode");
+                ServingSweepRow {
+                    design: design.label().to_owned(),
+                    rate_per_sec: rate,
+                    requests: report.records.len() as u64,
+                    ttft_p50_ms: ttft.p50.as_millis(),
+                    ttft_p99_ms: ttft.p99.as_millis(),
+                    tpot_p50_ms: tpot.p50.as_millis(),
+                    tpot_p99_ms: tpot.p99.as_millis(),
+                    queue_p99_ms: queue.p99.as_millis(),
+                    goodput_rps: report.goodput(&self.slo),
+                    slo_attainment: report.slo_attainment(&self.slo),
+                    tokens_per_sec: report.tokens_per_second(),
+                    scheduler_switches: report.scheduler.switches,
+                    preemptions: report.preemptions,
+                }
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -467,6 +581,7 @@ mod tests {
         let (a, b) = fig2_roofline();
         assert_eq!(a.len(), 12); // 6 batches × 2 kernels
         assert_eq!(b.len(), 8); // 4 speculation lengths × 2 kernels
+
         // Attention never compute-bound; FC flips in both sweeps.
         for p in a.iter().chain(&b) {
             if p.kernel == "Attention" {
@@ -541,15 +656,16 @@ mod tests {
         let rows = fig11_pim_only(3);
         let papi_speedup = |spec, batch| {
             rows.iter()
-                .find(|r| {
-                    r.design == "PIM-only PAPI" && r.speculation == spec && r.batch == batch
-                })
+                .find(|r| r.design == "PIM-only PAPI" && r.speculation == spec && r.batch == batch)
                 .unwrap()
                 .speedup
         };
         let low = papi_speedup(1, 4);
         let high = papi_speedup(4, 64);
-        assert!(low > 1.0, "PIM-only PAPI should win even at low parallelism: {low}");
+        assert!(
+            low > 1.0,
+            "PIM-only PAPI should win even at low parallelism: {low}"
+        );
         assert!(
             high > low,
             "speedup should grow with parallelism: {low} → {high}"
@@ -562,6 +678,58 @@ mod tests {
             .collect();
         let mean = geometric_mean(&all).unwrap();
         assert!(mean > 1.5 && mean < 3.5, "mean PIM-only speedup {mean}");
+    }
+
+    #[test]
+    fn parallel_grid_matches_serial_cells() {
+        // The rayon fan-out must not change a single value or the row
+        // order relative to running the cells one by one.
+        let parallel = fig11_pim_only(3);
+        let mut serial = Vec::new();
+        for speculation in SPECULATION_LENGTHS {
+            for batch in BATCHES {
+                serial.extend(end_to_end_cell(
+                    ModelPreset::Llama65B,
+                    DatasetKind::CreativeWriting,
+                    speculation,
+                    batch,
+                    &[DesignKind::AttAccOnly, DesignKind::PimOnlyPapi],
+                    3,
+                ));
+            }
+        }
+        assert_eq!(parallel.len(), serial.len());
+        for (p, s) in parallel.iter().zip(&serial) {
+            assert_eq!(p.design, s.design);
+            assert_eq!(p.batch, s.batch);
+            assert_eq!(p.speculation, s.speculation);
+            assert_eq!(p.latency_s, s.latency_s);
+            assert_eq!(p.energy_j, s.energy_j);
+        }
+    }
+
+    #[test]
+    fn load_sweep_goodput_degrades_with_rate() {
+        let rows = LoadSweep {
+            model: ModelPreset::Llama65B,
+            dataset: DatasetKind::GeneralQa,
+            rates: vec![0.5, 4.0, 32.0],
+            num_requests: 48,
+            designs: vec![DesignKind::Papi, DesignKind::A100AttAcc],
+            max_batch: 32,
+            slo: SloSpec::interactive(2_000.0, 60.0),
+            seed: 7,
+        }
+        .run();
+        assert_eq!(rows.len(), 6);
+        let papi_at = |rate: f64| {
+            rows.iter()
+                .find(|r| r.design == "PAPI" && r.rate_per_sec == rate)
+                .unwrap()
+        };
+        // Tail latency grows with offered load; attainment falls.
+        assert!(papi_at(32.0).ttft_p99_ms > papi_at(0.5).ttft_p99_ms);
+        assert!(papi_at(32.0).slo_attainment <= papi_at(0.5).slo_attainment);
     }
 
     #[test]

@@ -15,9 +15,16 @@
 //! weights, 60 for attention KV), per the paper's §7.1 fairness setup.
 //!
 //! - [`config`] — system assembly and α calibration.
-//! - [`engine`] — the per-iteration decoding simulator.
-//! - [`metrics`] — execution reports (latency/energy breakdowns).
-//! - [`experiments`] — one function per paper figure (Fig. 2–12).
+//! - [`pricer`] — the shared hardware cost model (one implementation,
+//!   used by every execution path).
+//! - [`engine`] — the batch-mode decoding simulator (paper figures).
+//! - [`serving`] — the online event-driven serving engine (arrivals,
+//!   continuous batching, per-request latency).
+//! - [`metrics`] — execution and serving reports (latency/energy
+//!   breakdowns, TTFT/TPOT percentiles, SLO goodput).
+//! - [`slo`] — latency objectives and admissible-batch analysis.
+//! - [`experiments`] — one function per paper figure (Fig. 2–12), plus
+//!   the serving load sweeps.
 //!
 //! # Example
 //!
@@ -44,9 +51,16 @@ pub mod engine;
 pub mod experiments;
 pub mod metrics;
 pub mod prefill;
+pub mod pricer;
+pub mod serving;
 pub mod slo;
 
 pub use config::{DesignKind, SchedulerKind, SystemConfig};
 pub use engine::DecodingSimulator;
-pub use metrics::{ExecutionReport, IterationCost, PhaseBreakdown};
-pub use prefill::{prefill_cost, PrefillCost};
+pub use metrics::{
+    ExecutionReport, IterationCost, LatencySummary, PhaseBreakdown, RequestRecord, ServingReport,
+};
+pub use prefill::{prefill_cost, prefill_cost_for, PrefillCost, PromptStats};
+pub use pricer::IterationPricer;
+pub use serving::ServingEngine;
+pub use slo::SloSpec;

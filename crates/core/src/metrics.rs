@@ -1,5 +1,8 @@
-//! Execution reports: latency and energy, split by phase.
+//! Execution reports: latency and energy, split by phase — plus the
+//! per-request records and percentile aggregation the online serving
+//! path produces (TTFT, TPOT, queueing delay, SLO goodput).
 
+use crate::slo::SloSpec;
 use papi_sched::policy::SchedulerStats;
 use papi_sched::Placement;
 use papi_types::{Energy, Time};
@@ -160,6 +163,208 @@ impl ExecutionReport {
     }
 }
 
+// ---------------------------------------------------------------------
+// Online-serving metrics
+// ---------------------------------------------------------------------
+
+/// The full latency lifecycle of one served request, in simulated time
+/// since the serving episode began.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RequestRecord {
+    /// Request identifier.
+    pub id: u64,
+    /// When the request arrived at the system.
+    pub arrival: Time,
+    /// When it was first admitted into the running batch (prefill
+    /// start).
+    pub admitted: Time,
+    /// When its first output token was emitted.
+    pub first_token: Time,
+    /// When it emitted `<|eos|>`.
+    pub finished: Time,
+    /// Prompt length in tokens.
+    pub prompt_tokens: u64,
+    /// Output tokens generated.
+    pub output_tokens: u64,
+    /// Times the request was preempted back to the queue under KV
+    /// pressure.
+    pub preemptions: u64,
+}
+
+impl RequestRecord {
+    /// Time spent waiting in the arrival queue before first admission.
+    pub fn queueing_delay(&self) -> Time {
+        self.admitted - self.arrival
+    }
+
+    /// Time to first token, measured from arrival (queueing included —
+    /// the user-visible definition).
+    pub fn ttft(&self) -> Time {
+        self.first_token - self.arrival
+    }
+
+    /// Time per output token after the first (steady-state decode
+    /// pace). Zero for single-token outputs.
+    pub fn tpot(&self) -> Time {
+        if self.output_tokens <= 1 {
+            return Time::ZERO;
+        }
+        (self.finished - self.first_token) / (self.output_tokens - 1) as f64
+    }
+
+    /// End-to-end latency from arrival to `<|eos|>`.
+    pub fn e2e(&self) -> Time {
+        self.finished - self.arrival
+    }
+
+    /// Whether the request met both halves of `slo`.
+    pub fn meets(&self, slo: &SloSpec) -> bool {
+        self.ttft().value() <= slo.ttft.value() && self.tpot().value() <= slo.tpot.value()
+    }
+}
+
+/// Percentile summary of a latency population.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Arithmetic mean.
+    pub mean: Time,
+    /// Median.
+    pub p50: Time,
+    /// 95th percentile.
+    pub p95: Time,
+    /// 99th percentile.
+    pub p99: Time,
+    /// Worst observation.
+    pub max: Time,
+}
+
+impl LatencySummary {
+    /// Summarizes a sample; `None` when the sample is empty.
+    ///
+    /// Percentiles use the nearest-rank method on the sorted sample —
+    /// p99 of 100 observations is the 99th smallest, matching how
+    /// serving papers report tail latency.
+    pub fn from_times(times: &[Time]) -> Option<Self> {
+        if times.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = times.iter().map(|t| t.value()).collect();
+        sorted.sort_by(f64::total_cmp);
+        let rank = |p: f64| {
+            let idx = (p * sorted.len() as f64).ceil() as usize;
+            sorted[idx.clamp(1, sorted.len()) - 1]
+        };
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        Some(Self {
+            mean: Time::new(mean),
+            p50: Time::new(rank(0.50)),
+            p95: Time::new(rank(0.95)),
+            p99: Time::new(rank(0.99)),
+            max: Time::new(sorted[sorted.len() - 1]),
+        })
+    }
+}
+
+/// The outcome of one online serving episode on one system: everything
+/// [`ExecutionReport`] aggregates, plus wall-clock structure (makespan,
+/// per-iteration RLP) and the per-request lifecycle records that
+/// latency SLOs are defined over.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServingReport {
+    /// Design label (e.g. `"PAPI"`).
+    pub design: String,
+    /// Model name.
+    pub model: String,
+    /// Decoding iterations executed.
+    pub iterations: u64,
+    /// Output tokens produced.
+    pub tokens: u64,
+    /// Simulated wall-clock time from first arrival to last completion.
+    pub makespan: Time,
+    /// Decode-phase latency totals (prefill separate, as in the paper).
+    pub phases: PhaseBreakdown,
+    /// Total prefill time across all admission waves.
+    pub prefill_time: Time,
+    /// Total energy (decode + prefill).
+    pub energy: Energy,
+    /// Scheduler decision statistics.
+    pub scheduler: SchedulerStats,
+    /// FC placement chosen at each iteration.
+    pub placements: Vec<Placement>,
+    /// Live RLP observed at each iteration.
+    pub rlp_series: Vec<u64>,
+    /// Per-request lifecycle records, in completion order.
+    pub records: Vec<RequestRecord>,
+    /// Requests preempted back to the queue under KV pressure (total
+    /// events, not distinct requests).
+    pub preemptions: u64,
+    /// Largest batch (RLP) ever run.
+    pub peak_rlp: u64,
+    /// Largest aggregate KV footprint ever resident, in tokens.
+    pub peak_kv_tokens: u64,
+}
+
+impl ServingReport {
+    /// TTFT percentile summary; `None` if nothing completed.
+    pub fn ttft_summary(&self) -> Option<LatencySummary> {
+        let times: Vec<Time> = self.records.iter().map(RequestRecord::ttft).collect();
+        LatencySummary::from_times(&times)
+    }
+
+    /// TPOT percentile summary; `None` if nothing completed.
+    pub fn tpot_summary(&self) -> Option<LatencySummary> {
+        let times: Vec<Time> = self.records.iter().map(RequestRecord::tpot).collect();
+        LatencySummary::from_times(&times)
+    }
+
+    /// Queueing-delay percentile summary; `None` if nothing completed.
+    pub fn queueing_summary(&self) -> Option<LatencySummary> {
+        let times: Vec<Time> = self
+            .records
+            .iter()
+            .map(RequestRecord::queueing_delay)
+            .collect();
+        LatencySummary::from_times(&times)
+    }
+
+    /// Fraction of completed requests meeting `slo`.
+    pub fn slo_attainment(&self, slo: &SloSpec) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().filter(|r| r.meets(slo)).count() as f64 / self.records.len() as f64
+    }
+
+    /// SLO goodput: requests completed *within* `slo`, per second of
+    /// makespan — the serving-systems headline metric (requests that
+    /// blow the SLO earn nothing).
+    pub fn goodput(&self, slo: &SloSpec) -> f64 {
+        let secs = self.makespan.as_secs();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.records.iter().filter(|r| r.meets(slo)).count() as f64 / secs
+    }
+
+    /// Raw request throughput over the makespan.
+    pub fn requests_per_second(&self) -> f64 {
+        let secs = self.makespan.as_secs();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.records.len() as f64 / secs
+    }
+
+    /// Output-token throughput over the makespan.
+    pub fn tokens_per_second(&self) -> f64 {
+        let secs = self.makespan.as_secs();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.tokens as f64 / secs
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -250,5 +455,90 @@ mod tests {
         let r = report(1.0, 1.0, 0);
         assert_eq!(r.time_per_token(), Time::ZERO);
         assert_eq!(r.energy_per_token(), Energy::ZERO);
+    }
+
+    fn request(
+        arrival_s: f64,
+        queued_s: f64,
+        ttft_decode_s: f64,
+        tpot_s: f64,
+        out: u64,
+    ) -> RequestRecord {
+        let admitted = arrival_s + queued_s;
+        let first_token = admitted + ttft_decode_s;
+        RequestRecord {
+            id: 0,
+            arrival: Time::new(arrival_s),
+            admitted: Time::new(admitted),
+            first_token: Time::new(first_token),
+            finished: Time::new(first_token + tpot_s * (out - 1) as f64),
+            prompt_tokens: 64,
+            output_tokens: out,
+            preemptions: 0,
+        }
+    }
+
+    #[test]
+    fn request_record_latency_identities() {
+        let r = request(10.0, 0.5, 0.1, 0.02, 11);
+        assert!((r.queueing_delay().value() - 0.5).abs() < 1e-12);
+        assert!((r.ttft().value() - 0.6).abs() < 1e-12);
+        assert!((r.tpot().value() - 0.02).abs() < 1e-12);
+        assert!((r.e2e().value() - 0.8).abs() < 1e-12);
+        assert!(r.ttft().value() <= r.e2e().value());
+    }
+
+    #[test]
+    fn single_token_request_has_zero_tpot() {
+        let r = request(0.0, 0.0, 0.1, 0.0, 1);
+        assert_eq!(r.tpot(), Time::ZERO);
+    }
+
+    #[test]
+    fn latency_summary_percentiles() {
+        let times: Vec<Time> = (1..=100).map(|i| Time::new(i as f64)).collect();
+        let s = LatencySummary::from_times(&times).unwrap();
+        assert_eq!(s.p50.value(), 50.0);
+        assert_eq!(s.p95.value(), 95.0);
+        assert_eq!(s.p99.value(), 99.0);
+        assert_eq!(s.max.value(), 100.0);
+        assert!((s.mean.value() - 50.5).abs() < 1e-12);
+        assert!(LatencySummary::from_times(&[]).is_none());
+        let one = LatencySummary::from_times(&[Time::new(3.0)]).unwrap();
+        assert_eq!(one.p99.value(), 3.0);
+    }
+
+    #[test]
+    fn slo_goodput_counts_only_meeting_requests() {
+        let slo = SloSpec {
+            ttft: Time::new(1.0),
+            tpot: Time::new(0.05),
+        };
+        let fast = request(0.0, 0.1, 0.2, 0.02, 10); // meets
+        let slow_ttft = request(0.0, 5.0, 0.2, 0.02, 10); // blows TTFT
+        let slow_tpot = request(0.0, 0.1, 0.2, 0.5, 10); // blows TPOT
+        assert!(fast.meets(&slo));
+        assert!(!slow_ttft.meets(&slo));
+        assert!(!slow_tpot.meets(&slo));
+        let report = ServingReport {
+            design: "test".into(),
+            model: "m".into(),
+            iterations: 30,
+            tokens: 30,
+            makespan: Time::new(10.0),
+            phases: PhaseBreakdown::default(),
+            prefill_time: Time::ZERO,
+            energy: Energy::ZERO,
+            scheduler: SchedulerStats::default(),
+            placements: vec![],
+            rlp_series: vec![],
+            records: vec![fast, slow_ttft, slow_tpot],
+            preemptions: 0,
+            peak_rlp: 3,
+            peak_kv_tokens: 0,
+        };
+        assert!((report.slo_attainment(&slo) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((report.goodput(&slo) - 0.1).abs() < 1e-12);
+        assert!((report.requests_per_second() - 0.3).abs() < 1e-12);
     }
 }

@@ -28,20 +28,56 @@ pub struct PrefillCost {
     pub placement: Placement,
 }
 
+/// The prompt workload a prefill prices: everything the cost model
+/// consumes, independent of where the prompts came from (a whole
+/// [`DecodeTrace`], or one continuous-batching admission wave in the
+/// serving engine).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PromptStats {
+    /// Prompt tokens across the admitted requests.
+    pub tokens: u64,
+    /// Sum of squared prompt lengths — the prefill attention kernel is
+    /// quadratic in each request's prompt.
+    pub sum_len_squared: u64,
+}
+
+impl PromptStats {
+    /// Accumulates one prompt of `len` tokens.
+    pub fn add_prompt(&mut self, len: u64) {
+        self.tokens += len;
+        self.sum_len_squared += len * len;
+    }
+
+    /// The prompt population of a whole decode trace.
+    pub fn from_trace(trace: &DecodeTrace) -> Self {
+        Self {
+            tokens: trace.total_input_tokens,
+            sum_len_squared: trace.sum_input_len_squared,
+        }
+    }
+}
+
 /// Prices the prefill of every request admitted in `trace` on `config`.
 ///
-/// FC work is `2 × params × total_input_tokens` FLOPs with full weight
-/// reuse; attention adds the prompt-quadratic term
-/// `4 h Σ input_len²` (each prompt token attends its prefix). Designs
-/// with GPUs prefill there (compute-bound, the right tool); PIM-only
-/// designs run it on their FC/Attn pools at FPU throughput.
+/// Convenience wrapper over [`prefill_cost_for`].
 pub fn prefill_cost(config: &SystemConfig, trace: &DecodeTrace) -> PrefillCost {
+    prefill_cost_for(config, PromptStats::from_trace(trace))
+}
+
+/// Prices the prefill of a prompt population on `config`.
+///
+/// FC work is `2 × params × tokens` FLOPs with full weight reuse;
+/// attention adds the prompt-quadratic term `4 h Σ input_len²` (each
+/// prompt token attends its prefix). Designs with GPUs prefill there
+/// (compute-bound, the right tool); PIM-only designs run it on their
+/// FC/Attn pools at FPU throughput.
+pub fn prefill_cost_for(config: &SystemConfig, prompts: PromptStats) -> PrefillCost {
     let model = &config.model;
-    let tokens = trace.total_input_tokens.max(1);
+    let tokens = prompts.tokens.max(1);
     let fc_flops = 2.0 * model.total_fc_weights() as f64 * tokens as f64;
     let attn_flops = 4.0
         * model.hidden as f64
-        * trace.sum_input_len_squared as f64
+        * prompts.sum_len_squared as f64
         * model.layers as f64
         // Causal mask halves the score matrix.
         / 2.0;
@@ -52,10 +88,9 @@ pub fn prefill_cost(config: &SystemConfig, trace: &DecodeTrace) -> PrefillCost {
         let bytes = model.weight_bytes()
             + kv_bytes
             + Bytes::new(2.0 * tokens as f64 * model.hidden as f64 * model.dtype.size().value());
-        let kernel = KernelProfile::new(Flops::new(fc_flops + attn_flops), bytes)
-            .with_allreduce(Bytes::new(
-                tokens as f64 * model.hidden as f64 * model.dtype.size().value(),
-            ));
+        let kernel = KernelProfile::new(Flops::new(fc_flops + attn_flops), bytes).with_allreduce(
+            Bytes::new(tokens as f64 * model.hidden as f64 * model.dtype.size().value()),
+        );
         let result = execute_kernel(gpus, &config.gpu_energy, &kernel);
         PrefillCost {
             time: result.time,
@@ -80,14 +115,12 @@ pub fn prefill_cost(config: &SystemConfig, trace: &DecodeTrace) -> PrefillCost {
         // Attention prefill on the attention pool, compute-bound at its
         // aggregate FPU throughput.
         let (attn_device, attn_count) = &config.attn_pim;
-        let attn_rate =
-            attn_device.peak_flops().value() * *attn_count as f64;
+        let attn_rate = attn_device.peak_flops().value() * *attn_count as f64;
         let attn_time = Time::new(attn_flops / attn_rate);
-        let attn_energy = Energy::from_picojoules(
-            attn_flops / 2.0 * attn_device.energy_model.non_dram_pj_per_mac(),
-        ) + Energy::from_picojoules(
-            kv_bytes.value() * attn_device.dram_access_pj_per_byte(),
-        );
+        let attn_energy =
+            Energy::from_picojoules(
+                attn_flops / 2.0 * attn_device.energy_model.non_dram_pj_per_mac(),
+            ) + Energy::from_picojoules(kv_bytes.value() * attn_device.dram_access_pj_per_byte());
         PrefillCost {
             time: fc_time + attn_time,
             energy: fc_energy + attn_energy,

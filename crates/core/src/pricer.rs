@@ -1,0 +1,279 @@
+//! The hardware cost model, extracted from the decoding engine.
+//!
+//! An [`IterationPricer`] prices one decoding iteration of a
+//! [`SystemConfig`]: the FC kernels on their assigned device (GPU
+//! tensor cores or FC-PIM), the attention kernels on the memory-side
+//! pool holding the KV cache, the interconnect legs, and the host
+//! dispatch overhead. It is the *single* pricing implementation in the
+//! workspace — the batch-mode paper-figure path
+//! ([`DecodingSimulator`](crate::engine::DecodingSimulator)), the
+//! online serving path ([`ServingEngine`](crate::serving::ServingEngine)),
+//! and the SLO analysis ([`slo`](crate::slo)) all price through it, so
+//! a change to the hardware math moves every consumer at once.
+
+use crate::config::SystemConfig;
+use crate::metrics::IterationCost;
+use papi_gpu::{execute_kernel, GpuEnergyModel, KernelProfile, MultiGpu};
+use papi_interconnect::Route;
+use papi_llm::{FcKernel, FcKernelKind, ModelConfig, Parallelism};
+use papi_pim::attention::execute_attention;
+use papi_pim::gemv::execute_gemv;
+use papi_pim::{AttentionSpec, GemvSpec, PimDevice};
+use papi_sched::Placement;
+use papi_types::{Bytes, Energy, Time};
+use papi_workload::IterationRecord;
+use std::collections::HashMap;
+
+/// FC-kernel latency of the whole model (all layers) on a PIM pool at
+/// the given token count (`RLP × TLP`). Shared by the pricer and the
+/// §5.2.1 α calibration so both see the same machine.
+pub fn fc_latency_on_pim(
+    model: &ModelConfig,
+    device: &PimDevice,
+    n_devices: usize,
+    tokens: u64,
+) -> Time {
+    fc_cost_on_pim(model, device, n_devices, tokens).0
+}
+
+/// FC-kernel latency of the whole model on the GPU complement at the
+/// given token count.
+pub fn fc_latency_on_pu(
+    model: &ModelConfig,
+    gpus: &MultiGpu,
+    energy: &GpuEnergyModel,
+    tokens: u64,
+) -> Time {
+    fc_cost_on_pu(model, gpus, energy, tokens).0
+}
+
+/// (latency, energy) of all FC kernels on PIM.
+pub fn fc_cost_on_pim(
+    model: &ModelConfig,
+    device: &PimDevice,
+    n_devices: usize,
+    tokens: u64,
+) -> (Time, Energy) {
+    let mut time = Time::ZERO;
+    let mut energy = Energy::ZERO;
+    for kernel in FcKernel::layer_kernels(model) {
+        let spec = GemvSpec::new(kernel.out_features, kernel.in_features, tokens, model.dtype);
+        let result = execute_gemv(device, n_devices, &spec);
+        time += result.time;
+        energy += result.energy.total();
+    }
+    (time * model.layers as f64, energy * model.layers as f64)
+}
+
+/// (latency, energy) of all FC kernels on the GPUs, Megatron-style
+/// tensor parallelism: row-parallel kernels (the attention projection
+/// and FFN down projection) all-reduce their `tokens × h` outputs.
+pub fn fc_cost_on_pu(
+    model: &ModelConfig,
+    gpus: &MultiGpu,
+    energy_model: &GpuEnergyModel,
+    tokens: u64,
+) -> (Time, Energy) {
+    let p = Parallelism::new(tokens, 1);
+    let mut time = Time::ZERO;
+    let mut energy = Energy::ZERO;
+    for kernel in FcKernel::layer_kernels(model) {
+        let mut profile = KernelProfile::new(kernel.flops(p), kernel.bytes(model, p));
+        if matches!(
+            kernel.kind,
+            FcKernelKind::Projection | FcKernelKind::FfnDown
+        ) {
+            profile = profile.with_allreduce((tokens * model.hidden) as f64 * model.dtype.size());
+        }
+        let result = execute_kernel(gpus, energy_model, &profile);
+        time += result.time;
+        energy += result.energy;
+    }
+    (time * model.layers as f64, energy * model.layers as f64)
+}
+
+/// Stateful per-decode pricer: wraps a system configuration plus the
+/// FC-cost memo (FC cost depends only on `(placement, tokens)`, so the
+/// decaying-RLP iterations of a decode hit the cache constantly).
+#[derive(Debug, Clone)]
+pub struct IterationPricer<'a> {
+    config: &'a SystemConfig,
+    fc_cache: HashMap<(Placement, u64), (Time, Energy)>,
+}
+
+impl<'a> IterationPricer<'a> {
+    /// Creates a pricer over `config` with an empty FC memo.
+    pub fn new(config: &'a SystemConfig) -> Self {
+        Self {
+            config,
+            fc_cache: HashMap::new(),
+        }
+    }
+
+    /// The priced system.
+    pub fn config(&self) -> &SystemConfig {
+        self.config
+    }
+
+    /// Prices one decoding iteration with the FC kernels at `placement`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `placement` names a device pool the design does not
+    /// have (a scheduler bug, not a workload condition).
+    pub fn price_iteration(&mut self, placement: Placement, it: &IterationRecord) -> IterationCost {
+        let model = &self.config.model;
+        let tokens = it.tokens_in_flight();
+
+        // --- FC kernels ---
+        let config = self.config;
+        let (fc_time, fc_energy) =
+            *self
+                .fc_cache
+                .entry((placement, tokens))
+                .or_insert_with(|| match placement {
+                    Placement::FcPim => {
+                        let (device, count) = config
+                            .fc_pim
+                            .as_ref()
+                            .expect("scheduler placed FC on PIM but the design has none");
+                        fc_cost_on_pim(model, device, *count, tokens)
+                    }
+                    Placement::Pu => {
+                        let gpus = config
+                            .gpus
+                            .as_ref()
+                            .expect("scheduler placed FC on the PU but the design has none");
+                        fc_cost_on_pu(model, gpus, &config.gpu_energy, tokens)
+                    }
+                });
+
+        // --- Attention ---
+        let kv_per_request = it.total_kv_len.div_ceil(it.rlp).max(1);
+        let attn_spec = AttentionSpec::new(
+            it.rlp,
+            model.heads,
+            model.head_dim(),
+            kv_per_request,
+            it.tlp,
+            model.dtype,
+        );
+        let (attn_device, attn_count) = &self.config.attn_pim;
+        let attn = execute_attention(attn_device, *attn_count, &attn_spec);
+        let attn_time = attn.time * model.layers as f64;
+        let attn_energy = attn.energy.total() * model.layers as f64;
+
+        // --- Communication ---
+        let (comm_time, comm_energy) = self.comm_cost(placement, it);
+
+        // --- Host dispatch / monitoring ---
+        let other_time = self.config.dispatch_per_layer * model.layers as f64
+            + self.config.dispatch_per_iteration;
+
+        // --- Static energy of powered PIM pools ---
+        let iter_time = fc_time + attn_time + comm_time + other_time;
+        let mut static_power = attn_device.hbm.energy.background * *attn_count as f64;
+        if let Some((fc_device, fc_count)) = &self.config.fc_pim {
+            static_power += fc_device.hbm.energy.background * *fc_count as f64;
+        }
+        let static_energy = static_power * iter_time;
+
+        IterationCost {
+            placement,
+            fc_time,
+            attn_time,
+            comm_time,
+            other_time,
+            fc_energy,
+            attn_energy,
+            comm_energy,
+            static_energy,
+            new_tokens: it.new_tokens,
+        }
+    }
+
+    /// Interconnect time/energy of one iteration.
+    ///
+    /// Attention traffic (Q vectors out, context vectors back) always
+    /// crosses to the disaggregated Attn-PIM pool; FC activation traffic
+    /// crosses NVLink only when the FC kernels run on FC-PIM.
+    fn comm_cost(&self, placement: Placement, it: &IterationRecord) -> (Time, Energy) {
+        let model = &self.config.model;
+        let topo = &self.config.topology;
+        let layers = model.layers as f64;
+        let tokens = it.tokens_in_flight();
+        let dsize = model.dtype.size();
+
+        let q_bytes = tokens as f64 * model.hidden as f64 * dsize.value();
+        let attn_leg = topo.transfer_time(Route::PuToAttnPim, Bytes::new(q_bytes));
+        let mut time = attn_leg * 2.0 * layers;
+        let mut energy =
+            topo.transfer_energy(Route::PuToAttnPim, Bytes::new(q_bytes)) * 2.0 * layers;
+
+        if placement == Placement::FcPim {
+            for kernel in FcKernel::layer_kernels(model) {
+                let in_bytes =
+                    Bytes::new(tokens as f64 * kernel.in_features as f64 * dsize.value());
+                let out_bytes =
+                    Bytes::new(tokens as f64 * kernel.out_features as f64 * dsize.value());
+                time += (topo.transfer_time(Route::PuToFcPim, in_bytes)
+                    + topo.transfer_time(Route::PuToFcPim, out_bytes))
+                    * layers;
+                energy += (topo.transfer_energy(Route::PuToFcPim, in_bytes)
+                    + topo.transfer_energy(Route::PuToFcPim, out_bytes))
+                    * layers;
+            }
+        }
+        (time, energy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use papi_llm::ModelPreset;
+
+    fn record(rlp: u64, tlp: u64, kv: u64) -> IterationRecord {
+        IterationRecord {
+            rlp,
+            tlp,
+            total_kv_len: rlp * kv,
+            max_kv_len: kv,
+            new_tokens: rlp * tlp,
+            finished: 0,
+        }
+    }
+
+    #[test]
+    fn memo_hit_equals_fresh_pricing() {
+        let config = SystemConfig::pim_only_papi(ModelPreset::Llama65B.config());
+        let mut pricer = IterationPricer::new(&config);
+        let it = record(8, 2, 512);
+        let first = pricer.price_iteration(Placement::FcPim, &it);
+        let cached = pricer.price_iteration(Placement::FcPim, &it);
+        assert_eq!(first, cached);
+        let mut fresh = IterationPricer::new(&config);
+        assert_eq!(fresh.price_iteration(Placement::FcPim, &it), first);
+    }
+
+    #[test]
+    fn placement_changes_fc_and_comm_but_not_attention() {
+        let config = SystemConfig::papi_with_alpha(ModelPreset::Llama65B.config(), 24.0);
+        let mut pricer = IterationPricer::new(&config);
+        let it = record(4, 1, 512);
+        let on_pim = pricer.price_iteration(Placement::FcPim, &it);
+        let on_pu = pricer.price_iteration(Placement::Pu, &it);
+        assert_eq!(on_pim.attn_time, on_pu.attn_time);
+        assert_ne!(on_pim.fc_time, on_pu.fc_time);
+        // FC-PIM placement adds the PU↔FC-PIM activation legs.
+        assert!(on_pim.comm_time.value() > on_pu.comm_time.value());
+    }
+
+    #[test]
+    #[should_panic(expected = "design has none")]
+    fn pricing_a_missing_pool_is_a_bug() {
+        let config = SystemConfig::a100_attacc(ModelPreset::Llama65B.config());
+        let mut pricer = IterationPricer::new(&config);
+        let _ = pricer.price_iteration(Placement::FcPim, &record(4, 1, 128));
+    }
+}

@@ -1,0 +1,509 @@
+//! The online, event-driven serving engine.
+//!
+//! Where [`DecodingSimulator`](crate::engine::DecodingSimulator) prices
+//! a pre-generated closed-batch trace, the [`ServingEngine`] runs the
+//! regime the paper actually targets (§3.2, §5.2): requests arrive at
+//! unknown times, join a queue, are admitted into the running batch by
+//! continuous batching under KV-capacity pressure, prefill interleaves
+//! with decode, and the online [`FcScheduler`](papi_sched::FcScheduler)
+//! re-decides the FC placement *every iteration* from the parallelism
+//! it observes right then. Simulated wall-clock time advances by the
+//! priced cost of each step — through the same
+//! [`IterationPricer`](crate::pricer::IterationPricer) the batch path
+//! uses, so the two paths can never drift apart on hardware math.
+//!
+//! The output is a [`ServingReport`]: per-request lifecycle records
+//! (queueing delay, TTFT, TPOT, end-to-end) with percentile summaries
+//! and SLO goodput — the metrics a closed batch cannot express at all.
+
+use crate::config::SystemConfig;
+use crate::metrics::{PhaseBreakdown, RequestRecord, ServingReport};
+use crate::prefill::{prefill_cost_for, PromptStats};
+use crate::pricer::IterationPricer;
+use papi_types::{Energy, Time};
+use papi_workload::{IterationRecord, RequestState, ServingRequest, ServingWorkload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+
+/// Default cap on the running batch (the scheduler window).
+pub const DEFAULT_MAX_BATCH: u64 = 64;
+/// Default fraction of the Attn-PIM pool admission may plan into; the
+/// remainder absorbs KV growth between admission and completion.
+pub const DEFAULT_KV_HEADROOM: f64 = 0.85;
+
+/// Online continuous-batching simulator over one [`SystemConfig`].
+#[derive(Debug, Clone)]
+pub struct ServingEngine {
+    config: SystemConfig,
+    max_batch: u64,
+    kv_headroom: f64,
+    max_iterations: u64,
+}
+
+impl ServingEngine {
+    /// Wraps a system configuration with default serving parameters.
+    pub fn new(config: SystemConfig) -> Self {
+        Self {
+            config,
+            max_batch: DEFAULT_MAX_BATCH,
+            kv_headroom: DEFAULT_KV_HEADROOM,
+            max_iterations: 10_000_000,
+        }
+    }
+
+    /// The wrapped configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Caps the running batch (RLP never exceeds this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` is zero.
+    #[track_caller]
+    pub fn with_max_batch(mut self, max_batch: u64) -> Self {
+        assert!(max_batch > 0, "max_batch must be positive");
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Sets the admission-planning fraction of the KV pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headroom` is outside `(0, 1]`.
+    #[track_caller]
+    pub fn with_kv_headroom(mut self, headroom: f64) -> Self {
+        assert!(
+            headroom > 0.0 && headroom <= 1.0,
+            "kv headroom must be in (0, 1], got {headroom}"
+        );
+        self.kv_headroom = headroom;
+        self
+    }
+
+    /// Safety valve against runaway episodes (default: 10 M iterations).
+    pub fn with_max_iterations(mut self, max_iterations: u64) -> Self {
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Serves one episode to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model does not fit the design's weight pool, if a
+    /// single request's KV cache cannot fit the attention pool, or if
+    /// the episode exceeds the iteration safety valve.
+    pub fn run(&self, workload: &ServingWorkload) -> ServingReport {
+        if let Err(msg) = self.config.validate_capacity(0.0) {
+            panic!("{msg}");
+        }
+        let kv_bytes_per_token = self.config.model.kv_bytes_per_token().value();
+        let (attn_device, attn_count) = &self.config.attn_pim;
+        let pool_bytes = attn_device.capacity().value() * *attn_count as f64;
+        let admit_budget_tokens = (pool_bytes * self.kv_headroom / kv_bytes_per_token) as u64;
+        let hard_budget_tokens = (pool_bytes / kv_bytes_per_token) as u64;
+
+        let mut requests = workload.requests();
+        let n = requests.len();
+        let mut admitted_s: Vec<Option<f64>> = vec![None; n];
+        let mut first_token_s: Vec<Option<f64>> = vec![None; n];
+
+        let mut scheduler = self.config.scheduler.build();
+        let mut pricer = IterationPricer::new(&self.config);
+        let mut rng = StdRng::seed_from_u64(workload.seed.wrapping_mul(0x5851_f42d_4c95_7f2d));
+
+        let mut clock = 0.0f64;
+        let mut next_arrival = 0usize; // index into arrival-sorted `requests`
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        let mut live: Vec<usize> = Vec::new();
+
+        let mut phases = PhaseBreakdown::default();
+        let mut energy = Energy::ZERO;
+        let mut prefill_time = Time::ZERO;
+        let mut placements = Vec::new();
+        let mut rlp_series = Vec::new();
+        let mut records = Vec::with_capacity(n);
+        let mut iterations = 0u64;
+        let mut tokens = 0u64;
+        let mut preemptions = 0u64;
+        let mut peak_rlp = 0u64;
+        let mut peak_kv_tokens = 0u64;
+
+        while records.len() < n {
+            // --- ingest arrivals up to the current clock ---
+            while next_arrival < n && requests[next_arrival].arrival_s <= clock {
+                queue.push_back(next_arrival);
+                next_arrival += 1;
+            }
+            // Idle system: jump to the next arrival.
+            if live.is_empty() && queue.is_empty() {
+                let upcoming = requests[next_arrival].arrival_s;
+                clock = clock.max(upcoming);
+                continue;
+            }
+
+            // --- continuous-batching admission under KV pressure ---
+            let mut kv_tokens: u64 = live.iter().map(|&i| requests[i].kv_len()).sum();
+            let mut wave = PromptStats::default();
+            while (live.len() as u64) < self.max_batch {
+                let Some(&candidate) = queue.front() else {
+                    break;
+                };
+                let prefill_len = requests[candidate].prefill_len();
+                assert!(
+                    prefill_len + requests[candidate].remaining() <= hard_budget_tokens,
+                    "{}: request {} alone ({} KV tokens) exceeds the attention pool",
+                    self.config.design,
+                    requests[candidate].request.id,
+                    prefill_len + requests[candidate].remaining(),
+                );
+                if kv_tokens + prefill_len > admit_budget_tokens && !live.is_empty() {
+                    break;
+                }
+                queue.pop_front();
+                wave.add_prompt(prefill_len);
+                kv_tokens += prefill_len;
+                requests[candidate].state = RequestState::Prefilling;
+                admitted_s[candidate].get_or_insert(clock);
+                live.push(candidate);
+            }
+
+            // --- price the admission wave's prefill (interleaved with
+            //     decode: each wave runs between decode iterations) ---
+            if wave.tokens > 0 {
+                let cost = prefill_cost_for(&self.config, wave);
+                clock += cost.time.value();
+                prefill_time += cost.time;
+                energy += cost.energy;
+                for &i in &live {
+                    if requests[i].state == RequestState::Prefilling {
+                        requests[i].state = RequestState::Decoding;
+                    }
+                }
+            }
+
+            // --- KV-pressure preemption: if this iteration's worst-case
+            //     growth would overflow the physical pool, push the
+            //     newest requests back to the queue (recompute-style).
+            //     TLP is re-derived each round: an adaptive policy
+            //     *raises* speculation as the batch shrinks, so the
+            //     growth bound must track the post-preemption batch. ---
+            loop {
+                let tlp = workload
+                    .tlp_policy
+                    .length_at(live.len() as u64, workload.speculation.length);
+                if live.len() <= 1 || kv_tokens + live.len() as u64 * tlp <= hard_budget_tokens {
+                    break;
+                }
+                let victim = live.pop().expect("live is non-empty");
+                kv_tokens -= requests[victim].kv_len();
+                requests[victim].state = RequestState::Queued;
+                requests[victim].preemptions += 1;
+                preemptions += 1;
+                queue.push_front(victim);
+            }
+
+            // --- one decoding iteration ---
+            let rlp = live.len() as u64;
+            let tlp = workload
+                .tlp_policy
+                .length_at(rlp, workload.speculation.length);
+            let total_kv_len: u64 = live.iter().map(|&i| requests[i].kv_len()).sum();
+            let max_kv_len = live
+                .iter()
+                .map(|&i| requests[i].kv_len())
+                .max()
+                .unwrap_or(1);
+            peak_rlp = peak_rlp.max(rlp);
+
+            let placement = scheduler.decide(rlp, tlp);
+
+            let mut new_tokens = 0u64;
+            let mut finished = 0u64;
+            let mut finishers: Vec<usize> = Vec::new();
+            let mut first_timers: Vec<usize> = Vec::new();
+            for &i in &live {
+                let banked = workload
+                    .speculation
+                    .acceptance
+                    .sample(tlp, &mut rng)
+                    .min(requests[i].remaining());
+                if requests[i].generated == 0 && banked > 0 {
+                    first_timers.push(i);
+                }
+                requests[i].generated += banked;
+                new_tokens += banked;
+                if requests[i].remaining() == 0 {
+                    finished += 1;
+                    finishers.push(i);
+                }
+            }
+
+            let record = IterationRecord {
+                rlp,
+                tlp,
+                total_kv_len,
+                max_kv_len,
+                new_tokens,
+                finished,
+            };
+            let cost = pricer.price_iteration(placement, &record);
+            clock += cost.total_time().value();
+            phases.fc += cost.fc_time;
+            phases.attention += cost.attn_time;
+            phases.communication += cost.comm_time;
+            phases.other += cost.other_time;
+            energy += cost.total_energy();
+            placements.push(placement);
+            rlp_series.push(rlp);
+            tokens += new_tokens;
+            // The resident footprint peaks at iteration end, once this
+            // iteration's banked tokens have landed in the cache.
+            peak_kv_tokens = peak_kv_tokens.max(total_kv_len + new_tokens);
+
+            // Tokens become visible when the iteration completes.
+            for &i in &first_timers {
+                first_token_s[i] = Some(clock);
+            }
+            for &i in &finishers {
+                requests[i].state = RequestState::Finished;
+                records.push(self.record_for(
+                    &requests[i],
+                    admitted_s[i].expect("finished request was admitted"),
+                    first_token_s[i].expect("finished request emitted tokens"),
+                    clock,
+                ));
+            }
+            live.retain(|i| !finishers.contains(i));
+
+            iterations += 1;
+            assert!(
+                iterations <= self.max_iterations,
+                "serving episode exceeded {} iterations — runaway workload?",
+                self.max_iterations
+            );
+        }
+
+        // Makespan runs from the first arrival to the last completion —
+        // leading idle before the episode's first request is not time
+        // the system spent serving.
+        let episode_start = requests.first().map_or(0.0, |r| r.arrival_s);
+        ServingReport {
+            design: self.config.design.label().to_owned(),
+            model: self.config.model.name.clone(),
+            iterations,
+            tokens,
+            makespan: Time::new((clock - episode_start).max(0.0)),
+            phases,
+            prefill_time,
+            energy,
+            scheduler: scheduler.stats(),
+            placements,
+            rlp_series,
+            records,
+            preemptions,
+            peak_rlp,
+            peak_kv_tokens,
+        }
+    }
+
+    fn record_for(
+        &self,
+        request: &ServingRequest,
+        admitted: f64,
+        first_token: f64,
+        finished: f64,
+    ) -> RequestRecord {
+        RequestRecord {
+            id: request.request.id,
+            arrival: Time::new(request.arrival_s),
+            admitted: Time::new(admitted),
+            first_token: Time::new(first_token),
+            finished: Time::new(finished),
+            prompt_tokens: request.request.input_len,
+            output_tokens: request.generated,
+            preemptions: request.preemptions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use papi_llm::ModelPreset;
+    use papi_workload::{ArrivalProcess, DatasetKind};
+
+    fn small_workload(rate: f64, n: usize) -> ServingWorkload {
+        ServingWorkload::poisson(DatasetKind::GeneralQa, rate, n).with_seed(11)
+    }
+
+    #[test]
+    fn every_request_completes_with_ordered_timestamps() {
+        let engine = ServingEngine::new(SystemConfig::a100_attacc(ModelPreset::Llama65B.config()))
+            .with_max_batch(16);
+        let workload = small_workload(4.0, 48);
+        let report = engine.run(&workload);
+        assert_eq!(report.records.len(), 48);
+        for r in &report.records {
+            assert!(r.arrival.value() <= r.admitted.value());
+            assert!(r.admitted.value() < r.first_token.value());
+            assert!(r.first_token.value() <= r.finished.value());
+            assert!(r.output_tokens > 0);
+            assert!(r.ttft().value() <= r.e2e().value());
+        }
+        assert!(report.peak_rlp <= 16);
+        assert_eq!(report.iterations, report.placements.len() as u64);
+        assert_eq!(report.iterations, report.rlp_series.len() as u64);
+    }
+
+    #[test]
+    fn serving_is_deterministic() {
+        let engine =
+            ServingEngine::new(SystemConfig::pim_only_papi(ModelPreset::Llama65B.config()))
+                .with_max_batch(8);
+        let workload = small_workload(2.0, 24);
+        let a = engine.run(&workload);
+        let b = engine.run(&workload);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.energy, b.energy);
+        assert_eq!(a.placements, b.placements);
+        assert_eq!(a.records, b.records);
+    }
+
+    #[test]
+    fn light_load_has_short_queues_heavy_load_long() {
+        let engine = ServingEngine::new(SystemConfig::a100_attacc(ModelPreset::Llama65B.config()))
+            .with_max_batch(8);
+        let light = engine.run(&small_workload(0.2, 32));
+        let heavy = engine.run(&small_workload(50.0, 32));
+        let q_light = light.queueing_summary().unwrap().p99;
+        let q_heavy = heavy.queueing_summary().unwrap().p99;
+        assert!(
+            q_heavy.value() > 5.0 * q_light.value().max(1e-9),
+            "p99 queueing: light {q_light} vs heavy {q_heavy}"
+        );
+    }
+
+    #[test]
+    fn papi_reschedules_under_decaying_load() {
+        // Arrivals stop while the batch is still above α; the live RLP
+        // then decays like a closed batch and the online scheduler must
+        // migrate FC from the PU to FC-PIM at least once.
+        let engine = ServingEngine::new(SystemConfig::papi(ModelPreset::Llama65B.config()))
+            .with_max_batch(64);
+        let workload =
+            ServingWorkload::new(DatasetKind::CreativeWriting, ArrivalProcess::Immediate, 64)
+                .with_seed(9);
+        let report = engine.run(&workload);
+        assert!(report.scheduler.switches >= 1, "no rescheduling happened");
+        assert!(report.scheduler.pu_decisions > 0);
+        assert!(report.scheduler.fc_pim_decisions > 0);
+        assert_eq!(*report.rlp_series.first().unwrap(), 64);
+        assert_eq!(*report.rlp_series.last().unwrap(), 1);
+    }
+
+    #[test]
+    fn continuous_refill_holds_rlp_at_cap_while_queue_lasts() {
+        let engine =
+            ServingEngine::new(SystemConfig::pim_only_papi(ModelPreset::Llama65B.config()))
+                .with_max_batch(8);
+        let workload = ServingWorkload::new(DatasetKind::GeneralQa, ArrivalProcess::Immediate, 40)
+            .with_seed(5);
+        let report = engine.run(&workload);
+        let early = &report.rlp_series[..report.rlp_series.len() / 4];
+        assert!(early.iter().all(|&r| r == 8), "early RLP should hold at 8");
+        assert_eq!(report.peak_rlp, 8);
+    }
+
+    #[test]
+    fn kv_pressure_limits_admission() {
+        // A tiny KV headroom forces admission to stop well below the
+        // batch cap; the engine must still finish every request.
+        let engine =
+            ServingEngine::new(SystemConfig::pim_only_papi(ModelPreset::Gpt3_175B.config()))
+                .with_max_batch(64)
+                .with_kv_headroom(0.002);
+        let workload =
+            ServingWorkload::new(DatasetKind::CreativeWriting, ArrivalProcess::Immediate, 32)
+                .with_seed(3);
+        let report = engine.run(&workload);
+        assert_eq!(report.records.len(), 32);
+        assert!(
+            report.peak_rlp < 64,
+            "KV pressure should cap RLP below the batch cap, got {}",
+            report.peak_rlp
+        );
+        // Admission plans within the headroom budget (in-flight growth
+        // may exceed it, never the physical pool); a roomy headroom on
+        // the same workload must therefore reach a much larger peak.
+        let model = ModelPreset::Gpt3_175B.config();
+        let pool_tokens = 60.0 * 16e9 / model.kv_bytes_per_token().value();
+        assert!(
+            (report.peak_kv_tokens as f64) <= pool_tokens,
+            "peak KV {} tokens overflowed the {}-token pool",
+            report.peak_kv_tokens,
+            pool_tokens
+        );
+        let roomy =
+            ServingEngine::new(SystemConfig::pim_only_papi(ModelPreset::Gpt3_175B.config()))
+                .with_max_batch(64)
+                .run(&workload);
+        assert!(
+            report.peak_kv_tokens * 2 < roomy.peak_kv_tokens,
+            "tight headroom peak {} should sit far below the roomy peak {}",
+            report.peak_kv_tokens,
+            roomy.peak_kv_tokens
+        );
+    }
+
+    #[test]
+    fn adaptive_tlp_growth_never_overflows_the_pool() {
+        // The preemption guard must re-derive TLP as it evicts: an
+        // adaptive policy raises speculation while the batch shrinks,
+        // so a stale bound would let KV growth overshoot the pool.
+        let engine =
+            ServingEngine::new(SystemConfig::pim_only_papi(ModelPreset::Gpt3_175B.config()))
+                .with_max_batch(32)
+                .with_kv_headroom(0.002);
+        let workload =
+            ServingWorkload::new(DatasetKind::CreativeWriting, ArrivalProcess::Immediate, 32)
+                .with_seed(3)
+                .with_adaptive_tlp(64, 8);
+        let report = engine.run(&workload);
+        assert_eq!(report.records.len(), 32);
+        let model = ModelPreset::Gpt3_175B.config();
+        let pool_tokens = 60.0 * 16e9 / model.kv_bytes_per_token().value();
+        assert!((report.peak_kv_tokens as f64) <= pool_tokens);
+    }
+
+    #[test]
+    fn makespan_excludes_leading_idle() {
+        // Two identical single-request episodes, one arriving at t = 0
+        // and one arriving 100 s in: the service time (and therefore
+        // the makespan) must match — the idle century doesn't count.
+        let engine =
+            ServingEngine::new(SystemConfig::pim_only_papi(ModelPreset::Llama65B.config()));
+        let at_zero =
+            ServingWorkload::new(DatasetKind::GeneralQa, ArrivalProcess::Immediate, 1).with_seed(2);
+        let delayed = ServingWorkload::new(
+            DatasetKind::GeneralQa,
+            ArrivalProcess::Trace(vec![100.0]),
+            1,
+        )
+        .with_seed(2);
+        let a = engine.run(&at_zero);
+        let b = engine.run(&delayed);
+        assert!(
+            (a.makespan.value() - b.makespan.value()).abs() < 1e-9,
+            "makespan {} vs delayed {}",
+            a.makespan,
+            b.makespan
+        );
+        assert!(b.records[0].arrival.value() == 100.0);
+        assert!(b.tokens_per_second() > 0.0);
+    }
+}

@@ -7,36 +7,65 @@
 //! whose *per-iteration* decoding latency meets the target.
 
 use crate::config::SystemConfig;
-use crate::engine::DecodingSimulator;
+use crate::pricer::IterationPricer;
 use papi_types::Time;
-use papi_workload::{DecodeTrace, IterationRecord};
+use papi_workload::IterationRecord;
+use serde::{Deserialize, Serialize};
+
+/// A user latency objective over the serving metrics: first token
+/// within [`ttft`](SloSpec::ttft) of arrival, then a steady decode pace
+/// of at most [`tpot`](SloSpec::tpot) per token.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SloSpec {
+    /// Time-to-first-token budget (queueing + prefill).
+    pub ttft: Time,
+    /// Time-per-output-token budget (per-iteration decode latency).
+    pub tpot: Time,
+}
+
+impl SloSpec {
+    /// An interactive-chat objective: first token within `ttft_ms`,
+    /// then `tpot_ms` per token.
+    pub fn interactive(ttft_ms: f64, tpot_ms: f64) -> Self {
+        Self {
+            ttft: Time::from_millis(ttft_ms),
+            tpot: Time::from_millis(tpot_ms),
+        }
+    }
+}
 
 /// Per-iteration decoding latency of `config` at steady state
-/// `(rlp, tlp)` with `kv_len` tokens of context per request.
+/// `(rlp, tlp)` with `kv_len` tokens of context per request, priced
+/// directly through the shared [`IterationPricer`] (the scheduler picks
+/// the FC placement exactly as it would online).
 ///
 /// # Panics
 ///
-/// Panics if any argument is zero.
+/// Panics if any argument is zero, or if the KV demand exceeds the
+/// attention pool.
 #[track_caller]
 pub fn iteration_latency(config: &SystemConfig, rlp: u64, tlp: u64, kv_len: u64) -> Time {
-    assert!(rlp > 0 && tlp > 0 && kv_len > 0, "arguments must be positive");
-    let trace = DecodeTrace {
-        iterations: vec![IterationRecord {
-            rlp,
-            tlp,
-            total_kv_len: rlp * kv_len,
-            max_kv_len: kv_len,
-            new_tokens: rlp * tlp,
-            finished: rlp,
-        }],
-        requests: rlp,
-        total_tokens: rlp * tlp,
-        total_input_tokens: rlp * kv_len,
-        sum_input_len_squared: rlp * kv_len * kv_len,
+    assert!(
+        rlp > 0 && tlp > 0 && kv_len > 0,
+        "arguments must be positive"
+    );
+    let kv_demand = (rlp * kv_len) as f64 * config.model.kv_bytes_per_token().value();
+    if let Err(msg) = config.validate_capacity(kv_demand) {
+        panic!("{msg}");
+    }
+    let record = IterationRecord {
+        rlp,
+        tlp,
+        total_kv_len: rlp * kv_len,
+        max_kv_len: kv_len,
+        new_tokens: rlp * tlp,
+        finished: 0,
     };
-    DecodingSimulator::new(config.clone())
-        .run_trace(&trace)
-        .total_latency()
+    let mut scheduler = config.scheduler.build();
+    let placement = scheduler.decide(rlp, tlp);
+    IterationPricer::new(config)
+        .price_iteration(placement, &record)
+        .total_time()
 }
 
 /// The largest batch (initial RLP) whose per-iteration latency meets
@@ -72,7 +101,45 @@ pub fn max_batch_for_slo(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::DecodingSimulator;
     use papi_llm::ModelPreset;
+    use papi_workload::DecodeTrace;
+
+    /// The SLO path and the trace engine price through the same
+    /// [`IterationPricer`]; a one-iteration trace must cost exactly the
+    /// same through either front end.
+    #[test]
+    fn slo_latency_matches_engine_pricing() {
+        let config = SystemConfig::papi_with_alpha(ModelPreset::Llama65B.config(), 24.0);
+        for (rlp, tlp) in [(1u64, 1u64), (8, 2), (64, 4)] {
+            let direct = iteration_latency(&config, rlp, tlp, 512);
+            let trace = DecodeTrace {
+                iterations: vec![IterationRecord {
+                    rlp,
+                    tlp,
+                    total_kv_len: rlp * 512,
+                    max_kv_len: 512,
+                    new_tokens: rlp * tlp,
+                    finished: rlp,
+                }],
+                requests: rlp,
+                total_tokens: rlp * tlp,
+                total_input_tokens: rlp * 512,
+                sum_input_len_squared: rlp * 512 * 512,
+            };
+            let via_engine = DecodingSimulator::new(config.clone())
+                .run_trace(&trace)
+                .total_latency();
+            assert_eq!(direct, via_engine, "divergence at ({rlp}, {tlp})");
+        }
+    }
+
+    #[test]
+    fn interactive_slo_constructor() {
+        let slo = SloSpec::interactive(500.0, 30.0);
+        assert_eq!(slo.ttft.as_millis(), 500.0);
+        assert_eq!(slo.tpot.as_millis(), 30.0);
+    }
 
     #[test]
     fn tighter_slo_smaller_batch() {

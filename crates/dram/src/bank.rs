@@ -260,7 +260,11 @@ mod tests {
             .issue(DramCommand::Read { column: 1 }, first + 1, &timing)
             .is_err());
         assert!(bank
-            .issue(DramCommand::Read { column: 1 }, first + timing.t_ccd, &timing)
+            .issue(
+                DramCommand::Read { column: 1 },
+                first + timing.t_ccd,
+                &timing
+            )
             .is_ok());
     }
 
@@ -298,7 +302,9 @@ mod tests {
         let mut bank = Bank::new();
         bank.issue(DramCommand::Activate { row: 1 }, 0, &timing)
             .unwrap();
-        assert!(bank.issue(DramCommand::Refresh, timing.t_ras, &timing).is_err());
+        assert!(bank
+            .issue(DramCommand::Refresh, timing.t_ras, &timing)
+            .is_err());
         bank.issue(DramCommand::Precharge, timing.t_ras, &timing)
             .unwrap();
         let start = timing.t_rc;

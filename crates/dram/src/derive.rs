@@ -38,7 +38,11 @@ pub struct DerivedBandwidth {
 /// Panics if `banks` is zero or exceeds the device's banks per
 /// pseudo-channel, or if `rows_per_bank` is zero.
 #[track_caller]
-pub fn pim_streaming_bandwidth(device: &HbmDevice, banks: usize, rows_per_bank: u64) -> DerivedBandwidth {
+pub fn pim_streaming_bandwidth(
+    device: &HbmDevice,
+    banks: usize,
+    rows_per_bank: u64,
+) -> DerivedBandwidth {
     assert!(rows_per_bank > 0, "need at least one row to stream");
     assert!(
         banks > 0 && banks <= device.topology.banks_per_pseudo_channel(),
@@ -51,7 +55,12 @@ pub fn pim_streaming_bandwidth(device: &HbmDevice, banks: usize, rows_per_bank: 
         device.topology.column_bytes,
         BusModel::PerBankPim,
     );
-    stream_rows(&mut ctrl, banks, rows_per_bank, device.topology.columns_per_row());
+    stream_rows(
+        &mut ctrl,
+        banks,
+        rows_per_bank,
+        device.topology.columns_per_row(),
+    );
     finish(device, ctrl, banks, device.topology.total_banks())
 }
 
@@ -77,7 +86,12 @@ pub fn external_streaming_bandwidth(
         device.topology.column_bytes,
         BusModel::SharedDataBus,
     );
-    stream_rows(&mut ctrl, banks, rows_per_bank, device.topology.columns_per_row());
+    stream_rows(
+        &mut ctrl,
+        banks,
+        rows_per_bank,
+        device.topology.columns_per_row(),
+    );
     finish(
         device,
         ctrl,

@@ -121,7 +121,10 @@ mod tests {
     fn fc_pim_loses_quarter_of_banks_and_capacity() {
         let std16 = HbmDevice::hbm3_16gb();
         let fc = HbmDevice::fc_pim_12gb();
-        assert_eq!(fc.topology.total_banks() * 4, std16.topology.total_banks() * 3);
+        assert_eq!(
+            fc.topology.total_banks() * 4,
+            std16.topology.total_banks() * 3
+        );
         assert!((fc.capacity().value() * 4.0 - std16.capacity().value() * 3.0).abs() < 1.0);
     }
 

@@ -87,18 +87,18 @@ impl TimingParams {
     pub fn hbm3() -> Self {
         Self {
             t_ck: Time::from_nanos(0.75),
-            t_rcd: 19,  // ~14.3 ns
-            t_rp: 19,   // ~14.3 ns
-            t_ras: 38,  // ~28.5 ns
-            t_rc: 57,   // ~42.8 ns
-            t_ccd: 2,   // 1.5 ns  (666 MHz streaming)
-            t_bus: 1,   // one burst occupies the shared pseudo-channel bus for 0.75 ns
-            t_rrd: 4,   // ~3 ns
-            t_faw: 16,  // ~12 ns
-            t_rtp: 8,   // ~6 ns
-            t_wr: 21,   // ~15.8 ns
-            t_cl: 20,   // ~15 ns
-            t_rfc: 347, // ~260 ns
+            t_rcd: 19,    // ~14.3 ns
+            t_rp: 19,     // ~14.3 ns
+            t_ras: 38,    // ~28.5 ns
+            t_rc: 57,     // ~42.8 ns
+            t_ccd: 2,     // 1.5 ns  (666 MHz streaming)
+            t_bus: 1,     // one burst occupies the shared pseudo-channel bus for 0.75 ns
+            t_rrd: 4,     // ~3 ns
+            t_faw: 16,    // ~12 ns
+            t_rtp: 8,     // ~6 ns
+            t_wr: 21,     // ~15.8 ns
+            t_cl: 20,     // ~15 ns
+            t_rfc: 347,   // ~260 ns
             t_refi: 5200, // ~3.9 us
         }
     }

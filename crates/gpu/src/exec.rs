@@ -74,8 +74,7 @@ pub fn execute_kernel(
         kernel.flops.value() / n / (gpus.gpu.peak_flops.value() * gpus.gpu.compute_efficiency),
     );
     let memory_time = Time::new(
-        kernel.bytes.value() / n
-            / (gpus.gpu.mem_bandwidth.value() * gpus.gpu.memory_efficiency),
+        kernel.bytes.value() / n / (gpus.gpu.mem_bandwidth.value() * gpus.gpu.memory_efficiency),
     );
     let allreduce_time = gpus.allreduce_time(kernel.allreduce_bytes);
     let roofline = compute_time.max(memory_time);
@@ -138,7 +137,10 @@ mod tests {
         let r0 = execute_kernel(&dgx(), &em(), &base);
         let r1 = execute_kernel(&dgx(), &em(), &with);
         assert!(r1.time.value() > r0.time.value());
-        assert_eq!(r1.allreduce_time, dgx().allreduce_time(Bytes::from_mib(64.0)));
+        assert_eq!(
+            r1.allreduce_time,
+            dgx().allreduce_time(Bytes::from_mib(64.0))
+        );
     }
 
     #[test]
@@ -146,8 +148,16 @@ mod tests {
         // The motivation-figure effect: below the knee, adding FLOPs
         // (more tokens re-using the same weights) costs nothing.
         let bytes = Bytes::from_gib(100.0);
-        let a = execute_kernel(&dgx(), &em(), &KernelProfile::new(Flops::from_tflops(1.0), bytes));
-        let b = execute_kernel(&dgx(), &em(), &KernelProfile::new(Flops::from_tflops(8.0), bytes));
+        let a = execute_kernel(
+            &dgx(),
+            &em(),
+            &KernelProfile::new(Flops::from_tflops(1.0), bytes),
+        );
+        let b = execute_kernel(
+            &dgx(),
+            &em(),
+            &KernelProfile::new(Flops::from_tflops(8.0), bytes),
+        );
         assert!((a.time.value() - b.time.value()).abs() < 1e-9);
     }
 

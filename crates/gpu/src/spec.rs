@@ -73,7 +73,11 @@ impl GpuSpec {
     /// Attainable FLOPs rate at arithmetic intensity `ai` (the classic
     /// roofline: `min(peak, ai × bandwidth)`), before efficiency factors.
     pub fn attainable_flops(&self, ai: ArithmeticIntensity) -> FlopsRate {
-        FlopsRate::new(self.peak_flops.value().min(ai.value() * self.mem_bandwidth.value()))
+        FlopsRate::new(
+            self.peak_flops
+                .value()
+                .min(ai.value() * self.mem_bandwidth.value()),
+        )
     }
 }
 

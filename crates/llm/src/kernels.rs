@@ -110,9 +110,7 @@ impl FcKernel {
     /// Bytes moved: weights once, plus input and output activations per
     /// token — the denominator of the paper's Eq. (1).
     pub fn bytes(&self, model: &ModelConfig, p: Parallelism) -> Bytes {
-        let elems = self.weights()
-            + p.tokens() * self.in_features
-            + p.tokens() * self.out_features;
+        let elems = self.weights() + p.tokens() * self.in_features + p.tokens() * self.out_features;
         elems as f64 * model.dtype.size()
     }
 
@@ -278,7 +276,10 @@ mod tests {
         let attn_ai = AttentionShape::uniform(4, 8, 512)
             .arithmetic_intensity(&model)
             .value();
-        assert!((attn_ai - 7.0).abs() < 1.0, "attention AI {attn_ai}, paper: 7.0");
+        assert!(
+            (attn_ai - 7.0).abs() < 1.0,
+            "attention AI {attn_ai}, paper: 7.0"
+        );
     }
 
     #[test]

@@ -69,7 +69,10 @@ mod tests {
         let memory = Bytes::new(640e9);
         let short = planner.max_initial_rlp(memory, 128, 128);
         let long = planner.max_initial_rlp(memory, 2048, 2048);
-        assert!(short > 200 && short < 350, "short-sequence capacity {short}");
+        assert!(
+            short > 200 && short < 350,
+            "short-sequence capacity {short}"
+        );
         assert!(long > 10 && long < 30, "long-sequence capacity {long}");
         assert!(short / long >= 10);
     }

@@ -121,7 +121,8 @@ impl MoeModel {
     /// FFN weight bytes fetched per layer at `tokens` tokens (only the
     /// distinct experts' weights stream from DRAM).
     pub fn ffn_fetch_bytes_per_layer(&self, tokens: u64) -> Bytes {
-        self.expected_distinct_experts(tokens) * self.expert_weights() as f64
+        self.expected_distinct_experts(tokens)
+            * self.expert_weights() as f64
             * self.base.dtype.size()
     }
 

@@ -84,10 +84,7 @@ pub fn roofline_points(
             batch,
             speculation,
             ai: ai.value(),
-            attainable_tflops: peak
-                .value()
-                .min(ai.value() * bandwidth.value())
-                / 1e12,
+            attainable_tflops: peak.value().min(ai.value() * bandwidth.value()) / 1e12,
             boundedness: Boundedness::classify(ai, peak, bandwidth),
         })
         .collect()
@@ -125,8 +122,16 @@ mod tests {
         }
         for batch in [32u64, 64, 128] {
             let pts = roofline_points(&model, batch, 8, 512, peak, bw);
-            assert_eq!(pts[0].boundedness, Boundedness::ComputeBound, "batch {batch}");
-            assert_eq!(pts[1].boundedness, Boundedness::MemoryBound, "batch {batch}");
+            assert_eq!(
+                pts[0].boundedness,
+                Boundedness::ComputeBound,
+                "batch {batch}"
+            );
+            assert_eq!(
+                pts[1].boundedness,
+                Boundedness::MemoryBound,
+                "batch {batch}"
+            );
         }
     }
 

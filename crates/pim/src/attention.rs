@@ -64,8 +64,7 @@ impl AttentionSpec {
 
     /// KV-cache bytes read (K and V, every request and head).
     pub fn kv_bytes(&self) -> Bytes {
-        (2 * self.requests * self.heads * self.kv_len * self.head_dim) as f64
-            * self.dtype.size()
+        (2 * self.requests * self.heads * self.kv_len * self.head_dim) as f64 * self.dtype.size()
     }
 
     /// Multiply-accumulates of the score + context GEMVs.
@@ -113,19 +112,17 @@ pub fn execute_attention(
     // Softmax phase: runs on the same FPUs, so halved FPU counts (1P2B)
     // pay double here too.
     let softmax_per_unit = (spec.queries * spec.kv_len) as f64 * 5.0;
-    let softmax_time = Time::new(
-        plan.units_per_device as f64 * softmax_per_unit / device.vector_op_rate(),
-    );
+    let softmax_time =
+        Time::new(plan.units_per_device as f64 * softmax_per_unit / device.vector_op_rate());
     let fetch_bytes = spec.kv_bytes();
-    let mut energy = device.energy_model.breakdown(
-        fetch_bytes,
-        device.dram_access_pj_per_byte(),
-        spec.macs(),
-    );
+    let mut energy =
+        device
+            .energy_model
+            .breakdown(fetch_bytes, device.dram_access_pj_per_byte(), spec.macs());
     // Softmax ops cost compute energy like MACs.
     energy.compute += papi_types::Energy::from_picojoules(
-            spec.softmax_ops() * device.energy_model.compute_pj_per_mac,
-        );
+        spec.softmax_ops() * device.energy_model.compute_pj_per_mac,
+    );
     PimKernelResult {
         time: gemv_time + softmax_time,
         energy,

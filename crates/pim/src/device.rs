@@ -63,11 +63,8 @@ impl PimDevice {
             banks, area_banks,
             "topology has {banks} banks but Eq. (3) allows {area_banks} for {config}"
         );
-        let derived = derive::pim_streaming_bandwidth(
-            &hbm,
-            hbm.topology.banks_per_pseudo_channel(),
-            32,
-        );
+        let derived =
+            derive::pim_streaming_bandwidth(&hbm, hbm.topology.banks_per_pseudo_channel(), 32);
         Self {
             name: name.into(),
             hbm,
@@ -254,8 +251,7 @@ mod tests {
         // AttAcc's at batch 4 × speculation 4 (reuse 16).
         let fc = PimDevice::fc_pim();
         let attacc = PimDevice::attacc();
-        let ratio =
-            fc.mac_rate(16, DataType::Fp16) / attacc.mac_rate(16, DataType::Fp16);
+        let ratio = fc.mac_rate(16, DataType::Fp16) / attacc.mac_rate(16, DataType::Fp16);
         assert!(
             ratio > 2.5 && ratio < 3.5,
             "FC-PIM/AttAcc MAC ratio {ratio}, want ~3"

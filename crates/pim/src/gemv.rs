@@ -138,17 +138,18 @@ pub fn execute_gemv(device: &PimDevice, n_devices: usize, spec: &GemvSpec) -> Pi
     );
     let reuse = spec.tokens;
     let mac_rate = device.mac_rate(reuse, spec.dtype); // per device
+
     // Busiest device's share of the MACs, inflated by bank imbalance.
-    let macs_busiest =
-        plan.rows_per_device as f64 * spec.in_features as f64 * spec.tokens as f64
-            * plan.bank_imbalance;
+    let macs_busiest = plan.rows_per_device as f64
+        * spec.in_features as f64
+        * spec.tokens as f64
+        * plan.bank_imbalance;
     let time = Time::new(macs_busiest / mac_rate);
     let fetch_bytes = spec.weight_bytes();
-    let energy = device.energy_model.breakdown(
-        fetch_bytes,
-        device.dram_access_pj_per_byte(),
-        spec.macs(),
-    );
+    let energy =
+        device
+            .energy_model
+            .breakdown(fetch_bytes, device.dram_access_pj_per_byte(), spec.macs());
     // Compute-bound iff the FPUs are saturated: the achieved MAC rate
     // reaches the device's peak.
     let compute_peak = device.total_fpus() as f64 * device.fpu.mac_rate();
@@ -214,7 +215,10 @@ mod tests {
         let fc = execute_gemv(&PimDevice::fc_pim(), 30, &spec);
         let attacc = execute_gemv(&PimDevice::attacc(), 30, &spec);
         let ratio = attacc.time.value() / fc.time.value();
-        assert!(ratio > 2.5 && ratio < 3.5, "FC-PIM speedup {ratio}, want ~3");
+        assert!(
+            ratio > 2.5 && ratio < 3.5,
+            "FC-PIM speedup {ratio}, want ~3"
+        );
     }
 
     #[test]
@@ -232,7 +236,10 @@ mod tests {
         let t16 = execute_gemv(&fc, 30, &llama_fc_spec(16)).time;
         let t64 = execute_gemv(&fc, 30, &llama_fc_spec(64)).time;
         let ratio = t64.value() / t16.value();
-        assert!((ratio - 4.0).abs() < 0.3, "64/16 token ratio {ratio}, want ~4");
+        assert!(
+            (ratio - 4.0).abs() < 0.3,
+            "64/16 token ratio {ratio}, want ~4"
+        );
     }
 
     #[test]

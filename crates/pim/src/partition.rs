@@ -56,7 +56,10 @@ pub fn plan_weight_partition(
     banks_per_device: usize,
 ) -> TilePlan {
     assert!(out_rows > 0 && in_cols > 0, "matrix must be non-empty");
-    assert!(devices > 0 && banks_per_device > 0, "need hardware to plan on");
+    assert!(
+        devices > 0 && banks_per_device > 0,
+        "need hardware to plan on"
+    );
     let per_device = out_rows.div_ceil(devices as u64);
     let tile_elems = per_device * in_cols;
     let per_bank = tile_elems.div_ceil(banks_per_device as u64);
@@ -133,7 +136,11 @@ mod tests {
         // A GPT-3 66B FFN-down kernel over the paper's pools: 2D bank
         // tiling keeps bank imbalance within rounding.
         let plan = plan_weight_partition(9216, 4 * 9216, 30, 128);
-        assert!(plan.bank_imbalance < 1.001, "bank imbalance {}", plan.bank_imbalance);
+        assert!(
+            plan.bank_imbalance < 1.001,
+            "bank imbalance {}",
+            plan.bank_imbalance
+        );
     }
 
     #[test]

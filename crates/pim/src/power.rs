@@ -84,7 +84,10 @@ mod tests {
     fn attacc_1p1b_no_reuse_slightly_over_budget() {
         let p = power_draw(&PimDevice::attacc(), 1, DataType::Fp16);
         let budget = PowerBudget::hbm3_cube();
-        assert!(!budget.admits(p), "1P1B @ reuse 1 = {p} should exceed 116 W");
+        assert!(
+            !budget.admits(p),
+            "1P1B @ reuse 1 = {p} should exceed 116 W"
+        );
         assert!(p.as_watts() < 150.0, "but only slightly: {p}");
     }
 

@@ -82,21 +82,13 @@ mod tests {
 
     #[test]
     fn pim_always_wins_gives_max() {
-        let cal = calibrate_alpha(
-            |_| Time::from_micros(1.0),
-            |_| Time::from_micros(100.0),
-            32,
-        );
+        let cal = calibrate_alpha(|_| Time::from_micros(1.0), |_| Time::from_micros(100.0), 32);
         assert_eq!(cal.alpha, 32.0);
     }
 
     #[test]
     fn pu_always_wins_gives_half() {
-        let cal = calibrate_alpha(
-            |_| Time::from_micros(100.0),
-            |_| Time::from_micros(1.0),
-            32,
-        );
+        let cal = calibrate_alpha(|_| Time::from_micros(100.0), |_| Time::from_micros(1.0), 32);
         assert_eq!(cal.alpha, 0.5);
     }
 
@@ -104,11 +96,7 @@ mod tests {
     fn ties_go_to_pim() {
         // Equal latency is "PIM wins" (cheaper energy); crossover sits
         // past the tie point.
-        let cal = calibrate_alpha(
-            |_| Time::from_micros(5.0),
-            |_| Time::from_micros(5.0),
-            8,
-        );
+        let cal = calibrate_alpha(|_| Time::from_micros(5.0), |_| Time::from_micros(5.0), 8);
         assert_eq!(cal.alpha, 8.0);
     }
 

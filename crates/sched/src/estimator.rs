@@ -115,7 +115,10 @@ mod tests {
         // than the measured AI — harmless because both sides of the
         // comparison are deep in compute-bound territory.
         let err = AiEstimator::relative_error(9216, 128, 8);
-        assert!(err > 0.05 && err < 0.40, "error at extreme parallelism {err}");
+        assert!(
+            err > 0.05 && err < 0.40,
+            "error at extreme parallelism {err}"
+        );
     }
 
     #[test]

@@ -279,8 +279,10 @@ mod tests {
         // Fig. 5(d): as requests finish, RLP decays 5→4→4→3→2 and the FC
         // kernel migrates PU → PIM once RLP×TLP crosses α.
         let mut s = PapiScheduler::new(3.5);
-        let placements: Vec<Placement> =
-            [5u64, 4, 4, 3, 2].iter().map(|&rlp| s.decide(rlp, 1)).collect();
+        let placements: Vec<Placement> = [5u64, 4, 4, 3, 2]
+            .iter()
+            .map(|&rlp| s.decide(rlp, 1))
+            .collect();
         assert_eq!(
             placements,
             [

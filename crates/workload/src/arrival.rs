@@ -1,0 +1,333 @@
+//! Request arrival processes and the online request lifecycle.
+//!
+//! The paper's central observation is that runtime parallelism is
+//! *unpredictable under online serving*: requests arrive and finish at
+//! unknown times (§3.2). The closed-batch [`WorkloadSpec`] path cannot
+//! express that — it starts every request at t = 0. This module adds
+//! the open-loop side: an [`ArrivalProcess`] stamps each generated
+//! request with an arrival time, and a [`ServingRequest`] carries the
+//! request through its lifecycle states (`Queued → Prefilling →
+//! Decoding → Finished`) as the serving engine advances simulated
+//! wall-clock time.
+//!
+//! [`WorkloadSpec`]: crate::batching::WorkloadSpec
+
+use crate::dataset::DatasetKind;
+use crate::request::Request;
+use crate::speculative::{SpeculativeConfig, TlpPolicy};
+use papi_types::Time;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// When requests reach the serving system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Open-loop Poisson arrivals at `rate_per_sec` (exponential
+    /// inter-arrival gaps) — the standard serving-benchmark load model.
+    Poisson {
+        /// Mean arrivals per second.
+        rate_per_sec: f64,
+    },
+    /// Evenly spaced arrivals, one every `interval_sec`.
+    Uniform {
+        /// Gap between consecutive arrivals, in seconds.
+        interval_sec: f64,
+    },
+    /// Every request is present at t = 0 (the closed-batch limit; with
+    /// a batch cap this reproduces queue-fed continuous batching).
+    Immediate,
+    /// Explicit arrival offsets in seconds (a replayed trace file).
+    /// Requests beyond the trace's length reuse its last gap.
+    Trace(Vec<f64>),
+}
+
+impl ArrivalProcess {
+    /// Arrival times (seconds, non-decreasing, starting at 0) for `n`
+    /// requests, deterministically derived from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a rate/interval is not positive and finite, or if a
+    /// trace is empty, unsorted, or negative while `n > 0`.
+    #[track_caller]
+    pub fn arrival_times(&self, seed: u64, n: usize) -> Vec<f64> {
+        match self {
+            ArrivalProcess::Poisson { rate_per_sec } => {
+                assert!(
+                    rate_per_sec.is_finite() && *rate_per_sec > 0.0,
+                    "Poisson rate must be positive, got {rate_per_sec}"
+                );
+                let mut rng = StdRng::seed_from_u64(seed ^ 0xa55a_a55a_0f0f_f0f0);
+                let mut clock = 0.0;
+                (0..n)
+                    .map(|_| {
+                        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                        clock += -u.ln() / rate_per_sec;
+                        clock
+                    })
+                    .collect()
+            }
+            ArrivalProcess::Uniform { interval_sec } => {
+                assert!(
+                    interval_sec.is_finite() && *interval_sec > 0.0,
+                    "arrival interval must be positive, got {interval_sec}"
+                );
+                (0..n).map(|i| i as f64 * interval_sec).collect()
+            }
+            ArrivalProcess::Immediate => vec![0.0; n],
+            ArrivalProcess::Trace(times) => {
+                assert!(n == 0 || !times.is_empty(), "empty arrival trace");
+                assert!(
+                    times.windows(2).all(|w| w[0] <= w[1])
+                        && times.first().is_none_or(|&t| t >= 0.0),
+                    "arrival trace must be sorted and non-negative"
+                );
+                let last_gap = if times.len() >= 2 {
+                    times[times.len() - 1] - times[times.len() - 2]
+                } else {
+                    0.0
+                };
+                (0..n)
+                    .map(|i| match times.get(i) {
+                        Some(&t) => t,
+                        None => times[times.len() - 1] + last_gap * (i - times.len() + 1) as f64,
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Lifecycle state of an online request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RequestState {
+    /// Arrived, waiting for a batch slot.
+    Queued,
+    /// Admitted; its prompt is being prefetched into the KV cache.
+    Prefilling,
+    /// Generating output tokens.
+    Decoding,
+    /// Emitted `<|eos|>`.
+    Finished,
+}
+
+/// One request flowing through the online serving system: the static
+/// [`Request`] plus its arrival stamp, lifecycle state, and progress.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServingRequest {
+    /// The underlying prompt/output-length pair.
+    pub request: Request,
+    /// Arrival time, seconds since the episode began.
+    pub arrival_s: f64,
+    /// Current lifecycle state.
+    pub state: RequestState,
+    /// Output tokens banked so far.
+    pub generated: u64,
+    /// Times this request was preempted back to the queue.
+    pub preemptions: u64,
+}
+
+impl ServingRequest {
+    /// A freshly arrived request.
+    pub fn new(request: Request, arrival_s: f64) -> Self {
+        Self {
+            request,
+            arrival_s,
+            state: RequestState::Queued,
+            generated: 0,
+            preemptions: 0,
+        }
+    }
+
+    /// Output tokens still to generate.
+    pub fn remaining(&self) -> u64 {
+        self.request.output_len - self.generated
+    }
+
+    /// Current KV-cache footprint in tokens (prompt + banked output).
+    pub fn kv_len(&self) -> u64 {
+        self.request.input_len + self.generated
+    }
+
+    /// Prompt tokens a (re-)admission must prefill: the prompt plus any
+    /// output generated before a preemption (recompute-style
+    /// preemption rebuilds the whole context).
+    pub fn prefill_len(&self) -> u64 {
+        self.kv_len()
+    }
+
+    /// Arrival time as a typed quantity.
+    pub fn arrival(&self) -> Time {
+        Time::new(self.arrival_s)
+    }
+}
+
+/// An open-loop serving workload: who arrives, when, and how the
+/// decoder speculates.
+///
+/// # Example
+///
+/// ```
+/// use papi_workload::{DatasetKind, ServingWorkload};
+///
+/// let workload = ServingWorkload::poisson(DatasetKind::GeneralQa, 2.0, 64).with_seed(7);
+/// let requests = workload.requests();
+/// assert_eq!(requests.len(), 64);
+/// assert!(requests.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServingWorkload {
+    /// Dataset category requests are drawn from.
+    pub dataset: DatasetKind,
+    /// The arrival process.
+    pub arrivals: ArrivalProcess,
+    /// Number of requests in the episode.
+    pub num_requests: usize,
+    /// Speculative-decoding configuration (TLP).
+    pub speculation: SpeculativeConfig,
+    /// Runtime speculation-length policy.
+    pub tlp_policy: TlpPolicy,
+    /// RNG seed for dataset generation, arrivals, and acceptance.
+    pub seed: u64,
+}
+
+impl ServingWorkload {
+    /// Poisson arrivals at `rate_per_sec` over `num_requests` requests,
+    /// no speculation.
+    pub fn poisson(dataset: DatasetKind, rate_per_sec: f64, num_requests: usize) -> Self {
+        Self::new(
+            dataset,
+            ArrivalProcess::Poisson { rate_per_sec },
+            num_requests,
+        )
+    }
+
+    /// A workload over an explicit arrival process.
+    pub fn new(dataset: DatasetKind, arrivals: ArrivalProcess, num_requests: usize) -> Self {
+        Self {
+            dataset,
+            arrivals,
+            num_requests,
+            speculation: SpeculativeConfig::fixed(1),
+            tlp_policy: TlpPolicy::Fixed,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// Overrides the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the speculation configuration.
+    pub fn with_speculation(mut self, speculation: SpeculativeConfig) -> Self {
+        self.speculation = speculation;
+        self
+    }
+
+    /// Enables batch-co-optimized dynamic speculation length.
+    pub fn with_adaptive_tlp(mut self, target_tokens: u64, max_length: u64) -> Self {
+        self.tlp_policy = TlpPolicy::Adaptive {
+            target_tokens,
+            max_length,
+        };
+        self
+    }
+
+    /// The episode's requests, stamped with arrival times and sorted by
+    /// arrival (ties keep generation order).
+    pub fn requests(&self) -> Vec<ServingRequest> {
+        let requests = self.dataset.generate(self.seed, self.num_requests);
+        let times = self.arrivals.arrival_times(self.seed, self.num_requests);
+        let mut serving: Vec<ServingRequest> = requests
+            .into_iter()
+            .zip(times)
+            .map(|(request, arrival_s)| ServingRequest::new(request, arrival_s))
+            .collect();
+        serving.sort_by(|a, b| {
+            a.arrival_s
+                .total_cmp(&b.arrival_s)
+                .then(a.request.id.cmp(&b.request.id))
+        });
+        serving
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_rate_sets_mean_gap() {
+        for rate in [0.5f64, 2.0, 10.0] {
+            let times = ArrivalProcess::Poisson { rate_per_sec: rate }.arrival_times(9, 4000);
+            assert_eq!(times.len(), 4000);
+            assert!(times.windows(2).all(|w| w[0] <= w[1]));
+            let span = times.last().unwrap() - times.first().unwrap();
+            let mean_gap = span / (times.len() - 1) as f64;
+            assert!(
+                (mean_gap * rate - 1.0).abs() < 0.1,
+                "rate {rate}: mean gap {mean_gap}"
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_is_deterministic_per_seed() {
+        let p = ArrivalProcess::Poisson { rate_per_sec: 3.0 };
+        assert_eq!(p.arrival_times(4, 100), p.arrival_times(4, 100));
+        assert_ne!(p.arrival_times(4, 100), p.arrival_times(5, 100));
+    }
+
+    #[test]
+    fn uniform_and_immediate_shapes() {
+        let u = ArrivalProcess::Uniform { interval_sec: 0.25 }.arrival_times(0, 5);
+        assert_eq!(u, vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+        let i = ArrivalProcess::Immediate.arrival_times(0, 3);
+        assert_eq!(i, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn trace_extends_past_its_end_with_last_gap() {
+        let t = ArrivalProcess::Trace(vec![0.0, 1.0, 3.0]).arrival_times(0, 5);
+        assert_eq!(t, vec![0.0, 1.0, 3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_trace_rejected() {
+        ArrivalProcess::Trace(vec![1.0, 0.5]).arrival_times(0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        ArrivalProcess::Poisson { rate_per_sec: 0.0 }.arrival_times(0, 1);
+    }
+
+    #[test]
+    fn serving_request_lifecycle_accounting() {
+        let mut r = ServingRequest::new(Request::new(1, 100, 40), 2.5);
+        assert_eq!(r.state, RequestState::Queued);
+        assert_eq!(r.remaining(), 40);
+        assert_eq!(r.kv_len(), 100);
+        r.generated = 15;
+        assert_eq!(r.remaining(), 25);
+        assert_eq!(r.kv_len(), 115);
+        assert_eq!(r.prefill_len(), 115);
+        assert_eq!(r.arrival().value(), 2.5);
+    }
+
+    #[test]
+    fn workload_requests_sorted_and_reproducible() {
+        let w = ServingWorkload::poisson(DatasetKind::CreativeWriting, 4.0, 128).with_seed(3);
+        let a = w.requests();
+        let b = w.requests();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 128);
+        assert!(a.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s));
+        assert!(a.iter().all(|r| r.state == RequestState::Queued));
+    }
+}

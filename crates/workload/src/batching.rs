@@ -285,8 +285,7 @@ mod tests {
 
     #[test]
     fn continuous_batching_holds_rlp_while_queue_lasts() {
-        let spec =
-            WorkloadSpec::continuous_batching(DatasetKind::GeneralQa, 8, 1, 64);
+        let spec = WorkloadSpec::continuous_batching(DatasetKind::GeneralQa, 8, 1, 64);
         let trace = spec.trace();
         trace.validate().unwrap();
         // While the queue has depth, RLP stays at the maximum.
@@ -360,8 +359,7 @@ mod tests {
 
     #[test]
     fn adaptive_tlp_holds_tokens_in_flight_as_rlp_decays() {
-        let fixed = WorkloadSpec::static_batching(DatasetKind::CreativeWriting, 32, 2)
-            .with_seed(7);
+        let fixed = WorkloadSpec::static_batching(DatasetKind::CreativeWriting, 32, 2).with_seed(7);
         let adaptive = fixed.clone().with_adaptive_tlp(64, 8);
         let (tf, ta) = (fixed.trace(), adaptive.trace());
         tf.validate().unwrap();

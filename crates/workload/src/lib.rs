@@ -15,18 +15,23 @@
 //! - [`speculative`] — speculation length (TLP) and token-acceptance
 //!   models.
 //! - [`batching`] — static batching and mixed continuous batching.
+//! - [`arrival`] — open-loop arrival processes (Poisson, uniform,
+//!   replayed traces) and the online request lifecycle
+//!   (`Queued → Prefilling → Decoding → Finished`).
 //! - [`trace`] — per-iteration decode traces: the RLP/TLP/KV state the
 //!   system simulator executes against.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod arrival;
 pub mod batching;
 pub mod dataset;
 pub mod request;
 pub mod speculative;
 pub mod trace;
 
+pub use arrival::{ArrivalProcess, RequestState, ServingRequest, ServingWorkload};
 pub use batching::{BatchingPolicy, WorkloadSpec};
 pub use dataset::DatasetKind;
 pub use request::Request;

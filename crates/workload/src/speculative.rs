@@ -124,7 +124,10 @@ impl SpeculativeConfig {
     #[track_caller]
     pub fn geometric(length: u64, p: f64) -> Self {
         assert!(length > 0, "speculation length must be at least 1");
-        assert!(p > 0.0 && p <= 1.0, "acceptance probability must be in (0,1]");
+        assert!(
+            p > 0.0 && p <= 1.0,
+            "acceptance probability must be in (0,1]"
+        );
         Self {
             length,
             acceptance: AcceptanceModel::Geometric { p },

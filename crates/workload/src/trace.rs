@@ -88,7 +88,10 @@ impl DecodeTrace {
         if self.iterations.is_empty() {
             return 0.0;
         }
-        self.iterations.iter().filter(|it| it.rlp < threshold).count() as f64
+        self.iterations
+            .iter()
+            .filter(|it| it.rlp < threshold)
+            .count() as f64
             / self.iterations.len() as f64
     }
 
@@ -105,10 +108,7 @@ impl DecodeTrace {
         }
         let finished: u64 = self.iterations.iter().map(|it| it.finished).sum();
         if finished != self.requests {
-            return Err(format!(
-                "finished {finished} != requests {}",
-                self.requests
-            ));
+            return Err(format!("finished {finished} != requests {}", self.requests));
         }
         for (i, it) in self.iterations.iter().enumerate() {
             if it.rlp == 0 {

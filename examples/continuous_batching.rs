@@ -17,12 +17,13 @@ fn main() {
     let batch = 32;
     let queue = 96;
 
-    let static_wl =
-        WorkloadSpec::static_batching(DatasetKind::GeneralQa, batch, 1).with_seed(17);
+    let static_wl = WorkloadSpec::static_batching(DatasetKind::GeneralQa, batch, 1).with_seed(17);
     let continuous_wl =
         WorkloadSpec::continuous_batching(DatasetKind::GeneralQa, batch, 1, queue).with_seed(17);
 
-    println!("LLaMA-65B, general-qa, batch {batch} (continuous refills from a {queue}-deep queue)\n");
+    println!(
+        "LLaMA-65B, general-qa, batch {batch} (continuous refills from a {queue}-deep queue)\n"
+    );
     for (label, workload) in [("static", &static_wl), ("continuous", &continuous_wl)] {
         let trace = workload.trace();
         let papi = DecodingSimulator::new(SystemConfig::papi(model.clone())).run_trace(&trace);

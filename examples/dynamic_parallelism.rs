@@ -14,10 +14,12 @@ use papi::workload::{DatasetKind, WorkloadSpec};
 fn main() {
     let model = ModelPreset::Llama65B.config();
     let calibration = SystemConfig::calibrate(&model);
-    println!("calibrated alpha = {:.1} tokens (RLP x TLP)\n", calibration.alpha);
+    println!(
+        "calibrated alpha = {:.1} tokens (RLP x TLP)\n",
+        calibration.alpha
+    );
 
-    let workload =
-        WorkloadSpec::static_batching(DatasetKind::CreativeWriting, 48, 1).with_seed(11);
+    let workload = WorkloadSpec::static_batching(DatasetKind::CreativeWriting, 48, 1).with_seed(11);
     let trace = workload.trace();
     let sim = DecodingSimulator::new(SystemConfig::papi_with_alpha(model, calibration.alpha));
     let report = sim.run_trace(&trace);
@@ -25,12 +27,7 @@ fn main() {
     println!("iter | RLP | RLPxTLP | FC placement");
     println!("-----|-----|---------|-------------");
     let mut last: Option<Placement> = None;
-    for (i, (it, placement)) in trace
-        .iterations
-        .iter()
-        .zip(&report.placements)
-        .enumerate()
-    {
+    for (i, (it, placement)) in trace.iterations.iter().zip(&report.placements).enumerate() {
         let changed = last != Some(*placement);
         let first_or_sampled = i == 0 || i % 50 == 0;
         if changed || first_or_sampled {
@@ -40,7 +37,11 @@ fn main() {
                 it.rlp,
                 it.tokens_in_flight(),
                 placement,
-                if changed && i > 0 { "   <-- RESCHEDULED" } else { "" },
+                if changed && i > 0 {
+                    "   <-- RESCHEDULED"
+                } else {
+                    ""
+                },
             );
         }
         last = Some(*placement);

@@ -58,11 +58,17 @@ fn main() {
             "{tokens:6} | {distinct:16.2} | {reuse:10} | {:10.2} ms | {:10.2} ms | {}",
             pim_time.as_millis(),
             gpu_time.as_millis(),
-            if pim_time.value() < gpu_time.value() { "yes" } else { "no" },
+            if pim_time.value() < gpu_time.value() {
+                "yes"
+            } else {
+                "no"
+            },
         );
     }
     println!("\nCompare the dense rule of thumb (PIM wins below ~25 tokens):");
-    println!("MoE's k/E reuse dilution keeps FC-PIM competitive to ~{}x larger",
-        moe.experts / moe.top_k);
+    println!(
+        "MoE's k/E reuse dilution keeps FC-PIM competitive to ~{}x larger",
+        moe.experts / moe.top_k
+    );
     println!("batches — the §6.5 claim, quantified.");
 }

@@ -13,8 +13,7 @@ fn main() {
     // A LLaMA-65B batch of 16 creative-writing requests, speculation
     // length 2 — a realistic mid-parallelism serving point.
     let model = ModelPreset::Llama65B.config();
-    let workload =
-        WorkloadSpec::static_batching(DatasetKind::CreativeWriting, 16, 2).with_seed(7);
+    let workload = WorkloadSpec::static_batching(DatasetKind::CreativeWriting, 16, 2).with_seed(7);
 
     let papi = DecodingSimulator::new(SystemConfig::papi(model.clone()));
     let baseline = DecodingSimulator::new(SystemConfig::a100_attacc(model));

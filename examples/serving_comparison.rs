@@ -1,13 +1,15 @@
-//! Serve both Dolly-like workload categories on all five systems and
-//! print the full comparison — the paper's Fig. 8/9 in miniature.
+//! Serve an online Poisson workload on all five systems and compare
+//! the user-facing latency metrics the closed-batch paper figures
+//! cannot express: queueing delay, TTFT, TPOT, tail percentiles, and
+//! SLO goodput.
 //!
 //! ```sh
 //! cargo run --release --example serving_comparison
 //! ```
 
-use papi::core::{DecodingSimulator, DesignKind, SystemConfig};
+use papi::core::{DesignKind, ServingEngine, SloSpec, SystemConfig};
 use papi::llm::ModelPreset;
-use papi::workload::{DatasetKind, WorkloadSpec};
+use papi::workload::{DatasetKind, ServingWorkload};
 
 fn main() {
     let model = ModelPreset::Gpt3_66B.config();
@@ -18,33 +20,43 @@ fn main() {
         DesignKind::PimOnlyPapi,
         DesignKind::Papi,
     ];
+    let slo = SloSpec::interactive(1_000.0, 50.0);
     for dataset in [DatasetKind::CreativeWriting, DatasetKind::GeneralQa] {
-        println!("\n=== {} — GPT-3 66B, batch 16, speculation 2 ===", dataset);
-        let workload = WorkloadSpec::static_batching(dataset, 16, 2).with_seed(23);
-        let trace = workload.trace();
+        let workload = ServingWorkload::poisson(dataset, 3.0, 96).with_seed(23);
         println!(
-            "{} requests, {} tokens, {} decoding iterations",
-            trace.requests,
-            trace.total_tokens,
-            trace.len()
+            "\n=== {dataset} — GPT-3 66B, Poisson 3 req/s, 96 requests, \
+             SLO: TTFT ≤ 1 s, TPOT ≤ 50 ms ==="
         );
-        let mut baseline_latency = None;
+        println!(
+            "{:14} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8} {:>8}",
+            "design",
+            "ttft-p50",
+            "ttft-p99",
+            "tpot-p50",
+            "tpot-p99",
+            "queue-p99",
+            "goodput",
+            "attain",
+            "switch"
+        );
         for kind in designs {
-            let report = DecodingSimulator::new(SystemConfig::build(kind, model.clone()))
-                .run_trace(&trace);
-            let latency = report.total_latency().as_secs();
-            let base = *baseline_latency.get_or_insert(latency);
-            let (fc, attn, comm, other) = report.phases.fractions();
+            let engine =
+                ServingEngine::new(SystemConfig::build(kind, model.clone())).with_max_batch(32);
+            let report = engine.run(&workload);
+            let ttft = report.ttft_summary().expect("episode served requests");
+            let tpot = report.tpot_summary().expect("episode served requests");
+            let queue = report.queueing_summary().expect("episode served requests");
             println!(
-                "{:14} {:7.2} s ({:4.2}x) | energy {:7.0} J | fc {:4.1}% attn {:4.1}% comm {:4.1}% other {:4.1}%",
+                "{:14} {:>7.0}ms {:>7.0}ms {:>7.1}ms {:>7.1}ms {:>7.0}ms {:>6.2}r/s {:>7.0}% {:>8}",
                 report.design,
-                latency,
-                base / latency,
-                report.total_energy().as_joules(),
-                fc * 100.0,
-                attn * 100.0,
-                comm * 100.0,
-                other * 100.0,
+                ttft.p50.as_millis(),
+                ttft.p99.as_millis(),
+                tpot.p50.as_millis(),
+                tpot.p99.as_millis(),
+                queue.p99.as_millis(),
+                report.goodput(&slo),
+                report.slo_attainment(&slo) * 100.0,
+                report.scheduler.switches,
             );
         }
     }

@@ -70,11 +70,8 @@ fn facade_composes_all_layers() {
     let bw = papi::dram::derive::pim_streaming_bandwidth(&device.hbm, 8, 16);
     assert!(bw.per_bank.as_gb_per_sec() > 10.0);
     // llm → sched
-    let ai = papi::sched::AiEstimator::exact(
-        papi::llm::ModelPreset::Gpt3_175B.config().hidden,
-        16,
-        2,
-    );
+    let ai =
+        papi::sched::AiEstimator::exact(papi::llm::ModelPreset::Gpt3_175B.config().hidden, 16, 2);
     assert!(ai > 0.0 && ai < 32.0);
     // interconnect
     let topo = papi::interconnect::SystemTopology::papi_default(30, 60).unwrap();

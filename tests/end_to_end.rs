@@ -6,7 +6,11 @@ use papi::llm::ModelPreset;
 use papi::types::geometric_mean;
 use papi::workload::{DatasetKind, WorkloadSpec};
 
-fn run(kind: DesignKind, model: ModelPreset, workload: &WorkloadSpec) -> papi::core::ExecutionReport {
+fn run(
+    kind: DesignKind,
+    model: ModelPreset,
+    workload: &WorkloadSpec,
+) -> papi::core::ExecutionReport {
     DecodingSimulator::new(SystemConfig::build(kind, model.config())).run(workload)
 }
 
@@ -19,10 +23,9 @@ fn papi_wins_the_creative_writing_grid() {
     let mut speedups_vs_pim_only = Vec::new();
     for batch in [4u64, 16, 64] {
         for spec in [1u64, 2] {
-            let workload =
-                WorkloadSpec::static_batching(DatasetKind::CreativeWriting, batch, spec)
-                    .with_seed(31)
-                    .with_max_iterations(96);
+            let workload = WorkloadSpec::static_batching(DatasetKind::CreativeWriting, batch, spec)
+                .with_seed(31)
+                .with_max_iterations(96);
             let trace = workload.trace();
             let papi = DecodingSimulator::new(SystemConfig::build(
                 DesignKind::Papi,
@@ -49,8 +52,14 @@ fn papi_wins_the_creative_writing_grid() {
     }
     let vs_gpu = geometric_mean(&speedups_vs_gpu).unwrap();
     let vs_pim = geometric_mean(&speedups_vs_pim_only).unwrap();
-    assert!(vs_gpu > 1.3, "mean speedup over A100+AttAcc only {vs_gpu:.2}");
-    assert!(vs_pim > 1.5, "mean speedup over AttAcc-only only {vs_pim:.2}");
+    assert!(
+        vs_gpu > 1.3,
+        "mean speedup over A100+AttAcc only {vs_gpu:.2}"
+    );
+    assert!(
+        vs_pim > 1.5,
+        "mean speedup over AttAcc-only only {vs_pim:.2}"
+    );
 }
 
 /// §7.2's energy claim, in ratio form that our model reproduces exactly:
@@ -62,8 +71,7 @@ fn papi_energy_efficiency() {
     // on FC-PIM, where the energy gap against the GPU baseline is
     // largest. (At high parallelism PAPI deliberately matches the GPU's
     // energy because it *is* using the GPU.)
-    let workload =
-        WorkloadSpec::static_batching(DatasetKind::GeneralQa, 8, 1).with_seed(5);
+    let workload = WorkloadSpec::static_batching(DatasetKind::GeneralQa, 8, 1).with_seed(5);
     let papi = run(DesignKind::Papi, ModelPreset::Llama65B, &workload);
     let gpu = run(DesignKind::A100AttAcc, ModelPreset::Llama65B, &workload);
     let attacc = run(DesignKind::AttAccOnly, ModelPreset::Llama65B, &workload);
@@ -91,7 +99,10 @@ fn papi_advantage_shrinks_with_tlp() {
     };
     let s1 = speedup_at(1);
     let s8 = speedup_at(8);
-    assert!(s1 > s8, "speedup should shrink with TLP: spec1 {s1:.2} vs spec8 {s8:.2}");
+    assert!(
+        s1 > s8,
+        "speedup should shrink with TLP: spec1 {s1:.2} vs spec8 {s8:.2}"
+    );
     assert!(s8 >= 0.95, "PAPI should never lose outright: {s8:.2}");
 }
 
@@ -109,7 +120,10 @@ fn attacc_only_crossover_with_batch() {
         attacc.speedup_over(&gpu)
     };
     assert!(ratio_at(4) > 1.0, "AttAcc-only should win at batch 4");
-    assert!(ratio_at(64) < 0.5, "AttAcc-only should collapse at batch 64");
+    assert!(
+        ratio_at(64) < 0.5,
+        "AttAcc-only should collapse at batch 64"
+    );
 }
 
 /// The two GPU-heterogeneous baselines differ only in the attention PIM

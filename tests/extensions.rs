@@ -13,12 +13,9 @@ use papi::workload::{DatasetKind, WorkloadSpec};
 #[test]
 fn prefill_collapses_pim_only_end_to_end() {
     let model = ModelPreset::Gpt3_66B.config();
-    let workload =
-        WorkloadSpec::static_batching(DatasetKind::CreativeWriting, 32, 2).with_seed(8);
-    let papi = DecodingSimulator::new(SystemConfig::papi(model.clone()))
-        .run_end_to_end(&workload);
-    let attacc = DecodingSimulator::new(SystemConfig::attacc_only(model))
-        .run_end_to_end(&workload);
+    let workload = WorkloadSpec::static_batching(DatasetKind::CreativeWriting, 32, 2).with_seed(8);
+    let papi = DecodingSimulator::new(SystemConfig::papi(model.clone())).run_end_to_end(&workload);
+    let attacc = DecodingSimulator::new(SystemConfig::attacc_only(model)).run_end_to_end(&workload);
     // PAPI prefills on its GPUs: on long-output workloads prefill is a
     // small share (on short-output general-qa it reaches ~25 % — the
     // paper's own explanation of the dataset gap).
@@ -29,7 +26,10 @@ fn prefill_collapses_pim_only_end_to_end() {
     // End-to-end, PAPI's lead grows versus the decode-only account.
     let decode_ratio = attacc.total_latency().value() / papi.total_latency().value();
     let e2e_ratio = attacc.end_to_end_latency().value() / papi.end_to_end_latency().value();
-    assert!(e2e_ratio > decode_ratio, "{e2e_ratio:.2} vs {decode_ratio:.2}");
+    assert!(
+        e2e_ratio > decode_ratio,
+        "{e2e_ratio:.2} vs {decode_ratio:.2}"
+    );
 }
 
 /// Dynamic TLP keeps the PAPI scheduler on the PU through the decayed
@@ -86,8 +86,7 @@ fn moe_reuse_extends_pim_win_region() {
     let reuse = moe.effective_ffn_reuse(64);
     assert!(reuse > 12.0 && reuse < 20.0, "effective reuse {reuse}");
     // The fetch volume never exceeds the full expert pool.
-    let all = moe.experts as f64 * moe.expert_weights() as f64
-        * moe.base.dtype.size().value();
+    let all = moe.experts as f64 * moe.expert_weights() as f64 * moe.base.dtype.size().value();
     assert!(moe.ffn_fetch_bytes_per_layer(1_000_000).value() <= all * 1.001);
 }
 

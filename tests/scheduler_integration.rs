@@ -92,10 +92,12 @@ fn miscalibrated_alpha_hurts() {
 #[test]
 fn scheduler_does_not_thrash() {
     let model = ModelPreset::Gpt3_66B.config();
-    let workload =
-        WorkloadSpec::static_batching(DatasetKind::CreativeWriting, 64, 1).with_seed(3);
+    let workload = WorkloadSpec::static_batching(DatasetKind::CreativeWriting, 64, 1).with_seed(3);
     let report = DecodingSimulator::new(SystemConfig::papi(model)).run(&workload);
-    assert!(report.scheduler.switches >= 1, "should reschedule at least once");
+    assert!(
+        report.scheduler.switches >= 1,
+        "should reschedule at least once"
+    );
     assert!(
         report.scheduler.switches <= 4,
         "monotone RLP decay should not cause {} switches",

@@ -1,0 +1,114 @@
+//! Vendored offline subset of the `criterion` API.
+//!
+//! Implements `Criterion::bench_function`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros with a simple two-phase
+//! timer: a short calibration pass sizes the batch, then a fixed number
+//! of timed batches report the median per-iteration time. No warmup
+//! modeling, outlier analysis, or HTML reports — `cargo bench` prints
+//! one line per benchmark.
+
+use std::time::{Duration, Instant};
+
+/// Per-benchmark driver handed to the closure given to
+/// [`Criterion::bench_function`].
+#[derive(Debug, Default)]
+pub struct Bencher {
+    batch: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `batch` times per sample.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.batch {
+            std::hint::black_box(routine());
+        }
+        self.samples.push(start.elapsed());
+    }
+}
+
+/// Benchmark harness entry point.
+#[derive(Debug)]
+pub struct Criterion {
+    /// Timed samples per benchmark.
+    sample_count: u32,
+    /// Wall-clock budget a single benchmark aims for.
+    target_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_count: 20,
+            target_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark and prints its median per-iteration time.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Calibration: one iteration at a time until we know the cost.
+        let mut calibration = Bencher {
+            batch: 1,
+            samples: Vec::new(),
+        };
+        f(&mut calibration);
+        let per_iter = calibration
+            .samples
+            .first()
+            .copied()
+            .unwrap_or(Duration::from_nanos(1))
+            .max(Duration::from_nanos(1));
+        let per_sample = self.target_time.as_nanos() / u128::from(self.sample_count);
+        let batch = (per_sample / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+
+        let mut bencher = Bencher {
+            batch,
+            samples: Vec::new(),
+        };
+        for _ in 0..self.sample_count {
+            f(&mut bencher);
+        }
+        let mut per_iter_ns: Vec<f64> = bencher
+            .samples
+            .iter()
+            .map(|s| s.as_nanos() as f64 / batch as f64)
+            .collect();
+        per_iter_ns.sort_by(f64::total_cmp);
+        let median = per_iter_ns[per_iter_ns.len() / 2];
+        println!(
+            "{name:<48} {median:>14.1} ns/iter  (batch {batch}, {} samples)",
+            { self.sample_count }
+        );
+        self
+    }
+}
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Declares a benchmark group function that runs each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

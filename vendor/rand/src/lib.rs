@@ -1,0 +1,200 @@
+//! Vendored offline subset of the `rand` API.
+//!
+//! Provides exactly what this workspace uses: `SeedableRng::seed_from_u64`,
+//! `rngs::StdRng`, and the `Rng` methods `gen_range` (over `f64`/integer
+//! ranges), `gen_bool`, and `next_u64`. The generator is xoshiro256++
+//! seeded through SplitMix64 — statistically strong for simulation
+//! purposes and fully deterministic per seed. Streams differ from the
+//! real `rand` crate's ChaCha-based `StdRng`, which is fine here: the
+//! workspace only relies on determinism and distribution quality, never
+//! on specific draws.
+
+use std::ops::Range;
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// The next raw 64-bit word.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Convenience sampling methods over an [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (half-open).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[track_caller]
+    fn gen_range<S: SampleRange>(&mut self, range: S) -> S::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    #[track_caller]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability {p}");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types seedable from a single `u64`.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A `u64` mapped to the unit interval `[0, 1)` with 53-bit precision.
+fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Ranges that can be sampled uniformly.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one uniform sample.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+
+    #[track_caller]
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range in gen_range");
+        let span = self.end - self.start;
+        let sampled = self.start + unit_f64(rng.next_u64()) * span;
+        // Guard the half-open upper bound against rounding.
+        if sampled >= self.end {
+            self.start.max(self.end - self.end.abs() * f64::EPSILON)
+        } else {
+            sampled
+        }
+    }
+}
+
+macro_rules! sample_int_range {
+    ($($ty:ty),*) => {$(
+        impl SampleRange for Range<$ty> {
+            type Output = $ty;
+
+            #[track_caller]
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end - self.start) as u64;
+                // Modulo bias is ≤ span/2⁶⁴ — irrelevant at the spans
+                // simulation code draws from.
+                self.start + (rng.next_u64() % span) as $ty
+            }
+        }
+    )*};
+}
+
+sample_int_range!(u8, u16, u32, u64, usize);
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, per the xoshiro authors' guidance.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            Self {
+                state: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.state;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.state = s;
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let series_a: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let series_b: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let series_c: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(series_a, series_b);
+        assert_ne!(series_a, series_c);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let f = rng.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let n = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&n));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn unit_samples_cover_the_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let samples: Vec<f64> = (0..10_000).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+        assert!(samples.iter().any(|&s| s < 0.01));
+        assert!(samples.iter().any(|&s| s > 0.99));
+    }
+}

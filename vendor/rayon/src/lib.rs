@@ -1,0 +1,258 @@
+//! Vendored offline subset of the `rayon` API.
+//!
+//! Implements the `par_iter().map(f).collect()` shape this workspace
+//! uses on top of `std::thread::scope`: the items are split into one
+//! contiguous chunk per available core, each chunk is mapped on its own
+//! OS thread, and the results are reassembled in input order — so a
+//! parallel map is a drop-in, deterministic replacement for the serial
+//! one. This is not work-stealing and has no splitting heuristics; for
+//! the workspace's coarse-grained design-space sweeps (each item is a
+//! whole simulator run) a static partition is the right tool anyway.
+
+use std::num::NonZeroUsize;
+use std::sync::Mutex;
+
+/// The rayon-style glob import: `use rayon::prelude::*;`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Types convertible into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// The parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Types whose references yield parallel iterators (`.par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    /// The element type (a reference).
+    type Item: Send;
+    /// The parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Borrowing parallel iterator over `self`.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+/// A minimal parallel iterator: `map` then `collect`.
+pub trait ParallelIterator: Sized {
+    /// The element type.
+    type Item: Send;
+
+    /// Drains the iterator into a vector of its items, in order.
+    fn drain(self) -> Vec<Self::Item>;
+
+    /// Maps every element through `f` in parallel.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Maps every element to a serial iterator in parallel and chains
+    /// the results in input order (rayon's `flat_map_iter`).
+    fn flat_map_iter<U, F>(self, f: F) -> FlatMapIter<Self, F>
+    where
+        U: IntoIterator,
+        U::Item: Send,
+        F: Fn(Self::Item) -> U + Sync,
+    {
+        FlatMapIter { inner: self, f }
+    }
+
+    /// Executes the pipeline and collects the results in input order.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.drain().into_iter().collect()
+    }
+}
+
+/// A by-value parallel iterator over buffered items.
+#[derive(Debug)]
+pub struct IntoParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for IntoParIter<T> {
+    type Item = T;
+
+    fn drain(self) -> Vec<T> {
+        self.items
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = IntoParIter<T>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        IntoParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = IntoParIter<&'a T>;
+
+    fn par_iter(&'a self) -> Self::Iter {
+        IntoParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = IntoParIter<&'a T>;
+
+    fn par_iter(&'a self) -> Self::Iter {
+        self.as_slice().par_iter()
+    }
+}
+
+impl<'a, T: Sync + 'a, const N: usize> IntoParallelRefIterator<'a> for [T; N] {
+    type Item = &'a T;
+    type Iter = IntoParIter<&'a T>;
+
+    fn par_iter(&'a self) -> Self::Iter {
+        self.as_slice().par_iter()
+    }
+}
+
+/// The result of [`ParallelIterator::map`].
+#[derive(Debug)]
+pub struct Map<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync,
+{
+    type Item = R;
+
+    fn drain(self) -> Vec<R> {
+        parallel_map(self.inner.drain(), &self.f)
+    }
+}
+
+/// The result of [`ParallelIterator::flat_map_iter`].
+#[derive(Debug)]
+pub struct FlatMapIter<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<I, U, F> ParallelIterator for FlatMapIter<I, F>
+where
+    I: ParallelIterator,
+    U: IntoIterator,
+    U::Item: Send,
+    F: Fn(I::Item) -> U + Sync,
+{
+    type Item = U::Item;
+
+    fn drain(self) -> Vec<U::Item> {
+        let f = &self.f;
+        parallel_map(self.inner.drain(), &|item| {
+            f(item).into_iter().collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+}
+
+/// Maps `items` through `f` on up to `available_parallelism` threads,
+/// preserving input order.
+fn parallel_map<T: Send, R: Send>(items: Vec<T>, f: &(impl Fn(T) -> R + Sync)) -> Vec<R> {
+    let n = items.len();
+    let threads = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(n.max(1));
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let chunk_len = n.div_ceil(threads);
+    let mut chunks: Vec<(usize, Vec<T>)> = Vec::with_capacity(threads);
+    let mut start = 0;
+    let mut remaining = items;
+    while !remaining.is_empty() {
+        let rest = remaining.split_off(chunk_len.min(remaining.len()));
+        let chunk = std::mem::replace(&mut remaining, rest);
+        let len = chunk.len();
+        chunks.push((start, chunk));
+        start += len;
+    }
+
+    let gathered: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::with_capacity(chunks.len()));
+    std::thread::scope(|scope| {
+        for (offset, chunk) in chunks {
+            let gathered = &gathered;
+            scope.spawn(move || {
+                let mapped: Vec<R> = chunk.into_iter().map(f).collect();
+                gathered
+                    .lock()
+                    .expect("parallel_map worker panicked")
+                    .push((offset, mapped));
+            });
+        }
+    });
+
+    let mut parts = gathered.into_inner().expect("parallel_map worker panicked");
+    parts.sort_by_key(|(offset, _)| *offset);
+    parts.into_iter().flat_map(|(_, part)| part).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_consumes() {
+        let input: Vec<String> = (0..100).map(|i| i.to_string()).collect();
+        let lens: Vec<usize> = input.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens.len(), 100);
+        assert_eq!(lens[0], 1);
+        assert_eq!(lens[99], 2);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u64> = Vec::<u64>::new().into_par_iter().map(|x| x).collect();
+        assert!(empty.is_empty());
+        let one: Vec<u64> = vec![7u64].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![8]);
+    }
+
+    #[test]
+    fn arrays_par_iter() {
+        let arr = [1u64, 2, 3, 4];
+        let sq: Vec<u64> = arr.par_iter().map(|&x| x * x).collect();
+        assert_eq!(sq, vec![1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn flat_map_iter_preserves_order() {
+        let input: Vec<u64> = (0..100).collect();
+        let out: Vec<u64> = input.par_iter().flat_map_iter(|&x| [x, x + 1000]).collect();
+        let expected: Vec<u64> = (0..100).flat_map(|x| [x, x + 1000]).collect();
+        assert_eq!(out, expected);
+    }
+}

@@ -1,0 +1,418 @@
+//! Vendored offline `Serialize`/`Deserialize` derive macros.
+//!
+//! Implemented directly on `proc_macro::TokenTree` (no `syn`/`quote`,
+//! which are unavailable offline). Supports exactly the item shapes
+//! this workspace derives on: non-generic named-field structs, tuple
+//! structs (newtypes serialize transparently, wider tuples as arrays),
+//! unit structs, and enums whose variants are unit, named-field, or
+//! tuple shaped (externally tagged, as in real serde). `#[serde(...)]`
+//! attributes are accepted and ignored — the only one the workspace
+//! uses is `transparent` on newtypes, which is this subset's default
+//! newtype behaviour anyway.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::Struct { name, fields } => serialize_struct(name, fields),
+        Item::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    let name = item_name(&item);
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive generated invalid Serialize impl")
+}
+
+/// Derives the vendored `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::Struct { name, fields } => deserialize_struct(name, fields),
+        Item::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    let name = item_name(&item);
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(\n\
+                 value: &::serde::Value,\n\
+             ) -> ::core::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive generated invalid Deserialize impl")
+}
+
+fn item_name(item: &Item) -> &str {
+    match item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    }
+}
+
+// --- parsing ---------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    skip_attributes_and_visibility(&mut tokens);
+    let keyword = match tokens.next() {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic type `{name}` is not supported by the vendored subset");
+    }
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("serde_derive: unexpected struct body {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive: unexpected enum body {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+fn skip_attributes_and_visibility(
+    tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
+) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the bracketed attribute body
+            }
+            Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                tokens.next();
+                if matches!(
+                    tokens.peek(),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    tokens.next(); // pub(crate) and friends
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Field names of a named-field body (struct or enum variant).
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut tokens = body.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attributes_and_visibility(&mut tokens);
+        match tokens.next() {
+            Some(TokenTree::Ident(ident)) => fields.push(ident.to_string()),
+            None => break,
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        }
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:`, got {other:?}"),
+        }
+        // Consume the type: everything until a comma outside angle
+        // brackets (grouped tokens are single trees, so only `<`/`>`
+        // need explicit depth tracking).
+        let mut angle_depth = 0i32;
+        for token in tokens.by_ref() {
+            match token {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Number of fields in a tuple body: non-empty top-level comma segments.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut count = 0;
+    let mut segment_has_tokens = false;
+    let mut angle_depth = 0i32;
+    for token in body {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                segment_has_tokens = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth -= 1;
+                segment_has_tokens = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += usize::from(segment_has_tokens);
+                segment_has_tokens = false;
+            }
+            _ => segment_has_tokens = true,
+        }
+    }
+    count + usize::from(segment_has_tokens)
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut tokens = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes_and_visibility(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                tokens.next();
+                Fields::Named(parse_named_fields(inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner = g.stream();
+                tokens.next();
+                Fields::Tuple(count_tuple_fields(inner))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant, then the separating comma.
+        for token in tokens.by_ref() {
+            if matches!(&token, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// --- code generation -------------------------------------------------
+
+fn serialize_struct(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => "::serde::Value::Null".to_owned(),
+        Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Fields::Named(names) => {
+            let _ = name;
+            let entries: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Value::Object(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+    }
+}
+
+fn deserialize_struct(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => "let _ = value; ::core::result::Result::Ok(Self)".to_owned(),
+        Fields::Tuple(1) => {
+            "::core::result::Result::Ok(Self(::serde::Deserialize::from_value(value)?))".to_owned()
+        }
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::__element(value, \"{name}\", {i})?"))
+                .collect();
+            format!("::core::result::Result::Ok(Self({}))", items.join(", "))
+        }
+        Fields::Named(names) => {
+            let entries: Vec<String> = names
+                .iter()
+                .map(|f| format!("{f}: ::serde::__field(value, \"{name}\", \"{f}\")?"))
+                .collect();
+            format!(
+                "::core::result::Result::Ok(Self {{ {} }})",
+                entries.join(", ")
+            )
+        }
+    }
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|variant| {
+            let v = &variant.name;
+            match &variant.fields {
+                Fields::Unit => format!(
+                    "Self::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+                ),
+                Fields::Tuple(n) => {
+                    let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                    let inner = if *n == 1 {
+                        "::serde::Serialize::to_value(__f0)".to_owned()
+                    } else {
+                        let items: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                    };
+                    format!(
+                        "Self::{v}({binds}) => ::serde::Value::Object(::std::vec![\
+                         (::std::string::String::from(\"{v}\"), {inner})]),",
+                        binds = binders.join(", ")
+                    )
+                }
+                Fields::Named(fields) => {
+                    let entries: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::to_value({f}))"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "Self::{v} {{ {binds} }} => ::serde::Value::Object(::std::vec![\
+                         (::std::string::String::from(\"{v}\"), \
+                         ::serde::Value::Object(::std::vec![{inner}]))]),",
+                        binds = fields.join(", "),
+                        inner = entries.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    let _ = name;
+    format!("match self {{\n{}\n}}", arms.join("\n"))
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.fields, Fields::Unit))
+        .map(|v| {
+            format!(
+                "\"{v}\" => ::core::result::Result::Ok(Self::{v}),",
+                v = v.name
+            )
+        })
+        .collect();
+    let data_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| !matches!(v.fields, Fields::Unit))
+        .map(|variant| {
+            let v = &variant.name;
+            match &variant.fields {
+                Fields::Unit => unreachable!(),
+                Fields::Tuple(1) => format!(
+                    "\"{v}\" => ::core::result::Result::Ok(\
+                     Self::{v}(::serde::Deserialize::from_value(__inner)?)),"
+                ),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::__element(__inner, \"{name}::{v}\", {i})?"))
+                        .collect();
+                    format!(
+                        "\"{v}\" => ::core::result::Result::Ok(Self::{v}({})),",
+                        items.join(", ")
+                    )
+                }
+                Fields::Named(fields) => {
+                    let entries: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!("{f}: ::serde::__field(__inner, \"{name}::{v}\", \"{f}\")?")
+                        })
+                        .collect();
+                    format!(
+                        "\"{v}\" => ::core::result::Result::Ok(Self::{v} {{ {} }}),",
+                        entries.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "match value {{\n\
+             ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\n\
+                 __other => ::core::result::Result::Err(::serde::Error::msg(\
+                     ::std::format!(\"{name}: unknown variant `{{}}`\", __other))),\n\
+             }},\n\
+             ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__entries[0];\n\
+                 let _ = __inner;\n\
+                 match __tag.as_str() {{\n\
+                     {data_arms}\n\
+                     __other => ::core::result::Result::Err(::serde::Error::msg(\
+                         ::std::format!(\"{name}: unknown variant `{{}}`\", __other))),\n\
+                 }}\n\
+             }}\n\
+             _ => ::core::result::Result::Err(::serde::Error::msg(\
+                 \"{name}: expected externally tagged enum\")),\n\
+         }}",
+        unit_arms = unit_arms.join("\n"),
+        data_arms = data_arms.join("\n"),
+    )
+}
