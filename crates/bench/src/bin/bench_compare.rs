@@ -1,0 +1,203 @@
+//! CI perf-regression gate over `papi-perf-bench/1` JSON reports.
+//!
+//! Compares a current [`perf_bench`](../perf_bench.rs) report against a
+//! committed baseline (`BENCH_baseline.json` at the repo root) and
+//! exits non-zero if the simulator got slower or drifted:
+//!
+//! - **throughput**: a scenario whose `tokens_per_sec` fell more than
+//!   the tolerance (default 15 %) below baseline fails the gate; with
+//!   `--normalize`, ratios are first divided by the median ratio across
+//!   scenarios, so a uniformly slower/faster *machine* cancels out and
+//!   only relative regressions gate (CI runs this mode, because the
+//!   committed baseline was produced on a different host);
+//! - **determinism**: `tokens` / `iterations` are simulation *outputs*
+//!   and machine-independent — any mismatch fails (an intentional model
+//!   change should refresh the baseline, see README);
+//! - **coverage**: a baseline scenario missing from the current report
+//!   fails; new scenarios are reported but pass.
+//!
+//! ```sh
+//! cargo run --release -p papi-bench --bin perf_bench > perf_bench.json
+//! cargo run --release -p papi-bench --bin bench_compare -- \
+//!     [--normalize] BENCH_baseline.json perf_bench.json [tolerance]
+//! ```
+
+use serde::Deserialize;
+use std::process::ExitCode;
+
+#[derive(Debug, Deserialize)]
+struct ScenarioResult {
+    scenario: String,
+    wall_ms: f64,
+    tokens: u64,
+    tokens_per_sec: f64,
+    iterations: u64,
+}
+
+#[derive(Debug, Deserialize)]
+struct PerfReport {
+    schema: String,
+    scenarios: Vec<ScenarioResult>,
+}
+
+fn load(path: &str) -> PerfReport {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read perf report {path}: {e}"));
+    let report: PerfReport = serde_json::from_str(text.trim())
+        .unwrap_or_else(|e| panic!("cannot parse perf report {path}: {e:?}"));
+    assert_eq!(
+        report.schema, "papi-perf-bench/1",
+        "{path}: unsupported schema {}",
+        report.schema
+    );
+    report
+}
+
+/// Median of a non-empty slice (averaging the middle pair).
+fn median(values: &mut [f64]) -> f64 {
+    values.sort_by(f64::total_cmp);
+    let n = values.len();
+    if n % 2 == 1 {
+        values[n / 2]
+    } else {
+        (values[n / 2 - 1] + values[n / 2]) / 2.0
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // --normalize: divide every scenario's throughput ratio by the
+    // median ratio across scenarios before gating. The median captures
+    // the machine-speed difference between the baseline host and this
+    // one, so the gate fires on *relative* regressions (one scenario
+    // got slower than the rest) instead of on hardware. Use it whenever
+    // the baseline was produced on a different machine — CI does.
+    let normalize = if let Some(pos) = args.iter().position(|a| a == "--normalize") {
+        args.remove(pos);
+        true
+    } else {
+        false
+    };
+    let (Some(baseline_path), Some(current_path)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: bench_compare [--normalize] <baseline.json> <current.json> [tolerance]");
+        return ExitCode::from(2);
+    };
+    let tolerance: f64 = args
+        .get(2)
+        .map(|t| t.parse().expect("tolerance must be a number"))
+        .unwrap_or(0.15);
+    assert!(
+        (0.0..1.0).contains(&tolerance),
+        "tolerance must be in [0, 1), got {tolerance}"
+    );
+
+    let baseline = load(baseline_path);
+    let current = load(current_path);
+    let mut failures = Vec::new();
+
+    let ratio_of = |base: &ScenarioResult, cur: &ScenarioResult| {
+        cur.tokens_per_sec / base.tokens_per_sec.max(f64::MIN_POSITIVE)
+    };
+    let machine_factor = if normalize {
+        let mut ratios: Vec<f64> = baseline
+            .scenarios
+            .iter()
+            .filter_map(|base| {
+                current
+                    .scenarios
+                    .iter()
+                    .find(|c| c.scenario == base.scenario)
+                    .map(|cur| ratio_of(base, cur))
+            })
+            .collect();
+        if ratios.is_empty() {
+            1.0
+        } else {
+            median(&mut ratios).max(f64::MIN_POSITIVE)
+        }
+    } else {
+        1.0
+    };
+    if normalize {
+        println!("machine-speed factor (median throughput ratio): {machine_factor:.3}");
+    }
+
+    println!(
+        "{:<32} {:>12} {:>12} {:>8}  verdict",
+        "scenario", "base tok/s", "cur tok/s", "ratio"
+    );
+    for base in &baseline.scenarios {
+        let Some(cur) = current
+            .scenarios
+            .iter()
+            .find(|c| c.scenario == base.scenario)
+        else {
+            failures.push(format!(
+                "{}: present in baseline but missing from the current report",
+                base.scenario
+            ));
+            continue;
+        };
+        if (cur.tokens, cur.iterations) != (base.tokens, base.iterations) {
+            failures.push(format!(
+                "{}: deterministic outputs drifted (tokens {} -> {}, iterations {} -> {}); \
+                 if the model change is intentional, refresh BENCH_baseline.json",
+                base.scenario, base.tokens, cur.tokens, base.iterations, cur.iterations
+            ));
+        }
+        let ratio = ratio_of(base, cur) / machine_factor;
+        let regressed = ratio < 1.0 - tolerance;
+        println!(
+            "{:<32} {:>12.0} {:>12.0} {:>8.3}  {}",
+            base.scenario,
+            base.tokens_per_sec,
+            cur.tokens_per_sec,
+            ratio,
+            if regressed { "REGRESSED" } else { "ok" }
+        );
+        if regressed {
+            failures.push(format!(
+                "{}: tokens_per_sec fell {:.1}% (baseline {:.0}, current {:.0}, wall {:.2} ms{}); \
+                 gate allows {:.0}%",
+                base.scenario,
+                (1.0 - ratio) * 100.0,
+                base.tokens_per_sec,
+                cur.tokens_per_sec,
+                cur.wall_ms,
+                if normalize {
+                    format!(", machine factor {machine_factor:.3}")
+                } else {
+                    String::new()
+                },
+                tolerance * 100.0
+            ));
+        }
+    }
+    for cur in &current.scenarios {
+        if !baseline
+            .scenarios
+            .iter()
+            .any(|b| b.scenario == cur.scenario)
+        {
+            println!(
+                "{:<32} {:>12} {:>12.0} {:>8}  new (not gated)",
+                cur.scenario, "-", cur.tokens_per_sec, "-"
+            );
+        }
+    }
+
+    if failures.is_empty() {
+        println!(
+            "\nperf gate passed: {} scenarios within {:.0}% of baseline",
+            baseline.scenarios.len(),
+            tolerance * 100.0
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("\nperf gate FAILED:");
+        for failure in &failures {
+            eprintln!("  - {failure}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,52 @@
+//! Machine-readable cluster sweep: the TP/DP trade across offered load.
+//!
+//! Sweeps fleet shapes (tensor-parallel width × data-parallel replicas)
+//! over rising Poisson load and emits one JSON document on stdout:
+//!
+//! ```json
+//! {"schema":"papi-cluster-sweep/1","rows":[
+//!   {"shape":"4x TP1","tp_degree":1,"dp_replicas":4,"rate_per_sec":16.0,
+//!    "goodput_rps":13.9,"tpot_p50_ms":4.0,...}]}
+//! ```
+//!
+//! Run with `cargo run --release -p papi-bench --bin cluster_sweep`.
+
+use papi_core::experiments::{ClusterSweep, ClusterSweepRow};
+use papi_core::{DesignKind, SloSpec};
+use papi_llm::ModelPreset;
+use papi_workload::{DatasetKind, RoutingPolicy};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct SweepReport {
+    schema: String,
+    model: String,
+    design: String,
+    rows: Vec<ClusterSweepRow>,
+}
+
+fn main() {
+    let rows = ClusterSweep {
+        model: ModelPreset::Llama65B,
+        design: DesignKind::PimOnlyPapi,
+        dataset: DatasetKind::GeneralQa,
+        rates: vec![0.5, 4.0, 16.0, 48.0],
+        num_requests: 96,
+        shapes: vec![(4, 1), (2, 2), (1, 4)],
+        routing: RoutingPolicy::JoinShortestQueue,
+        max_batch: 32,
+        slo: SloSpec::interactive(2_000.0, 60.0),
+        seed: 42,
+    }
+    .run();
+    let report = SweepReport {
+        schema: "papi-cluster-sweep/1".to_owned(),
+        model: ModelPreset::Llama65B.config().name,
+        design: DesignKind::PimOnlyPapi.label().to_owned(),
+        rows,
+    };
+    println!(
+        "{}",
+        serde_json::to_string(&report).expect("sweep report serializes")
+    );
+}

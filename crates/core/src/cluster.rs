@@ -1,0 +1,449 @@
+//! Cluster-scale serving: tensor-parallel groups of PAPI nodes,
+//! replicated data-parallel behind a request router.
+//!
+//! The paper evaluates one node. The ROADMAP's production fleet needs
+//! *many*: a [`ClusterEngine`] owns `dp_replicas` serving engines —
+//! each a TP group of `tp_degree` nodes built by
+//! [`SystemConfig::with_tensor_parallel`] — and co-simulates them on a
+//! shared clock. Requests arrive once, globally; at each arrival the
+//! router (a [`RoutingPolicy`] from `papi-workload`) inspects every
+//! replica's [`ReplicaSnapshot`](papi_workload::ReplicaSnapshot) *as of
+//! that simulated instant* and picks the admission target. Per-replica
+//! [`ServingReport`]s aggregate into a [`ClusterReport`] with
+//! fleet-wide TTFT/TPOT percentiles and SLO goodput.
+//!
+//! The TP/DP trade this layer exposes (and
+//! `examples/cluster_serving.rs` demonstrates): TP multiplies every
+//! device pool behind one batch, so each iteration is faster — lower
+//! TPOT — but the fleet still runs *one* queue per group and pays
+//! per-layer all-reduces; DP multiplies queues and batch slots, so at
+//! high offered load it sustains more goodput.
+
+use crate::config::{DesignKind, SystemConfig};
+use crate::metrics::{LatencySummary, RequestRecord, ServingReport};
+use crate::serving::{ServingEngine, SessionStatus, DEFAULT_MAX_BATCH};
+use crate::slo::SloSpec;
+use papi_interconnect::{ClusterTopology, LinkSpec, TopologyError};
+use papi_llm::ModelConfig;
+use papi_types::{Energy, Time};
+use papi_workload::{Router, RoutingPolicy, ServingWorkload};
+use serde::{Deserialize, Serialize};
+
+/// The shape of a PAPI fleet: one design sharded `tp_degree`-way per
+/// group, `dp_replicas` groups behind the router.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// The per-node design replicated across the fleet.
+    pub design: DesignKind,
+    /// The model served (sharded across each TP group).
+    pub model: ModelConfig,
+    /// Nodes per tensor-parallel group.
+    pub tp_degree: usize,
+    /// Data-parallel replicas (TP groups).
+    pub dp_replicas: usize,
+    /// The inter-node fabric TP collectives cross.
+    pub inter_node: LinkSpec,
+    /// How the router picks a replica per arriving request.
+    pub routing: RoutingPolicy,
+    /// Batch cap (scheduler window) of each replica.
+    pub max_batch: u64,
+}
+
+impl ClusterSpec {
+    /// A fleet of `design` nodes: `tp_degree`-way sharding, `dp_replicas`
+    /// replicas, InfiniBand NDR between nodes, join-shortest-queue
+    /// routing, and the default batch cap.
+    pub fn new(
+        design: DesignKind,
+        model: ModelConfig,
+        tp_degree: usize,
+        dp_replicas: usize,
+    ) -> Self {
+        Self {
+            design,
+            model,
+            tp_degree,
+            dp_replicas,
+            inter_node: LinkSpec::infiniband_ndr(),
+            routing: RoutingPolicy::JoinShortestQueue,
+            max_batch: DEFAULT_MAX_BATCH,
+        }
+    }
+
+    /// Overrides the routing policy.
+    pub fn with_routing(mut self, routing: RoutingPolicy) -> Self {
+        self.routing = routing;
+        self
+    }
+
+    /// Overrides the inter-node fabric.
+    pub fn with_inter_node(mut self, inter_node: LinkSpec) -> Self {
+        self.inter_node = inter_node;
+        self
+    }
+
+    /// Overrides each replica's batch cap.
+    pub fn with_max_batch(mut self, max_batch: u64) -> Self {
+        self.max_batch = max_batch;
+        self
+    }
+}
+
+/// The cluster simulator: N replica engines plus the router.
+#[derive(Debug, Clone)]
+pub struct ClusterEngine {
+    spec: ClusterSpec,
+    topology: ClusterTopology,
+    replica: ServingEngine,
+}
+
+impl ClusterEngine {
+    /// Builds the fleet `spec` describes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError`] if the fleet shape is degenerate or
+    /// exceeds the inter-node fabric's fan-out.
+    pub fn new(spec: ClusterSpec) -> Result<Self, TopologyError> {
+        let config = SystemConfig::build(spec.design, spec.model.clone());
+        let topology = ClusterTopology::new(
+            config.topology.clone(),
+            spec.inter_node.clone(),
+            spec.tp_degree,
+            spec.dp_replicas,
+        )?;
+        let sharded = config.with_tensor_parallel(spec.tp_degree, spec.inter_node.clone());
+        let replica = ServingEngine::new(sharded).with_max_batch(spec.max_batch);
+        Ok(Self {
+            spec,
+            topology,
+            replica,
+        })
+    }
+
+    /// The fleet shape.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// The fleet wiring (per-node topology + inter-node fabric).
+    pub fn topology(&self) -> &ClusterTopology {
+        &self.topology
+    }
+
+    /// The (shared) replica engine configuration.
+    pub fn replica_config(&self) -> &SystemConfig {
+        self.replica.config()
+    }
+
+    /// Serves one episode across the fleet.
+    ///
+    /// Replicas advance on a shared simulated clock: before each global
+    /// arrival is routed, every replica with pending work is stepped up
+    /// to the arrival instant, so the router sees the fleet as it would
+    /// exist right then — not a stale or clairvoyant view.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same conditions as [`ServingEngine::run`].
+    pub fn run(&self, workload: &ServingWorkload) -> ClusterReport {
+        let mut sessions: Vec<_> = (0..self.spec.dp_replicas)
+            .map(|idx| {
+                let mut session = self.replica.open_session(workload);
+                // Replica 0 keeps the workload's acceptance stream (a
+                // 1-replica cluster is bit-identical to the single
+                // engine); later replicas decorrelate by index.
+                if idx > 0 {
+                    session
+                        .reseed(workload.seed ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                }
+                session
+            })
+            .collect();
+        let mut router = Router::new(self.spec.routing);
+
+        for request in workload.requests() {
+            let arrival = request.arrival_s;
+            // Advance the fleet to the arrival instant.
+            while let Some(idx) = sessions
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.has_pending_work() && s.clock() < arrival)
+                .min_by(|(_, a), (_, b)| a.clock().total_cmp(&b.clock()))
+                .map(|(i, _)| i)
+            {
+                sessions[idx].step();
+            }
+            let snapshots: Vec<_> = sessions.iter().map(|s| s.snapshot()).collect();
+            let target = router.route(request.prefill_len(), &snapshots);
+            sessions[target].push(request);
+        }
+        // No more arrivals: drain every replica independently.
+        for session in &mut sessions {
+            while session.step() == SessionStatus::Advanced {}
+        }
+
+        ClusterReport {
+            design: self.replica.config().design.label().to_owned(),
+            model: self.spec.model.name.clone(),
+            tp_degree: self.spec.tp_degree,
+            routing: self.spec.routing,
+            routing_decisions: router.decisions(),
+            replicas: sessions.into_iter().map(|s| s.into_report()).collect(),
+        }
+    }
+}
+
+/// The outcome of one episode across the fleet: per-replica
+/// [`ServingReport`]s plus fleet-wide aggregation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterReport {
+    /// Design label of the replicated node.
+    pub design: String,
+    /// Model name.
+    pub model: String,
+    /// Nodes per TP group.
+    pub tp_degree: usize,
+    /// The routing policy that assigned requests.
+    pub routing: RoutingPolicy,
+    /// Requests the router placed.
+    pub routing_decisions: u64,
+    /// One report per data-parallel replica (some may be empty if the
+    /// router starved them).
+    pub replicas: Vec<ServingReport>,
+}
+
+impl ClusterReport {
+    /// Total requests completed across the fleet.
+    pub fn requests(&self) -> u64 {
+        self.replicas.iter().map(|r| r.records.len() as u64).sum()
+    }
+
+    /// Total output tokens across the fleet.
+    pub fn tokens(&self) -> u64 {
+        self.replicas.iter().map(|r| r.tokens).sum()
+    }
+
+    /// Total energy across the fleet.
+    pub fn energy(&self) -> Energy {
+        self.replicas
+            .iter()
+            .fold(Energy::ZERO, |acc, r| acc + r.energy)
+    }
+
+    /// Every request record in the fleet, in replica order.
+    pub fn records(&self) -> impl Iterator<Item = &RequestRecord> {
+        self.replicas.iter().flat_map(|r| r.records.iter())
+    }
+
+    /// Fleet makespan: first arrival anywhere to last completion
+    /// anywhere. Zero when nothing completed.
+    pub fn makespan(&self) -> Time {
+        let first = self
+            .records()
+            .map(|r| r.arrival.value())
+            .fold(f64::INFINITY, f64::min);
+        let last = self
+            .records()
+            .map(|r| r.finished.value())
+            .fold(0.0, f64::max);
+        if first.is_finite() && last > first {
+            Time::new(last - first)
+        } else {
+            Time::ZERO
+        }
+    }
+
+    /// Fleet-wide TTFT percentile summary; `None` if nothing completed.
+    pub fn ttft_summary(&self) -> Option<LatencySummary> {
+        let times: Vec<Time> = self.records().map(RequestRecord::ttft).collect();
+        LatencySummary::from_times(&times)
+    }
+
+    /// Fleet-wide TPOT percentile summary; `None` if nothing completed.
+    pub fn tpot_summary(&self) -> Option<LatencySummary> {
+        let times: Vec<Time> = self.records().map(RequestRecord::tpot).collect();
+        LatencySummary::from_times(&times)
+    }
+
+    /// Fleet-wide queueing-delay summary; `None` if nothing completed.
+    pub fn queueing_summary(&self) -> Option<LatencySummary> {
+        let times: Vec<Time> = self.records().map(RequestRecord::queueing_delay).collect();
+        LatencySummary::from_times(&times)
+    }
+
+    /// Fraction of completed requests meeting `slo`.
+    pub fn slo_attainment(&self, slo: &SloSpec) -> f64 {
+        let total = self.requests();
+        if total == 0 {
+            return 0.0;
+        }
+        self.records().filter(|r| r.meets(slo)).count() as f64 / total as f64
+    }
+
+    /// Fleet SLO goodput: requests completed within `slo` per second of
+    /// fleet makespan.
+    pub fn goodput(&self, slo: &SloSpec) -> f64 {
+        let secs = self.makespan().as_secs();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.records().filter(|r| r.meets(slo)).count() as f64 / secs
+    }
+
+    /// Fleet output-token throughput over the makespan.
+    pub fn tokens_per_second(&self) -> f64 {
+        let secs = self.makespan().as_secs();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.tokens() as f64 / secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use papi_llm::ModelPreset;
+    use papi_workload::DatasetKind;
+
+    fn workload(rate: f64, n: usize) -> ServingWorkload {
+        ServingWorkload::poisson(DatasetKind::GeneralQa, rate, n).with_seed(17)
+    }
+
+    /// The degenerate fleet (1 group of 1 node) must reproduce the
+    /// single-node engine bit for bit — the cluster layer adds no
+    /// hidden cost at TP=1/DP=1 (equality-pinned like
+    /// `slo_latency_matches_engine_pricing`).
+    #[test]
+    fn single_replica_tp1_cluster_reproduces_the_engine_exactly() {
+        let model = ModelPreset::Llama65B.config();
+        let w = workload(4.0, 32);
+        let cluster = ClusterEngine::new(
+            ClusterSpec::new(DesignKind::PimOnlyPapi, model.clone(), 1, 1).with_max_batch(16),
+        )
+        .unwrap()
+        .run(&w);
+        let single = ServingEngine::new(SystemConfig::pim_only_papi(model))
+            .with_max_batch(16)
+            .run(&w);
+        assert_eq!(cluster.replicas.len(), 1);
+        let replica = &cluster.replicas[0];
+        assert_eq!(replica.records, single.records);
+        assert_eq!(replica.makespan, single.makespan);
+        assert_eq!(replica.energy, single.energy);
+        assert_eq!(replica.placements, single.placements);
+        assert_eq!(replica.rlp_series, single.rlp_series);
+    }
+
+    /// Conservation: every workload request completes somewhere, and
+    /// the fleet total is exactly the sum over replicas.
+    #[test]
+    fn request_count_equals_sum_of_replica_counts() {
+        let w = workload(16.0, 60);
+        for routing in [
+            RoutingPolicy::RoundRobin,
+            RoutingPolicy::JoinShortestQueue,
+            RoutingPolicy::KvPressureAware,
+        ] {
+            let report = ClusterEngine::new(
+                ClusterSpec::new(
+                    DesignKind::PimOnlyPapi,
+                    ModelPreset::Llama65B.config(),
+                    1,
+                    3,
+                )
+                .with_routing(routing)
+                .with_max_batch(8),
+            )
+            .unwrap()
+            .run(&w);
+            let per_replica: u64 = report.replicas.iter().map(|r| r.records.len() as u64).sum();
+            assert_eq!(report.requests(), per_replica, "{routing}");
+            assert_eq!(report.requests(), 60, "{routing}: requests lost");
+            assert_eq!(report.routing_decisions, 60, "{routing}");
+            let tokens: u64 = report.replicas.iter().map(|r| r.tokens).sum();
+            assert_eq!(report.tokens(), tokens);
+        }
+    }
+
+    /// Under sustained load, state-aware routing uses every replica.
+    #[test]
+    fn jsq_spreads_sustained_load_across_replicas() {
+        let report = ClusterEngine::new(
+            ClusterSpec::new(
+                DesignKind::PimOnlyPapi,
+                ModelPreset::Llama65B.config(),
+                1,
+                4,
+            )
+            .with_max_batch(4),
+        )
+        .unwrap()
+        .run(&workload(32.0, 64));
+        for (i, replica) in report.replicas.iter().enumerate() {
+            assert!(
+                !replica.records.is_empty(),
+                "replica {i} never served a request"
+            );
+        }
+    }
+
+    /// TP sharding buys per-iteration speed: a lone request on a TP-4
+    /// group decodes faster than on a single node, even paying the
+    /// all-reduce.
+    #[test]
+    fn tp4_lowers_single_request_tpot() {
+        let model = ModelPreset::Llama65B.config();
+        let w = workload(0.5, 8);
+        let tp4 = ClusterEngine::new(ClusterSpec::new(
+            DesignKind::PimOnlyPapi,
+            model.clone(),
+            4,
+            1,
+        ))
+        .unwrap()
+        .run(&w);
+        let tp1 = ClusterEngine::new(ClusterSpec::new(DesignKind::PimOnlyPapi, model, 1, 1))
+            .unwrap()
+            .run(&w);
+        let t4 = tp4.tpot_summary().unwrap().p50.value();
+        let t1 = tp1.tpot_summary().unwrap().p50.value();
+        assert!(t4 < t1, "TP4 p50 TPOT {t4} should beat TP1 {t1}");
+    }
+
+    /// The fleet shape validates through the cluster topology.
+    #[test]
+    fn degenerate_fleet_rejected() {
+        let model = ModelPreset::Llama65B.config();
+        assert!(ClusterEngine::new(ClusterSpec::new(
+            DesignKind::PimOnlyPapi,
+            model.clone(),
+            0,
+            1
+        ))
+        .is_err());
+        assert!(
+            ClusterEngine::new(ClusterSpec::new(DesignKind::PimOnlyPapi, model, 1, 0)).is_err()
+        );
+    }
+
+    /// Empty-fleet aggregation stays well-defined.
+    #[test]
+    fn empty_report_aggregates_to_zero() {
+        let report = ClusterReport {
+            design: "PAPI".into(),
+            model: "m".into(),
+            tp_degree: 1,
+            routing: RoutingPolicy::RoundRobin,
+            routing_decisions: 0,
+            replicas: vec![],
+        };
+        assert_eq!(report.requests(), 0);
+        assert_eq!(report.makespan(), Time::ZERO);
+        assert!(report.ttft_summary().is_none());
+        let slo = SloSpec::interactive(1_000.0, 50.0);
+        assert_eq!(report.goodput(&slo), 0.0);
+        assert_eq!(report.slo_attainment(&slo), 0.0);
+    }
+}

@@ -1,7 +1,7 @@
 //! System assembly: the five designs of the paper's evaluation.
 
 use papi_gpu::{GpuEnergyModel, GpuSpec, MultiGpu};
-use papi_interconnect::SystemTopology;
+use papi_interconnect::{LinkSpec, SystemTopology};
 use papi_llm::ModelConfig;
 use papi_pim::PimDevice;
 use papi_sched::calibration::Calibration;
@@ -76,6 +76,23 @@ impl SchedulerKind {
     }
 }
 
+/// Tensor-parallel sharding of one logical engine across `degree`
+/// nodes joined by `fabric`.
+///
+/// Each node holds `1/degree` of the FC weights and `1/degree` of the
+/// Attn-PIM KV capacity; the group acts as one logical
+/// [`SystemConfig`] with `degree ×` every device pool, paying a
+/// per-layer activation all-reduce over `fabric` each iteration (priced
+/// by [`IterationPricer`](crate::pricer::IterationPricer)) plus a KV
+/// shard-scatter at prefill.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TpGroup {
+    /// Nodes sharing the shard.
+    pub degree: usize,
+    /// The inter-node fabric TP collectives cross.
+    pub fabric: LinkSpec,
+}
+
 /// A fully assembled computing system ready to decode.
 #[derive(Debug, Clone)]
 pub struct SystemConfig {
@@ -102,6 +119,9 @@ pub struct SystemConfig {
     /// Fixed host overhead per iteration (batch assembly, token
     /// gather/scan for `<|eos|>` — the §5.2.2 monitoring step).
     pub dispatch_per_iteration: Time,
+    /// Tensor-parallel sharding across nodes, if this logical system is
+    /// a multi-node TP group (`None` for the paper's single node).
+    pub tp: Option<TpGroup>,
 }
 
 /// Devices holding FC weights (paper §7.1: 30 of the 90 HBM stacks).
@@ -130,6 +150,7 @@ impl SystemConfig {
             scheduler,
             dispatch_per_layer: Time::from_micros(1.5),
             dispatch_per_iteration: Time::from_micros(100.0),
+            tp: None,
         }
     }
 
@@ -204,6 +225,59 @@ impl SystemConfig {
             (PimDevice::attn_pim(), ATTN_POOL_DEVICES),
             SchedulerKind::FcOnPim,
         )
+    }
+
+    /// Shards this system tensor-parallel across `degree` nodes joined
+    /// by `fabric`.
+    ///
+    /// Every device pool (GPUs, FC-PIM, Attn-PIM) scales by `degree` —
+    /// equivalently, each node holds `1/degree` of the FC weights and
+    /// KV capacity — and each decoding iteration pays the per-layer
+    /// activation all-reduce over `fabric`, priced through the shared
+    /// [`IterationPricer`](crate::pricer::IterationPricer). A dynamic
+    /// PAPI scheduler is recalibrated against the sharded pools (wider
+    /// groups shift the FC memory-boundedness crossover α).
+    ///
+    /// `degree == 1` is the identity: the config is returned unchanged,
+    /// so a TP-1 "group" reproduces the single node exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree` is zero.
+    #[track_caller]
+    pub fn with_tensor_parallel(mut self, degree: usize, fabric: LinkSpec) -> Self {
+        assert!(degree > 0, "a TP group needs at least one node");
+        if degree == 1 {
+            return self;
+        }
+        if let Some(gpus) = &mut self.gpus {
+            gpus.count *= degree;
+        }
+        if let Some((_, count)) = &mut self.fc_pim {
+            *count *= degree;
+        }
+        self.attn_pim.1 *= degree;
+        // Each node owns its own intra-node links: the group's pooled
+        // traffic sees `degree ×` every route's bandwidth.
+        self.topology = self.topology.clone().aggregated(degree);
+        self.tp = Some(TpGroup { degree, fabric });
+        if let SchedulerKind::PapiDynamic { .. } = self.scheduler {
+            if let (Some((fc_device, fc_count)), Some(gpus)) = (&self.fc_pim, &self.gpus) {
+                let calibration = calibrate_alpha(
+                    |tokens| {
+                        crate::pricer::fc_latency_on_pim(&self.model, fc_device, *fc_count, tokens)
+                    },
+                    |tokens| {
+                        crate::pricer::fc_latency_on_pu(&self.model, gpus, &self.gpu_energy, tokens)
+                    },
+                    512,
+                );
+                self.scheduler = SchedulerKind::PapiDynamic {
+                    alpha: calibration.alpha,
+                };
+            }
+        }
+        self
     }
 
     /// Builds the design `kind` for `model`.

@@ -7,7 +7,7 @@
 //! asks the scheduler for a placement, and aggregates the per-iteration
 //! costs. The online serving counterpart (arrivals, queueing,
 //! per-request latency) is [`crate::serving::ServingEngine`], which
-//! prices through the exact same [`IterationPricer`](crate::pricer::IterationPricer).
+//! prices through the exact same [`IterationPricer`].
 
 use crate::config::SystemConfig;
 use crate::metrics::{ExecutionReport, PhaseBreakdown};

@@ -5,6 +5,7 @@
 //! paper plots. EXPERIMENTS.md records the paper-vs-measured comparison
 //! for each.
 
+use crate::cluster::{ClusterEngine, ClusterSpec};
 use crate::config::{DesignKind, SystemConfig};
 use crate::engine::DecodingSimulator;
 use crate::metrics::ExecutionReport;
@@ -16,7 +17,7 @@ use papi_pim::power::power_draw;
 use papi_pim::{PimConfig, PimDevice, PimEnergyBreakdown, PimEnergyModel};
 use papi_sched::estimator::AiComparison;
 use papi_types::{DataType, Power};
-use papi_workload::{DatasetKind, ServingWorkload, WorkloadSpec};
+use papi_workload::{DatasetKind, RoutingPolicy, ServingWorkload, WorkloadSpec};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -570,6 +571,125 @@ impl LoadSweep {
     }
 }
 
+// ---------------------------------------------------------------------
+// Cluster sweeps (beyond the paper: the fleet regime)
+// ---------------------------------------------------------------------
+
+/// One `(fleet shape, arrival rate)` point of a cluster sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterSweepRow {
+    /// Fleet shape label, `"{dp}x TP{tp}"`.
+    pub shape: String,
+    /// Nodes per tensor-parallel group.
+    pub tp_degree: usize,
+    /// Data-parallel replicas.
+    pub dp_replicas: usize,
+    /// Routing policy label.
+    pub routing: String,
+    /// Offered load, requests per second.
+    pub rate_per_sec: f64,
+    /// Requests served fleet-wide.
+    pub requests: u64,
+    /// Median fleet time-to-first-token, ms.
+    pub ttft_p50_ms: f64,
+    /// 99th-percentile fleet time-to-first-token, ms.
+    pub ttft_p99_ms: f64,
+    /// Median fleet time-per-output-token, ms.
+    pub tpot_p50_ms: f64,
+    /// 99th-percentile fleet time-per-output-token, ms.
+    pub tpot_p99_ms: f64,
+    /// Requests completed within the SLO, per second of fleet makespan.
+    pub goodput_rps: f64,
+    /// Fraction of requests meeting the SLO.
+    pub slo_attainment: f64,
+    /// Fleet output-token throughput.
+    pub tokens_per_sec: f64,
+    /// Replicas that served at least one request.
+    pub replicas_used: usize,
+}
+
+/// A cluster-sweep specification: which fleet shapes (TP degree ×
+/// DP replicas, same total node count or not) serve which Poisson
+/// loads, scored against which SLO.
+#[derive(Debug, Clone)]
+pub struct ClusterSweep {
+    /// Model served (sharded across each TP group).
+    pub model: ModelPreset,
+    /// Per-node design replicated across the fleet.
+    pub design: DesignKind,
+    /// Dataset category requests are drawn from.
+    pub dataset: DatasetKind,
+    /// Offered loads, requests per second.
+    pub rates: Vec<f64>,
+    /// Requests per `(shape, rate)` point.
+    pub num_requests: usize,
+    /// Fleet shapes compared, as `(tp_degree, dp_replicas)` pairs.
+    pub shapes: Vec<(usize, usize)>,
+    /// How each fleet's router picks replicas.
+    pub routing: RoutingPolicy,
+    /// Batch cap of each replica.
+    pub max_batch: u64,
+    /// Latency objective goodput is scored against.
+    pub slo: SloSpec,
+    /// Seed shared by every point.
+    pub seed: u64,
+}
+
+impl ClusterSweep {
+    /// Serves every `(rate, shape)` point and collects one row each.
+    ///
+    /// Points are independent simulator runs and fan out across cores;
+    /// results are deterministic and ordered rate-major, shape-minor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shape is degenerate or exceeds the inter-node
+    /// fabric's fan-out.
+    pub fn run(&self) -> Vec<ClusterSweepRow> {
+        let points: Vec<(f64, (usize, usize))> = self
+            .rates
+            .iter()
+            .flat_map(|&rate| self.shapes.iter().map(move |&shape| (rate, shape)))
+            .collect();
+        points
+            .par_iter()
+            .map(|&(rate, (tp, dp))| {
+                let workload = ServingWorkload::poisson(self.dataset, rate, self.num_requests)
+                    .with_seed(self.seed);
+                let engine = ClusterEngine::new(
+                    ClusterSpec::new(self.design, self.model.config(), tp, dp)
+                        .with_routing(self.routing)
+                        .with_max_batch(self.max_batch),
+                )
+                .expect("sweep shape is a valid fleet");
+                let report = engine.run(&workload);
+                let ttft = report.ttft_summary().expect("non-empty episode");
+                let tpot = report.tpot_summary().expect("non-empty episode");
+                ClusterSweepRow {
+                    shape: format!("{dp}x TP{tp}"),
+                    tp_degree: tp,
+                    dp_replicas: dp,
+                    routing: self.routing.label().to_owned(),
+                    rate_per_sec: rate,
+                    requests: report.requests(),
+                    ttft_p50_ms: ttft.p50.as_millis(),
+                    ttft_p99_ms: ttft.p99.as_millis(),
+                    tpot_p50_ms: tpot.p50.as_millis(),
+                    tpot_p99_ms: tpot.p99.as_millis(),
+                    goodput_rps: report.goodput(&self.slo),
+                    slo_attainment: report.slo_attainment(&self.slo),
+                    tokens_per_sec: report.tokens_per_second(),
+                    replicas_used: report
+                        .replicas
+                        .iter()
+                        .filter(|r| !r.records.is_empty())
+                        .count(),
+                }
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -730,6 +850,34 @@ mod tests {
         // Tail latency grows with offered load; attainment falls.
         assert!(papi_at(32.0).ttft_p99_ms > papi_at(0.5).ttft_p99_ms);
         assert!(papi_at(32.0).slo_attainment <= papi_at(0.5).slo_attainment);
+    }
+
+    #[test]
+    fn cluster_sweep_exposes_the_tp_dp_trade() {
+        let rows = ClusterSweep {
+            model: ModelPreset::Llama65B,
+            design: DesignKind::PimOnlyPapi,
+            dataset: DatasetKind::GeneralQa,
+            rates: vec![0.5, 24.0],
+            num_requests: 48,
+            shapes: vec![(4, 1), (1, 4)],
+            routing: RoutingPolicy::JoinShortestQueue,
+            max_batch: 16,
+            slo: SloSpec::interactive(2_000.0, 60.0),
+            seed: 11,
+        }
+        .run();
+        assert_eq!(rows.len(), 4);
+        let at = |shape: &str, rate: f64| {
+            rows.iter()
+                .find(|r| r.shape == shape && r.rate_per_sec == rate)
+                .unwrap()
+        };
+        // TP wins single-request latency at light load…
+        assert!(at("1x TP4", 0.5).tpot_p50_ms < at("4x TP1", 0.5).tpot_p50_ms);
+        // …DP wins goodput once the offered load saturates one queue.
+        assert!(at("4x TP1", 24.0).goodput_rps > at("1x TP4", 24.0).goodput_rps);
+        assert_eq!(at("4x TP1", 24.0).requests, 48);
     }
 
     #[test]

@@ -14,7 +14,10 @@
 //! Every system exposes the same 90-HBM-device budget (30 for FC
 //! weights, 60 for attention KV), per the paper's §7.1 fairness setup.
 //!
-//! - [`config`] — system assembly and α calibration.
+//! - [`config`] — system assembly and α calibration (plus
+//!   tensor-parallel sharding across nodes).
+//! - [`cluster`] — fleet simulation: TP groups replicated
+//!   data-parallel behind a request router, with fleet-wide metrics.
 //! - [`pricer`] — the shared hardware cost model (one implementation,
 //!   used by every execution path).
 //! - [`engine`] — the batch-mode decoding simulator (paper figures).
@@ -46,6 +49,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cluster;
 pub mod config;
 pub mod engine;
 pub mod experiments;
@@ -55,12 +59,13 @@ pub mod pricer;
 pub mod serving;
 pub mod slo;
 
-pub use config::{DesignKind, SchedulerKind, SystemConfig};
+pub use cluster::{ClusterEngine, ClusterReport, ClusterSpec};
+pub use config::{DesignKind, SchedulerKind, SystemConfig, TpGroup};
 pub use engine::DecodingSimulator;
 pub use metrics::{
     ExecutionReport, IterationCost, LatencySummary, PhaseBreakdown, RequestRecord, ServingReport,
 };
 pub use prefill::{prefill_cost, prefill_cost_for, PrefillCost, PromptStats};
 pub use pricer::IterationPricer;
-pub use serving::ServingEngine;
+pub use serving::{ServingEngine, ServingSession, SessionStatus};
 pub use slo::SloSpec;

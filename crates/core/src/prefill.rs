@@ -83,6 +83,16 @@ pub fn prefill_cost_for(config: &SystemConfig, prompts: PromptStats) -> PrefillC
         / 2.0;
     // KV-cache write-out for every prompt token.
     let kv_bytes = model.kv_bytes_per_token() * tokens as f64;
+    // A tensor-parallel group scatters each prompt's KV blocks to the
+    // shard that owns them: (tp-1)/tp of the write-out crosses the
+    // inter-node fabric (the Route::KvShard traffic class).
+    let (shard_time, shard_energy) = match &config.tp {
+        Some(tp) => (
+            tp.fabric.scatter_time(kv_bytes, tp.degree),
+            tp.fabric.scatter_energy(kv_bytes, tp.degree),
+        ),
+        None => (Time::ZERO, Energy::ZERO),
+    };
 
     if let Some(gpus) = &config.gpus {
         let bytes = model.weight_bytes()
@@ -93,8 +103,8 @@ pub fn prefill_cost_for(config: &SystemConfig, prompts: PromptStats) -> PrefillC
         );
         let result = execute_kernel(gpus, &config.gpu_energy, &kernel);
         PrefillCost {
-            time: result.time,
-            energy: result.energy,
+            time: result.time + shard_time,
+            energy: result.energy + shard_energy,
             placement: Placement::Pu,
         }
     } else {
@@ -122,8 +132,8 @@ pub fn prefill_cost_for(config: &SystemConfig, prompts: PromptStats) -> PrefillC
                 attn_flops / 2.0 * attn_device.energy_model.non_dram_pj_per_mac(),
             ) + Energy::from_picojoules(kv_bytes.value() * attn_device.dram_access_pj_per_byte());
         PrefillCost {
-            time: fc_time + attn_time,
-            energy: fc_energy + attn_energy,
+            time: fc_time + attn_time + shard_time,
+            energy: fc_energy + attn_energy + shard_energy,
             placement: Placement::FcPim,
         }
     }

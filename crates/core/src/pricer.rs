@@ -196,7 +196,12 @@ impl<'a> IterationPricer<'a> {
     ///
     /// Attention traffic (Q vectors out, context vectors back) always
     /// crosses to the disaggregated Attn-PIM pool; FC activation traffic
-    /// crosses NVLink only when the FC kernels run on FC-PIM.
+    /// crosses NVLink only when the FC kernels run on FC-PIM. A
+    /// tensor-parallel group additionally all-reduces its row-parallel
+    /// FC outputs (attention projection + FFN down, `tokens × h` each)
+    /// over the inter-node fabric every layer — the
+    /// [`Route::TpAllReduce`] traffic class — regardless of where the
+    /// FC kernels ran.
     fn comm_cost(&self, placement: Placement, it: &IterationRecord) -> (Time, Energy) {
         let model = &self.config.model;
         let topo = &self.config.topology;
@@ -223,6 +228,12 @@ impl<'a> IterationPricer<'a> {
                     + topo.transfer_energy(Route::PuToFcPim, out_bytes))
                     * layers;
             }
+        }
+
+        if let Some(tp) = &self.config.tp {
+            let activation = Bytes::new(tokens as f64 * model.hidden as f64 * dsize.value());
+            time += tp.fabric.all_reduce_time(activation, tp.degree) * 2.0 * layers;
+            energy += tp.fabric.all_reduce_energy(activation, tp.degree) * 2.0 * layers;
         }
         (time, energy)
     }

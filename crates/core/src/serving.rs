@@ -5,12 +5,11 @@
 //! regime the paper actually targets (§3.2, §5.2): requests arrive at
 //! unknown times, join a queue, are admitted into the running batch by
 //! continuous batching under KV-capacity pressure, prefill interleaves
-//! with decode, and the online [`FcScheduler`](papi_sched::FcScheduler)
-//! re-decides the FC placement *every iteration* from the parallelism
-//! it observes right then. Simulated wall-clock time advances by the
-//! priced cost of each step — through the same
-//! [`IterationPricer`](crate::pricer::IterationPricer) the batch path
-//! uses, so the two paths can never drift apart on hardware math.
+//! with decode, and the online [`FcScheduler`] re-decides the FC
+//! placement *every iteration* from the parallelism it observes right
+//! then. Simulated wall-clock time advances by the priced cost of each
+//! step — through the same [`IterationPricer`] the batch path uses, so
+//! the two paths can never drift apart on hardware math.
 //!
 //! The output is a [`ServingReport`]: per-request lifecycle records
 //! (queueing delay, TTFT, TPOT, end-to-end) with percentile summaries
@@ -20,8 +19,12 @@ use crate::config::SystemConfig;
 use crate::metrics::{PhaseBreakdown, RequestRecord, ServingReport};
 use crate::prefill::{prefill_cost_for, PromptStats};
 use crate::pricer::IterationPricer;
+use papi_sched::{FcScheduler, Placement};
 use papi_types::{Energy, Time};
-use papi_workload::{IterationRecord, RequestState, ServingRequest, ServingWorkload};
+use papi_workload::{
+    IterationRecord, ReplicaSnapshot, RequestState, ServingRequest, ServingWorkload,
+    SpeculativeConfig, TlpPolicy,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::VecDeque;
@@ -98,235 +101,374 @@ impl ServingEngine {
     /// single request's KV cache cannot fit the attention pool, or if
     /// the episode exceeds the iteration safety valve.
     pub fn run(&self, workload: &ServingWorkload) -> ServingReport {
+        let mut session = self.open_session(workload);
+        for request in workload.requests() {
+            session.push(request);
+        }
+        while session.step() == SessionStatus::Advanced {}
+        session.into_report()
+    }
+
+    /// Opens an incremental session: the engine's state machine without
+    /// any requests ingested. The caller pushes [`ServingRequest`]s (in
+    /// arrival order) and drives [`ServingSession::step`] — this is the
+    /// seam the cluster layer co-simulates replicas through.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model does not fit the design's weight pool.
+    pub fn open_session(&self, workload: &ServingWorkload) -> ServingSession<'_> {
         if let Err(msg) = self.config.validate_capacity(0.0) {
             panic!("{msg}");
         }
         let kv_bytes_per_token = self.config.model.kv_bytes_per_token().value();
         let (attn_device, attn_count) = &self.config.attn_pim;
         let pool_bytes = attn_device.capacity().value() * *attn_count as f64;
-        let admit_budget_tokens = (pool_bytes * self.kv_headroom / kv_bytes_per_token) as u64;
-        let hard_budget_tokens = (pool_bytes / kv_bytes_per_token) as u64;
+        ServingSession {
+            engine: self,
+            speculation: workload.speculation,
+            tlp_policy: workload.tlp_policy,
+            admit_budget_tokens: (pool_bytes * self.kv_headroom / kv_bytes_per_token) as u64,
+            hard_budget_tokens: (pool_bytes / kv_bytes_per_token) as u64,
+            scheduler: self.config.scheduler.build(),
+            pricer: IterationPricer::new(&self.config),
+            rng: StdRng::seed_from_u64(workload.seed.wrapping_mul(0x5851_f42d_4c95_7f2d)),
+            requests: Vec::new(),
+            admitted_s: Vec::new(),
+            first_token_s: Vec::new(),
+            clock: 0.0,
+            next_arrival: 0,
+            queue: VecDeque::new(),
+            live: Vec::new(),
+            phases: PhaseBreakdown::default(),
+            energy: Energy::ZERO,
+            prefill_time: Time::ZERO,
+            placements: Vec::new(),
+            rlp_series: Vec::new(),
+            records: Vec::new(),
+            iterations: 0,
+            tokens: 0,
+            preemptions: 0,
+            peak_rlp: 0,
+            peak_kv_tokens: 0,
+        }
+    }
+}
 
-        let mut requests = workload.requests();
-        let n = requests.len();
-        let mut admitted_s: Vec<Option<f64>> = vec![None; n];
-        let mut first_token_s: Vec<Option<f64>> = vec![None; n];
+/// What one [`ServingSession::step`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionStatus {
+    /// Ran one admission + decode round (the clock advanced).
+    Advanced,
+    /// Nothing to do: every pushed request has finished (or none were
+    /// pushed). More pushes can wake the session up again.
+    Idle,
+}
 
-        let mut scheduler = self.config.scheduler.build();
-        let mut pricer = IterationPricer::new(&self.config);
-        let mut rng = StdRng::seed_from_u64(workload.seed.wrapping_mul(0x5851_f42d_4c95_7f2d));
+/// One serving engine's in-flight state, steppable round by round.
+///
+/// [`ServingEngine::run`] is `open_session` + push everything + step to
+/// completion. A [`ClusterEngine`](crate::cluster::ClusterEngine)
+/// instead interleaves `step()` across replicas on a shared simulated
+/// clock, pushing each request to the replica its router picks *at the
+/// request's arrival time*.
+pub struct ServingSession<'a> {
+    engine: &'a ServingEngine,
+    speculation: SpeculativeConfig,
+    tlp_policy: TlpPolicy,
+    admit_budget_tokens: u64,
+    hard_budget_tokens: u64,
+    scheduler: Box<dyn FcScheduler>,
+    pricer: IterationPricer<'a>,
+    rng: StdRng,
+    requests: Vec<ServingRequest>,
+    admitted_s: Vec<Option<f64>>,
+    first_token_s: Vec<Option<f64>>,
+    clock: f64,
+    next_arrival: usize, // index into arrival-sorted `requests`
+    queue: VecDeque<usize>,
+    live: Vec<usize>,
+    phases: PhaseBreakdown,
+    energy: Energy,
+    prefill_time: Time,
+    placements: Vec<Placement>,
+    rlp_series: Vec<u64>,
+    records: Vec<RequestRecord>,
+    iterations: u64,
+    tokens: u64,
+    preemptions: u64,
+    peak_rlp: u64,
+    peak_kv_tokens: u64,
+}
 
-        let mut clock = 0.0f64;
-        let mut next_arrival = 0usize; // index into arrival-sorted `requests`
-        let mut queue: VecDeque<usize> = VecDeque::new();
-        let mut live: Vec<usize> = Vec::new();
+impl core::fmt::Debug for ServingSession<'_> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ServingSession")
+            .field("design", &self.engine.config.design)
+            .field("clock", &self.clock)
+            .field("queued", &self.queue.len())
+            .field("live", &self.live.len())
+            .field("finished", &self.records.len())
+            .finish_non_exhaustive()
+    }
+}
 
-        let mut phases = PhaseBreakdown::default();
-        let mut energy = Energy::ZERO;
-        let mut prefill_time = Time::ZERO;
-        let mut placements = Vec::new();
-        let mut rlp_series = Vec::new();
-        let mut records = Vec::with_capacity(n);
-        let mut iterations = 0u64;
-        let mut tokens = 0u64;
-        let mut preemptions = 0u64;
-        let mut peak_rlp = 0u64;
-        let mut peak_kv_tokens = 0u64;
-
-        while records.len() < n {
-            // --- ingest arrivals up to the current clock ---
-            while next_arrival < n && requests[next_arrival].arrival_s <= clock {
-                queue.push_back(next_arrival);
-                next_arrival += 1;
-            }
-            // Idle system: jump to the next arrival.
-            if live.is_empty() && queue.is_empty() {
-                let upcoming = requests[next_arrival].arrival_s;
-                clock = clock.max(upcoming);
-                continue;
-            }
-
-            // --- continuous-batching admission under KV pressure ---
-            let mut kv_tokens: u64 = live.iter().map(|&i| requests[i].kv_len()).sum();
-            let mut wave = PromptStats::default();
-            while (live.len() as u64) < self.max_batch {
-                let Some(&candidate) = queue.front() else {
-                    break;
-                };
-                let prefill_len = requests[candidate].prefill_len();
-                assert!(
-                    prefill_len + requests[candidate].remaining() <= hard_budget_tokens,
-                    "{}: request {} alone ({} KV tokens) exceeds the attention pool",
-                    self.config.design,
-                    requests[candidate].request.id,
-                    prefill_len + requests[candidate].remaining(),
-                );
-                if kv_tokens + prefill_len > admit_budget_tokens && !live.is_empty() {
-                    break;
-                }
-                queue.pop_front();
-                wave.add_prompt(prefill_len);
-                kv_tokens += prefill_len;
-                requests[candidate].state = RequestState::Prefilling;
-                admitted_s[candidate].get_or_insert(clock);
-                live.push(candidate);
-            }
-
-            // --- price the admission wave's prefill (interleaved with
-            //     decode: each wave runs between decode iterations) ---
-            if wave.tokens > 0 {
-                let cost = prefill_cost_for(&self.config, wave);
-                clock += cost.time.value();
-                prefill_time += cost.time;
-                energy += cost.energy;
-                for &i in &live {
-                    if requests[i].state == RequestState::Prefilling {
-                        requests[i].state = RequestState::Decoding;
-                    }
-                }
-            }
-
-            // --- KV-pressure preemption: if this iteration's worst-case
-            //     growth would overflow the physical pool, push the
-            //     newest requests back to the queue (recompute-style).
-            //     TLP is re-derived each round: an adaptive policy
-            //     *raises* speculation as the batch shrinks, so the
-            //     growth bound must track the post-preemption batch. ---
-            loop {
-                let tlp = workload
-                    .tlp_policy
-                    .length_at(live.len() as u64, workload.speculation.length);
-                if live.len() <= 1 || kv_tokens + live.len() as u64 * tlp <= hard_budget_tokens {
-                    break;
-                }
-                let victim = live.pop().expect("live is non-empty");
-                kv_tokens -= requests[victim].kv_len();
-                requests[victim].state = RequestState::Queued;
-                requests[victim].preemptions += 1;
-                preemptions += 1;
-                queue.push_front(victim);
-            }
-
-            // --- one decoding iteration ---
-            let rlp = live.len() as u64;
-            let tlp = workload
-                .tlp_policy
-                .length_at(rlp, workload.speculation.length);
-            let total_kv_len: u64 = live.iter().map(|&i| requests[i].kv_len()).sum();
-            let max_kv_len = live
-                .iter()
-                .map(|&i| requests[i].kv_len())
-                .max()
-                .unwrap_or(1);
-            peak_rlp = peak_rlp.max(rlp);
-
-            let placement = scheduler.decide(rlp, tlp);
-
-            let mut new_tokens = 0u64;
-            let mut finished = 0u64;
-            let mut finishers: Vec<usize> = Vec::new();
-            let mut first_timers: Vec<usize> = Vec::new();
-            for &i in &live {
-                let banked = workload
-                    .speculation
-                    .acceptance
-                    .sample(tlp, &mut rng)
-                    .min(requests[i].remaining());
-                if requests[i].generated == 0 && banked > 0 {
-                    first_timers.push(i);
-                }
-                requests[i].generated += banked;
-                new_tokens += banked;
-                if requests[i].remaining() == 0 {
-                    finished += 1;
-                    finishers.push(i);
-                }
-            }
-
-            let record = IterationRecord {
-                rlp,
-                tlp,
-                total_kv_len,
-                max_kv_len,
-                new_tokens,
-                finished,
-            };
-            let cost = pricer.price_iteration(placement, &record);
-            clock += cost.total_time().value();
-            phases.fc += cost.fc_time;
-            phases.attention += cost.attn_time;
-            phases.communication += cost.comm_time;
-            phases.other += cost.other_time;
-            energy += cost.total_energy();
-            placements.push(placement);
-            rlp_series.push(rlp);
-            tokens += new_tokens;
-            // The resident footprint peaks at iteration end, once this
-            // iteration's banked tokens have landed in the cache.
-            peak_kv_tokens = peak_kv_tokens.max(total_kv_len + new_tokens);
-
-            // Tokens become visible when the iteration completes.
-            for &i in &first_timers {
-                first_token_s[i] = Some(clock);
-            }
-            for &i in &finishers {
-                requests[i].state = RequestState::Finished;
-                records.push(self.record_for(
-                    &requests[i],
-                    admitted_s[i].expect("finished request was admitted"),
-                    first_token_s[i].expect("finished request emitted tokens"),
-                    clock,
-                ));
-            }
-            live.retain(|i| !finishers.contains(i));
-
-            iterations += 1;
+impl ServingSession<'_> {
+    /// Hands a request to this session. Requests must arrive in
+    /// non-decreasing arrival order (the router processes global
+    /// arrivals chronologically, so this holds by construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `request` arrives before the previously pushed one.
+    #[track_caller]
+    pub fn push(&mut self, request: ServingRequest) {
+        if let Some(last) = self.requests.last() {
             assert!(
-                iterations <= self.max_iterations,
-                "serving episode exceeded {} iterations — runaway workload?",
-                self.max_iterations
+                request.arrival_s >= last.arrival_s,
+                "requests must be pushed in arrival order ({} after {})",
+                request.arrival_s,
+                last.arrival_s
             );
         }
+        self.requests.push(request);
+        self.admitted_s.push(None);
+        self.first_token_s.push(None);
+    }
 
-        // Makespan runs from the first arrival to the last completion —
-        // leading idle before the episode's first request is not time
-        // the system spent serving.
-        let episode_start = requests.first().map_or(0.0, |r| r.arrival_s);
-        ServingReport {
-            design: self.config.design.label().to_owned(),
-            model: self.config.model.name.clone(),
-            iterations,
-            tokens,
-            makespan: Time::new((clock - episode_start).max(0.0)),
-            phases,
-            prefill_time,
-            energy,
-            scheduler: scheduler.stats(),
-            placements,
-            rlp_series,
-            records,
-            preemptions,
-            peak_rlp,
-            peak_kv_tokens,
+    /// The session's simulated wall-clock, seconds since episode start.
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// Whether any pushed request has not yet finished.
+    pub fn has_pending_work(&self) -> bool {
+        self.records.len() < self.requests.len()
+    }
+
+    /// The admission-relevant state the cluster router consumes.
+    pub fn snapshot(&self) -> ReplicaSnapshot {
+        ReplicaSnapshot {
+            queued: self.queue.len() + (self.requests.len() - self.next_arrival),
+            live: self.live.len(),
+            kv_tokens: self.live.iter().map(|&i| self.requests[i].kv_len()).sum(),
+            kv_budget_tokens: self.admit_budget_tokens,
         }
     }
 
-    fn record_for(
-        &self,
-        request: &ServingRequest,
-        admitted: f64,
-        first_token: f64,
-        finished: f64,
-    ) -> RequestRecord {
-        RequestRecord {
-            id: request.request.id,
-            arrival: Time::new(request.arrival_s),
-            admitted: Time::new(admitted),
-            first_token: Time::new(first_token),
-            finished: Time::new(finished),
-            prompt_tokens: request.request.input_len,
-            output_tokens: request.generated,
-            preemptions: request.preemptions,
+    /// Re-seeds the acceptance-sampling stream. Replica 0 of a cluster
+    /// keeps the workload's stream (so a 1-replica cluster reproduces
+    /// the single-engine episode bit for bit); later replicas decorrelate
+    /// with their index.
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed.wrapping_mul(0x5851_f42d_4c95_7f2d));
+    }
+
+    /// Runs one admission + decode round, advancing the clock by its
+    /// priced cost. Returns [`SessionStatus::Idle`] when every pushed
+    /// request has finished.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a single request's KV cache cannot fit the attention
+    /// pool, or if the episode exceeds the engine's iteration safety
+    /// valve.
+    pub fn step(&mut self) -> SessionStatus {
+        if !self.has_pending_work() {
+            return SessionStatus::Idle;
+        }
+        // --- ingest arrivals up to the current clock ---
+        self.ingest();
+        // Idle system: jump to the next arrival.
+        if self.live.is_empty() && self.queue.is_empty() {
+            let upcoming = self.requests[self.next_arrival].arrival_s;
+            self.clock = self.clock.max(upcoming);
+            self.ingest();
+        }
+
+        // --- continuous-batching admission under KV pressure ---
+        let mut kv_tokens: u64 = self.live.iter().map(|&i| self.requests[i].kv_len()).sum();
+        let mut wave = PromptStats::default();
+        while (self.live.len() as u64) < self.engine.max_batch {
+            let Some(&candidate) = self.queue.front() else {
+                break;
+            };
+            let prefill_len = self.requests[candidate].prefill_len();
+            assert!(
+                prefill_len + self.requests[candidate].remaining() <= self.hard_budget_tokens,
+                "{}: request {} alone ({} KV tokens) exceeds the attention pool",
+                self.engine.config.design,
+                self.requests[candidate].request.id,
+                prefill_len + self.requests[candidate].remaining(),
+            );
+            if kv_tokens + prefill_len > self.admit_budget_tokens && !self.live.is_empty() {
+                break;
+            }
+            self.queue.pop_front();
+            wave.add_prompt(prefill_len);
+            kv_tokens += prefill_len;
+            self.requests[candidate].state = RequestState::Prefilling;
+            self.admitted_s[candidate].get_or_insert(self.clock);
+            self.live.push(candidate);
+        }
+
+        // --- price the admission wave's prefill (interleaved with
+        //     decode: each wave runs between decode iterations) ---
+        if wave.tokens > 0 {
+            let cost = prefill_cost_for(&self.engine.config, wave);
+            self.clock += cost.time.value();
+            self.prefill_time += cost.time;
+            self.energy += cost.energy;
+            for &i in &self.live {
+                if self.requests[i].state == RequestState::Prefilling {
+                    self.requests[i].state = RequestState::Decoding;
+                }
+            }
+        }
+
+        // --- KV-pressure preemption: if this iteration's worst-case
+        //     growth would overflow the physical pool, push the
+        //     newest requests back to the queue (recompute-style).
+        //     TLP is re-derived each round: an adaptive policy
+        //     *raises* speculation as the batch shrinks, so the
+        //     growth bound must track the post-preemption batch. ---
+        loop {
+            let tlp = self
+                .tlp_policy
+                .length_at(self.live.len() as u64, self.speculation.length);
+            if self.live.len() <= 1
+                || kv_tokens + self.live.len() as u64 * tlp <= self.hard_budget_tokens
+            {
+                break;
+            }
+            let victim = self.live.pop().expect("live is non-empty");
+            kv_tokens -= self.requests[victim].kv_len();
+            self.requests[victim].state = RequestState::Queued;
+            self.requests[victim].preemptions += 1;
+            self.preemptions += 1;
+            self.queue.push_front(victim);
+        }
+
+        // --- one decoding iteration ---
+        let rlp = self.live.len() as u64;
+        let tlp = self.tlp_policy.length_at(rlp, self.speculation.length);
+        let total_kv_len: u64 = self.live.iter().map(|&i| self.requests[i].kv_len()).sum();
+        let max_kv_len = self
+            .live
+            .iter()
+            .map(|&i| self.requests[i].kv_len())
+            .max()
+            .unwrap_or(1);
+        self.peak_rlp = self.peak_rlp.max(rlp);
+
+        let placement = self.scheduler.decide(rlp, tlp);
+
+        let mut new_tokens = 0u64;
+        let mut finished = 0u64;
+        let mut finishers: Vec<usize> = Vec::new();
+        let mut first_timers: Vec<usize> = Vec::new();
+        for &i in &self.live {
+            let banked = self
+                .speculation
+                .acceptance
+                .sample(tlp, &mut self.rng)
+                .min(self.requests[i].remaining());
+            if self.requests[i].generated == 0 && banked > 0 {
+                first_timers.push(i);
+            }
+            self.requests[i].generated += banked;
+            new_tokens += banked;
+            if self.requests[i].remaining() == 0 {
+                finished += 1;
+                finishers.push(i);
+            }
+        }
+
+        let record = IterationRecord {
+            rlp,
+            tlp,
+            total_kv_len,
+            max_kv_len,
+            new_tokens,
+            finished,
+        };
+        let cost = self.pricer.price_iteration(placement, &record);
+        self.clock += cost.total_time().value();
+        self.phases.fc += cost.fc_time;
+        self.phases.attention += cost.attn_time;
+        self.phases.communication += cost.comm_time;
+        self.phases.other += cost.other_time;
+        self.energy += cost.total_energy();
+        self.placements.push(placement);
+        self.rlp_series.push(rlp);
+        self.tokens += new_tokens;
+        // The resident footprint peaks at iteration end, once this
+        // iteration's banked tokens have landed in the cache.
+        self.peak_kv_tokens = self.peak_kv_tokens.max(total_kv_len + new_tokens);
+
+        // Tokens become visible when the iteration completes.
+        for &i in &first_timers {
+            self.first_token_s[i] = Some(self.clock);
+        }
+        for &i in &finishers {
+            self.requests[i].state = RequestState::Finished;
+            let request = &self.requests[i];
+            self.records.push(RequestRecord {
+                id: request.request.id,
+                arrival: Time::new(request.arrival_s),
+                admitted: Time::new(self.admitted_s[i].expect("finished request was admitted")),
+                first_token: Time::new(
+                    self.first_token_s[i].expect("finished request emitted tokens"),
+                ),
+                finished: Time::new(self.clock),
+                prompt_tokens: request.request.input_len,
+                output_tokens: request.generated,
+                preemptions: request.preemptions,
+            });
+        }
+        self.live.retain(|i| !finishers.contains(i));
+
+        self.iterations += 1;
+        assert!(
+            self.iterations <= self.engine.max_iterations,
+            "serving episode exceeded {} iterations — runaway workload?",
+            self.engine.max_iterations
+        );
+        SessionStatus::Advanced
+    }
+
+    fn ingest(&mut self) {
+        while self.next_arrival < self.requests.len()
+            && self.requests[self.next_arrival].arrival_s <= self.clock
+        {
+            self.queue.push_back(self.next_arrival);
+            self.next_arrival += 1;
+        }
+    }
+
+    /// Closes the session into its report.
+    ///
+    /// Makespan runs from the first arrival to the last completion —
+    /// leading idle before the episode's first request is not time the
+    /// system spent serving.
+    pub fn into_report(self) -> ServingReport {
+        let episode_start = self.requests.first().map_or(0.0, |r| r.arrival_s);
+        ServingReport {
+            design: self.engine.config.design.label().to_owned(),
+            model: self.engine.config.model.name.clone(),
+            iterations: self.iterations,
+            tokens: self.tokens,
+            makespan: Time::new((self.clock - episode_start).max(0.0)),
+            phases: self.phases,
+            prefill_time: self.prefill_time,
+            energy: self.energy,
+            scheduler: self.scheduler.stats(),
+            placements: self.placements,
+            rlp_series: self.rlp_series,
+            records: self.records,
+            preemptions: self.preemptions,
+            peak_rlp: self.peak_rlp,
+            peak_kv_tokens: self.peak_kv_tokens,
         }
     }
 }

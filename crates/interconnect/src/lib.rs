@@ -12,12 +12,20 @@
 //! This crate provides the latency/bandwidth/energy link model
 //! ([`LinkSpec`]), and the [`SystemTopology`] that assigns a link to each
 //! route and validates device fan-out.
+//!
+//! Beyond the paper's single node, [`ClusterTopology`] scales the same
+//! link model to a *fleet*: tensor-parallel groups of nodes joined by an
+//! inter-node fabric (InfiniBand/Ethernet presets), replicated
+//! data-parallel, with TP all-reduce and KV-shard traffic as dedicated
+//! [`Route`] classes.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod cluster;
 mod link;
 mod topology;
 
+pub use cluster::ClusterTopology;
 pub use link::LinkSpec;
 pub use topology::{Route, SystemTopology, TopologyError};

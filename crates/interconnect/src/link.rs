@@ -67,6 +67,33 @@ impl LinkSpec {
         }
     }
 
+    /// InfiniBand NDR (400 Gb/s) — the default *inter-node* fabric of a
+    /// PAPI cluster: 50 GB/s per direction, ~2 µs end-to-end RDMA
+    /// latency through one switch hop, switch-scale fan-out. The paper
+    /// models a single node; this preset is how the cluster layer wires
+    /// nodes together.
+    pub fn infiniband_ndr() -> Self {
+        Self {
+            name: "InfiniBand-NDR".to_owned(),
+            bandwidth: Bandwidth::from_gb_per_sec(50.0),
+            latency: Time::from_micros(2.0),
+            pj_per_byte: 35.0,
+            max_devices: 1024,
+        }
+    }
+
+    /// 100 GbE RDMA (RoCE) — a cheaper, slower inter-node alternative:
+    /// 12.5 GB/s per direction with higher message latency.
+    pub fn ethernet_100g() -> Self {
+        Self {
+            name: "100GbE-RoCE".to_owned(),
+            bandwidth: Bandwidth::from_gb_per_sec(12.5),
+            latency: Time::from_micros(8.0),
+            pj_per_byte: 50.0,
+            max_devices: 1024,
+        }
+    }
+
     /// Time to move `bytes` in one message.
     pub fn transfer_time(&self, bytes: Bytes) -> Time {
         self.latency + bytes / self.bandwidth
@@ -83,6 +110,50 @@ impl LinkSpec {
     /// Energy to move `bytes`.
     pub fn transfer_energy(&self, bytes: Bytes) -> Energy {
         Energy::from_picojoules(bytes.value() * self.pj_per_byte)
+    }
+
+    /// Ring all-reduce time for `bytes` across `participants` endpoints
+    /// of this fabric: each endpoint forwards `2 (p-1)/p × bytes`, with
+    /// the message latency paid once (the ring pipelines its steps —
+    /// the same model as `MultiGpu::allreduce_time` intra-node). Zero
+    /// for a single participant or no payload.
+    pub fn all_reduce_time(&self, bytes: Bytes, participants: usize) -> Time {
+        if participants <= 1 || bytes.is_zero() {
+            return Time::ZERO;
+        }
+        let p = participants as f64;
+        let volume = 2.0 * (p - 1.0) / p * bytes.value();
+        self.latency + Bytes::new(volume) / self.bandwidth
+    }
+
+    /// Total wire energy of a ring all-reduce: every endpoint forwards
+    /// `2 (p-1)/p × bytes`, so the fleet moves `2 (p-1) × bytes`.
+    pub fn all_reduce_energy(&self, bytes: Bytes, participants: usize) -> Energy {
+        if participants <= 1 {
+            return Energy::ZERO;
+        }
+        self.transfer_energy(bytes) * (2.0 * (participants as f64 - 1.0))
+    }
+
+    /// Time to scatter `bytes` evenly over `parts` endpoints where one
+    /// part stays local: `(parts-1)/parts` of the payload crosses the
+    /// wire. Zero for a single part.
+    pub fn scatter_time(&self, bytes: Bytes, parts: usize) -> Time {
+        if parts <= 1 || bytes.is_zero() {
+            return Time::ZERO;
+        }
+        let remote = bytes.value() * (parts as f64 - 1.0) / parts as f64;
+        self.transfer_time(Bytes::new(remote))
+    }
+
+    /// Wire energy of the [`scatter_time`](Self::scatter_time) transfer.
+    pub fn scatter_energy(&self, bytes: Bytes, parts: usize) -> Energy {
+        if parts <= 1 {
+            return Energy::ZERO;
+        }
+        self.transfer_energy(Bytes::new(
+            bytes.value() * (parts as f64 - 1.0) / parts as f64,
+        ))
     }
 
     /// Whether `devices` endpoints fit on one instance of this fabric.
@@ -119,6 +190,49 @@ mod tests {
         assert!(!LinkSpec::pcie_gen5_x16().supports_devices(33));
         assert!(LinkSpec::cxl().supports_devices(60));
         assert!(LinkSpec::cxl().supports_devices(4096));
+    }
+
+    #[test]
+    fn inter_node_presets_are_slower_than_intra_node() {
+        let ib = LinkSpec::infiniband_ndr();
+        let eth = LinkSpec::ethernet_100g();
+        let nv = LinkSpec::nvlink();
+        assert!(ib.bandwidth.value() < nv.bandwidth.value());
+        assert!(eth.bandwidth.value() < ib.bandwidth.value());
+        assert!(eth.latency.value() > ib.latency.value());
+    }
+
+    #[test]
+    fn all_reduce_degenerates_to_zero_for_one_participant() {
+        let ib = LinkSpec::infiniband_ndr();
+        assert_eq!(ib.all_reduce_time(Bytes::from_mib(8.0), 1), Time::ZERO);
+        assert_eq!(ib.all_reduce_energy(Bytes::from_mib(8.0), 1).value(), 0.0);
+        assert_eq!(ib.scatter_time(Bytes::from_mib(8.0), 1), Time::ZERO);
+    }
+
+    #[test]
+    fn all_reduce_cost_grows_with_participants_and_bytes() {
+        let ib = LinkSpec::infiniband_ndr();
+        let b = Bytes::from_mib(16.0);
+        let t2 = ib.all_reduce_time(b, 2);
+        let t4 = ib.all_reduce_time(b, 4);
+        let t8 = ib.all_reduce_time(b, 8);
+        assert!(t2.value() < t4.value() && t4.value() < t8.value());
+        let small = ib.all_reduce_time(Bytes::from_kib(64.0), 4);
+        assert!(small.value() < t4.value());
+        // Fleet wire volume is 2 (p-1) × bytes.
+        let e4 = ib.all_reduce_energy(b, 4);
+        assert!((e4.value() - ib.transfer_energy(b).value() * 6.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn scatter_moves_only_the_remote_share() {
+        let ib = LinkSpec::infiniband_ndr();
+        let b = Bytes::from_mib(4.0);
+        let t4 = ib.scatter_time(b, 4);
+        let expected = ib.transfer_time(Bytes::new(b.value() * 0.75));
+        assert_eq!(t4, expected);
+        assert!(ib.scatter_energy(b, 4).value() < ib.transfer_energy(b).value());
     }
 
     #[test]

@@ -5,6 +5,11 @@ use papi_types::{Bytes, Energy, Time};
 use serde::{Deserialize, Serialize};
 
 /// A class of traffic in the PAPI system.
+///
+/// The first three classes are *intra-node* (paper Fig. 5(a)); the last
+/// two are *cluster-scope* — they cross the inter-node fabric of a
+/// [`ClusterTopology`](crate::ClusterTopology) and only exist once a
+/// model is sharded tensor-parallel across nodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Route {
     /// Processing units ↔ FC-PIM devices (weight/activation volume).
@@ -13,6 +18,21 @@ pub enum Route {
     PuToAttnPim,
     /// Host CPU ↔ processing units (commands, scheduling).
     HostToPu,
+    /// Per-layer activation all-reduce among the nodes of one
+    /// tensor-parallel group.
+    TpAllReduce,
+    /// KV-cache blocks scattered to the tensor-parallel shard that owns
+    /// them (prefill write-out, request migration).
+    KvShard,
+}
+
+impl Route {
+    /// Whether this traffic crosses the inter-node fabric (and so needs
+    /// a [`ClusterTopology`](crate::ClusterTopology), not a single-node
+    /// [`SystemTopology`]).
+    pub fn is_cluster_scope(&self) -> bool {
+        matches!(self, Route::TpAllReduce | Route::KvShard)
+    }
 }
 
 /// Error returned when a topology cannot host the requested device
@@ -20,6 +40,12 @@ pub enum Route {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TopologyError {
     message: String,
+}
+
+impl TopologyError {
+    pub(crate) fn new(message: String) -> Self {
+        Self { message }
+    }
 }
 
 impl core::fmt::Display for TopologyError {
@@ -113,21 +139,59 @@ impl SystemTopology {
         })
     }
 
+    /// The pooled view of `nodes` identical nodes driven as one logical
+    /// system (a tensor-parallel group): every route's bandwidth scales
+    /// by the node count — each node owns its own copy of the links, and
+    /// the group's traffic splits across them — while per-message
+    /// latency is unchanged. Device counts scale the same way.
+    /// `nodes == 1` is the identity.
+    pub fn aggregated(mut self, nodes: usize) -> Self {
+        let factor = nodes as f64;
+        for link in [
+            &mut self.fc_pim_link,
+            &mut self.attn_pim_link,
+            &mut self.host_link,
+        ] {
+            link.bandwidth = link.bandwidth * factor;
+        }
+        self.fc_pim_devices *= nodes;
+        self.attn_pim_devices *= nodes;
+        self
+    }
+
     /// The link serving `route`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a [cluster-scope](Route::is_cluster_scope) route: a
+    /// single node has no inter-node fabric — wire one with
+    /// [`ClusterTopology`](crate::ClusterTopology).
+    #[track_caller]
     pub fn link(&self, route: Route) -> &LinkSpec {
         match route {
             Route::PuToFcPim => &self.fc_pim_link,
             Route::PuToAttnPim => &self.attn_pim_link,
             Route::HostToPu => &self.host_link,
+            Route::TpAllReduce | Route::KvShard => {
+                panic!("{route:?} is cluster-scope traffic; a single-node SystemTopology has no inter-node fabric")
+            }
         }
     }
 
     /// Devices attached on `route` (0 for the host route).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a [cluster-scope](Route::is_cluster_scope) route.
+    #[track_caller]
     pub fn devices(&self, route: Route) -> usize {
         match route {
             Route::PuToFcPim => self.fc_pim_devices,
             Route::PuToAttnPim => self.attn_pim_devices,
             Route::HostToPu => 0,
+            Route::TpAllReduce | Route::KvShard => {
+                panic!("{route:?} is cluster-scope traffic; a single-node SystemTopology has no inter-node fabric")
+            }
         }
     }
 
@@ -172,6 +236,43 @@ mod tests {
     fn cxl_scales_to_large_pools() {
         assert!(SystemTopology::papi_default(30, 4096).is_ok());
         assert!(SystemTopology::papi_default(30, 4097).is_err());
+    }
+
+    #[test]
+    fn aggregation_scales_bandwidth_and_devices_not_latency() {
+        let one = SystemTopology::papi_default(30, 60).unwrap();
+        let four = one.clone().aggregated(4);
+        assert_eq!(one.clone().aggregated(1), one);
+        for route in [Route::PuToFcPim, Route::PuToAttnPim, Route::HostToPu] {
+            assert_eq!(
+                four.link(route).bandwidth.value(),
+                4.0 * one.link(route).bandwidth.value()
+            );
+            assert_eq!(four.link(route).latency, one.link(route).latency);
+        }
+        assert_eq!(four.devices(Route::PuToFcPim), 120);
+        assert_eq!(four.devices(Route::PuToAttnPim), 240);
+        // Bulk transfers speed up; tiny ones stay latency-floored.
+        let bulk = Bytes::from_mib(256.0);
+        assert!(
+            four.transfer_time(Route::PuToFcPim, bulk).value()
+                < one.transfer_time(Route::PuToFcPim, bulk).value()
+        );
+    }
+
+    #[test]
+    fn route_scope_classification() {
+        assert!(!Route::PuToFcPim.is_cluster_scope());
+        assert!(!Route::HostToPu.is_cluster_scope());
+        assert!(Route::TpAllReduce.is_cluster_scope());
+        assert!(Route::KvShard.is_cluster_scope());
+    }
+
+    #[test]
+    #[should_panic(expected = "cluster-scope")]
+    fn single_node_topology_rejects_cluster_routes() {
+        let t = SystemTopology::papi_default(30, 60).unwrap();
+        let _ = t.link(Route::TpAllReduce);
     }
 
     #[test]

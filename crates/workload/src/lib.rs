@@ -18,6 +18,9 @@
 //! - [`arrival`] — open-loop arrival processes (Poisson, uniform,
 //!   replayed traces) and the online request lifecycle
 //!   (`Queued → Prefilling → Decoding → Finished`).
+//! - [`routing`] — cluster-level request routing: replica snapshots and
+//!   the policies (round-robin, join-shortest-queue, KV-pressure-aware)
+//!   a fleet router picks admission targets with.
 //! - [`trace`] — per-iteration decode traces: the RLP/TLP/KV state the
 //!   system simulator executes against.
 
@@ -28,6 +31,7 @@ pub mod arrival;
 pub mod batching;
 pub mod dataset;
 pub mod request;
+pub mod routing;
 pub mod speculative;
 pub mod trace;
 
@@ -35,5 +39,6 @@ pub use arrival::{ArrivalProcess, RequestState, ServingRequest, ServingWorkload}
 pub use batching::{BatchingPolicy, WorkloadSpec};
 pub use dataset::DatasetKind;
 pub use request::Request;
+pub use routing::{ReplicaSnapshot, Router, RoutingPolicy};
 pub use speculative::{AcceptanceModel, SpeculativeConfig, TlpPolicy};
 pub use trace::{DecodeTrace, IterationRecord};

@@ -1,0 +1,251 @@
+//! Cluster-level request routing: which replica admits an arriving
+//! request.
+//!
+//! A data-parallel PAPI fleet replicates whole serving engines behind a
+//! router. The router sees one [`ReplicaSnapshot`] per replica — queue
+//! depth, live batch, KV occupancy — at the moment a request arrives,
+//! and a [`RoutingPolicy`] turns those into a replica index. Policies
+//! are deliberately simulator-agnostic: they consume snapshots, not
+//! engines, so they unit-test without a cluster.
+
+use serde::{Deserialize, Serialize};
+
+/// A replica's admission-relevant state at one instant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplicaSnapshot {
+    /// Requests waiting in the replica's arrival queue.
+    pub queued: usize,
+    /// Requests in the running batch (prefilling or decoding).
+    pub live: usize,
+    /// KV-cache tokens currently resident across live requests.
+    pub kv_tokens: u64,
+    /// KV tokens the replica's admission planner may use (the headroom
+    /// budget, not the raw pool).
+    pub kv_budget_tokens: u64,
+}
+
+impl ReplicaSnapshot {
+    /// Total requests the replica is responsible for right now.
+    pub fn load(&self) -> usize {
+        self.queued + self.live
+    }
+
+    /// Fraction of the admission budget in use (0 when the budget is
+    /// zero — a degenerate replica is "full").
+    pub fn kv_utilization(&self) -> f64 {
+        if self.kv_budget_tokens == 0 {
+            return 1.0;
+        }
+        self.kv_tokens as f64 / self.kv_budget_tokens as f64
+    }
+
+    /// Whether admitting `incoming_kv_tokens` more KV tokens would
+    /// exceed the admission budget.
+    pub fn kv_saturated_for(&self, incoming_kv_tokens: u64) -> bool {
+        self.kv_tokens + incoming_kv_tokens > self.kv_budget_tokens
+    }
+}
+
+/// How the cluster router picks a replica for each arriving request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoutingPolicy {
+    /// Cycle through replicas in order, ignoring state — the classic
+    /// stateless baseline.
+    RoundRobin,
+    /// Join the replica with the fewest responsible requests
+    /// (queued + live). Replicas whose KV budget cannot take the
+    /// request are skipped while any replica still has headroom.
+    JoinShortestQueue,
+    /// Join the replica with the lowest KV-budget utilization, breaking
+    /// ties by queue length — the policy that tracks the *actual*
+    /// admission bottleneck (the paper's KV-capacity pressure) rather
+    /// than a proxy count.
+    KvPressureAware,
+}
+
+impl RoutingPolicy {
+    /// Display label for reports and sweeps.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RoutingPolicy::RoundRobin => "round-robin",
+            RoutingPolicy::JoinShortestQueue => "join-shortest-queue",
+            RoutingPolicy::KvPressureAware => "kv-pressure-aware",
+        }
+    }
+}
+
+impl core::fmt::Display for RoutingPolicy {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The stateful router: a policy plus the round-robin cursor.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Router {
+    policy: RoutingPolicy,
+    next: usize,
+    decisions: u64,
+}
+
+impl Router {
+    /// A fresh router running `policy`.
+    pub fn new(policy: RoutingPolicy) -> Self {
+        Self {
+            policy,
+            next: 0,
+            decisions: 0,
+        }
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> RoutingPolicy {
+        self.policy
+    }
+
+    /// Routing decisions made so far.
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    /// Picks the replica that admits a request needing
+    /// `incoming_kv_tokens` of KV capacity (its prompt length at
+    /// admission), given one snapshot per replica.
+    ///
+    /// Ties prefer the lowest replica index, so routing is
+    /// deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is empty.
+    #[track_caller]
+    pub fn route(&mut self, incoming_kv_tokens: u64, replicas: &[ReplicaSnapshot]) -> usize {
+        assert!(!replicas.is_empty(), "cannot route to an empty fleet");
+        self.decisions += 1;
+        match self.policy {
+            RoutingPolicy::RoundRobin => {
+                let pick = self.next % replicas.len();
+                self.next = (self.next + 1) % replicas.len();
+                pick
+            }
+            RoutingPolicy::JoinShortestQueue => {
+                let least_loaded = |saturated_ok: bool| {
+                    replicas
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, s)| saturated_ok || !s.kv_saturated_for(incoming_kv_tokens))
+                        .min_by_key(|&(i, s)| (s.load(), i))
+                        .map(|(i, _)| i)
+                };
+                least_loaded(false)
+                    .or_else(|| least_loaded(true))
+                    .expect("fleet is non-empty")
+            }
+            RoutingPolicy::KvPressureAware => replicas
+                .iter()
+                .enumerate()
+                .min_by(|(ia, a), (ib, b)| {
+                    a.kv_utilization()
+                        .total_cmp(&b.kv_utilization())
+                        .then_with(|| a.load().cmp(&b.load()))
+                        .then_with(|| ia.cmp(ib))
+                })
+                .map(|(i, _)| i)
+                .expect("fleet is non-empty"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(queued: usize, live: usize, kv: u64, budget: u64) -> ReplicaSnapshot {
+        ReplicaSnapshot {
+            queued,
+            live,
+            kv_tokens: kv,
+            kv_budget_tokens: budget,
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles_deterministically() {
+        let mut r = Router::new(RoutingPolicy::RoundRobin);
+        let fleet = vec![snap(9, 9, 900, 1000); 3];
+        let picks: Vec<usize> = (0..7).map(|_| r.route(10, &fleet)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2, 0]);
+        assert_eq!(r.decisions(), 7);
+    }
+
+    #[test]
+    fn jsq_picks_least_loaded() {
+        let mut r = Router::new(RoutingPolicy::JoinShortestQueue);
+        let fleet = vec![
+            snap(4, 8, 100, 10_000),
+            snap(1, 3, 100, 10_000),
+            snap(2, 8, 100, 10_000),
+        ];
+        assert_eq!(r.route(50, &fleet), 1);
+    }
+
+    #[test]
+    fn jsq_never_admits_to_a_saturated_replica_while_another_has_headroom() {
+        let mut r = Router::new(RoutingPolicy::JoinShortestQueue);
+        // Replica 0 is the least loaded but its KV budget cannot take
+        // the 200-token prompt; replica 2 has headroom.
+        let fleet = vec![
+            snap(0, 1, 9_900, 10_000),
+            snap(5, 8, 9_950, 10_000),
+            snap(3, 6, 2_000, 10_000),
+        ];
+        assert_eq!(r.route(200, &fleet), 2);
+        // Once every replica is saturated, fall back to least loaded.
+        let all_full = vec![
+            snap(2, 2, 9_990, 10_000),
+            snap(0, 1, 9_990, 10_000),
+            snap(4, 4, 9_990, 10_000),
+        ];
+        assert_eq!(r.route(200, &all_full), 1);
+    }
+
+    #[test]
+    fn kv_aware_follows_the_emptiest_pool() {
+        let mut r = Router::new(RoutingPolicy::KvPressureAware);
+        let fleet = vec![
+            snap(0, 2, 8_000, 10_000),
+            snap(6, 9, 1_000, 10_000), // busiest queue, emptiest pool
+            snap(1, 1, 5_000, 10_000),
+        ];
+        assert_eq!(r.route(100, &fleet), 1);
+        // Ties on utilization break by load, then index.
+        let tied = vec![snap(3, 0, 500, 1_000), snap(1, 0, 500, 1_000)];
+        assert_eq!(r.route(100, &tied), 1);
+    }
+
+    #[test]
+    fn snapshot_accessors() {
+        let s = snap(3, 5, 750, 1_000);
+        assert_eq!(s.load(), 8);
+        assert!((s.kv_utilization() - 0.75).abs() < 1e-12);
+        assert!(!s.kv_saturated_for(250));
+        assert!(s.kv_saturated_for(251));
+        // A zero-budget replica reads as full, never as infinitely free.
+        assert_eq!(snap(0, 0, 0, 0).kv_utilization(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty fleet")]
+    fn routing_to_nobody_is_a_bug() {
+        Router::new(RoutingPolicy::RoundRobin).route(1, &[]);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(
+            RoutingPolicy::JoinShortestQueue.to_string(),
+            "join-shortest-queue"
+        );
+        assert_eq!(RoutingPolicy::RoundRobin.label(), "round-robin");
+    }
+}
