@@ -13,6 +13,10 @@
 //! - **determinism**: `tokens` / `iterations` are simulation *outputs*
 //!   and machine-independent — any mismatch fails (an intentional model
 //!   change should refresh the baseline, see README);
+//! - **cache hit rate**: for scenarios whose baseline exercises the
+//!   prefix cache (`cache_hit_rate > 0`), a current hit rate more than
+//!   15 % below baseline fails — a quietly colder cache is a
+//!   performance regression even when wall time looks fine;
 //! - **coverage**: a baseline scenario missing from the current report
 //!   fails; new scenarios are reported but pass.
 //!
@@ -32,7 +36,13 @@ struct ScenarioResult {
     tokens: u64,
     tokens_per_sec: f64,
     iterations: u64,
+    cache_hit_rate: f64,
 }
+
+/// Hit rates are deterministic, but gate with the same 15 % band as
+/// throughput so an intentional small model change doesn't demand a
+/// baseline refresh twice over.
+const HIT_RATE_TOLERANCE: f64 = 0.15;
 
 #[derive(Debug, Deserialize)]
 struct PerfReport {
@@ -143,6 +153,19 @@ fn main() -> ExitCode {
                 "{}: deterministic outputs drifted (tokens {} -> {}, iterations {} -> {}); \
                  if the model change is intentional, refresh BENCH_baseline.json",
                 base.scenario, base.tokens, cur.tokens, base.iterations, cur.iterations
+            ));
+        }
+        if base.cache_hit_rate > 0.0
+            && cur.cache_hit_rate < base.cache_hit_rate * (1.0 - HIT_RATE_TOLERANCE)
+        {
+            failures.push(format!(
+                "{}: prefix-cache hit rate regressed {:.1}% (baseline {:.3}, current {:.3}); \
+                 gate allows {:.0}%",
+                base.scenario,
+                (1.0 - cur.cache_hit_rate / base.cache_hit_rate) * 100.0,
+                base.cache_hit_rate,
+                cur.cache_hit_rate,
+                HIT_RATE_TOLERANCE * 100.0
             ));
         }
         let ratio = ratio_of(base, cur) / machine_factor;

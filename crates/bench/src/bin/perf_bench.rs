@@ -8,16 +8,20 @@
 //! ```json
 //! {"schema":"papi-perf-bench/1","scenarios":[
 //!   {"scenario":"trace_llama65b_b64_s2","wall_ms":12.3,
-//!    "tokens":9000,"tokens_per_sec":730000.0,"iterations":220}]}
+//!    "tokens":9000,"tokens_per_sec":730000.0,"iterations":220,
+//!    "cache_hit_rate":0.0}]}
 //! ```
 //!
 //! `tokens_per_sec` is simulated output tokens per wall-clock second of
-//! simulation — the harness's throughput figure of merit. Run with
+//! simulation — the harness's throughput figure of merit.
+//! `cache_hit_rate` is a deterministic simulation *output* (the prefix
+//! cache's token hit rate; zero for scenarios that don't share
+//! prefixes), gated like `tokens`/`iterations`. Run with
 //! `cargo run --release -p papi-bench --bin perf_bench`.
 
 use papi_core::{DecodingSimulator, DesignKind, ServingEngine, SystemConfig};
 use papi_llm::ModelPreset;
-use papi_workload::{DatasetKind, ServingWorkload, WorkloadSpec};
+use papi_workload::{ConversationDataset, DatasetKind, ServingWorkload, WorkloadSpec};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -28,6 +32,7 @@ struct ScenarioResult {
     tokens: u64,
     tokens_per_sec: f64,
     iterations: u64,
+    cache_hit_rate: f64,
 }
 
 #[derive(Debug, Serialize)]
@@ -36,25 +41,41 @@ struct PerfReport {
     scenarios: Vec<ScenarioResult>,
 }
 
-fn time_scenario(name: &str, run: impl Fn() -> (u64, u64)) -> ScenarioResult {
+/// What one scenario run produced: deterministic simulation outputs.
+struct ScenarioOutputs {
+    tokens: u64,
+    iterations: u64,
+    cache_hit_rate: f64,
+}
+
+impl ScenarioOutputs {
+    fn plain(tokens: u64, iterations: u64) -> Self {
+        Self {
+            tokens,
+            iterations,
+            cache_hit_rate: 0.0,
+        }
+    }
+}
+
+fn time_scenario(name: &str, run: impl Fn() -> ScenarioOutputs) -> ScenarioResult {
     // One warmup, then best-of-5 timed runs: the minimum is the least
     // noisy estimator of the code's cost, which keeps the CI
     // regression gate (`bench_compare`) off scheduler jitter.
-    let _ = run();
+    let mut outputs = run();
     let mut best = f64::INFINITY;
-    let mut outputs = (0, 0);
     for _ in 0..5 {
         let start = Instant::now();
         outputs = run();
         best = best.min(start.elapsed().as_secs_f64());
     }
-    let (tokens, iterations) = outputs;
     ScenarioResult {
         scenario: name.to_owned(),
         wall_ms: best * 1e3,
-        tokens,
-        tokens_per_sec: tokens as f64 / best.max(1e-12),
-        iterations,
+        tokens: outputs.tokens,
+        tokens_per_sec: outputs.tokens as f64 / best.max(1e-12),
+        iterations: outputs.iterations,
+        cache_hit_rate: outputs.cache_hit_rate,
     }
 }
 
@@ -70,14 +91,14 @@ fn main() {
                 WorkloadSpec::static_batching(DatasetKind::CreativeWriting, batch, speculation)
                     .with_seed(42);
             let report = DecodingSimulator::new(SystemConfig::papi(model.config())).run(&workload);
-            (report.tokens, report.iterations)
+            ScenarioOutputs::plain(report.tokens, report.iterations)
         }));
     }
 
     // The §5.2.1 offline α calibration (runs the FC latency models).
     scenarios.push(time_scenario("alpha_calibration_llama65b", || {
         let calibration = SystemConfig::calibrate(&model.config());
-        (calibration.alpha as u64, 1)
+        ScenarioOutputs::plain(calibration.alpha as u64, 1)
     }));
 
     // Online serving: moderate and saturating Poisson load.
@@ -88,9 +109,33 @@ fn main() {
             let report = ServingEngine::new(SystemConfig::build(DesignKind::Papi, model.config()))
                 .with_max_batch(32)
                 .run(&workload);
-            (report.tokens, report.iterations)
+            ScenarioOutputs::plain(report.tokens, report.iterations)
         }));
     }
+
+    // Paged KV with prefix sharing and chunked prefill over a
+    // multi-turn conversation workload: exercises the block pool, the
+    // prefix tree, and the chunk scheduler, and reports the cache hit
+    // rate as a gated deterministic output.
+    scenarios.push(time_scenario("prefix_caching_llama65b_chat", || {
+        let workload = ServingWorkload::poisson(
+            ConversationDataset::multi_turn(DatasetKind::GeneralQa, 512, 4),
+            6.0,
+            96,
+        )
+        .with_seed(42);
+        let report = ServingEngine::new(SystemConfig::build(DesignKind::Papi, model.config()))
+            .with_max_batch(32)
+            .with_kv_block_size(16)
+            .with_prefix_sharing(true)
+            .with_prefill_chunk(512)
+            .run(&workload);
+        ScenarioOutputs {
+            tokens: report.tokens,
+            iterations: report.iterations,
+            cache_hit_rate: report.kv.hit_rate(),
+        }
+    }));
 
     let report = PerfReport {
         schema: "papi-perf-bench/1".to_owned(),

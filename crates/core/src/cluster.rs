@@ -47,6 +47,14 @@ pub struct ClusterSpec {
     pub routing: RoutingPolicy,
     /// Batch cap (scheduler window) of each replica.
     pub max_batch: u64,
+    /// KV paging granularity of each replica (tokens per block; 1 is
+    /// exact scalar accounting).
+    pub kv_block_size: u64,
+    /// Whether each replica runs copy-on-write prefix sharing.
+    pub prefix_sharing: bool,
+    /// Per-step chunked-prefill token budget of each replica (`None`
+    /// prices each admission wave monolithically).
+    pub prefill_chunk: Option<u64>,
 }
 
 impl ClusterSpec {
@@ -67,6 +75,9 @@ impl ClusterSpec {
             inter_node: LinkSpec::infiniband_ndr(),
             routing: RoutingPolicy::JoinShortestQueue,
             max_batch: DEFAULT_MAX_BATCH,
+            kv_block_size: 1,
+            prefix_sharing: false,
+            prefill_chunk: None,
         }
     }
 
@@ -85,6 +96,31 @@ impl ClusterSpec {
     /// Overrides each replica's batch cap.
     pub fn with_max_batch(mut self, max_batch: u64) -> Self {
         self.max_batch = max_batch;
+        self
+    }
+
+    /// Overrides each replica's KV paging granularity.
+    pub fn with_kv_block_size(mut self, block_size: u64) -> Self {
+        self.kv_block_size = block_size;
+        self
+    }
+
+    /// Enables copy-on-write prefix sharing on every replica.
+    ///
+    /// Caveat: each replica's prefix cache is private, and the bundled
+    /// [`RoutingPolicy`]s are prefix-oblivious — a conversation's turns
+    /// can scatter across replicas and miss caches that a single node
+    /// would hit. Multi-replica fleets therefore see lower hit rates
+    /// than `PrefixCacheSweep`'s single-node numbers until a
+    /// prefix-affinity routing policy exists (see ROADMAP).
+    pub fn with_prefix_sharing(mut self, enabled: bool) -> Self {
+        self.prefix_sharing = enabled;
+        self
+    }
+
+    /// Enables chunked prefill on every replica.
+    pub fn with_prefill_chunk(mut self, chunk_tokens: u64) -> Self {
+        self.prefill_chunk = Some(chunk_tokens);
         self
     }
 }
@@ -113,7 +149,13 @@ impl ClusterEngine {
             spec.dp_replicas,
         )?;
         let sharded = config.with_tensor_parallel(spec.tp_degree, spec.inter_node.clone());
-        let replica = ServingEngine::new(sharded).with_max_batch(spec.max_batch);
+        let mut replica = ServingEngine::new(sharded)
+            .with_max_batch(spec.max_batch)
+            .with_kv_block_size(spec.kv_block_size)
+            .with_prefix_sharing(spec.prefix_sharing);
+        if let Some(chunk) = spec.prefill_chunk {
+            replica = replica.with_prefill_chunk(chunk);
+        }
         Ok(Self {
             spec,
             topology,

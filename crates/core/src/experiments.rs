@@ -17,7 +17,9 @@ use papi_pim::power::power_draw;
 use papi_pim::{PimConfig, PimDevice, PimEnergyBreakdown, PimEnergyModel};
 use papi_sched::estimator::AiComparison;
 use papi_types::{DataType, Power};
-use papi_workload::{DatasetKind, RoutingPolicy, ServingWorkload, WorkloadSpec};
+use papi_workload::{
+    ConversationDataset, DatasetKind, RoutingPolicy, ServingWorkload, WorkloadSpec,
+};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -572,6 +574,122 @@ impl LoadSweep {
 }
 
 // ---------------------------------------------------------------------
+// Prefix-cache sweeps (beyond the paper: paged KV with prefix sharing)
+// ---------------------------------------------------------------------
+
+/// One `(KV mode, arrival rate)` point of a prefix-cache sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PrefixCacheRow {
+    /// KV accounting mode: `"scalar"` (block 1, no sharing, monolithic
+    /// prefill) or `"paged+prefix"` (block-granular, shared prefixes,
+    /// optionally chunked prefill).
+    pub mode: String,
+    /// Offered load, requests per second.
+    pub rate_per_sec: f64,
+    /// Requests served.
+    pub requests: u64,
+    /// Requests completed within the SLO, per second.
+    pub goodput_rps: f64,
+    /// Fraction of requests meeting the SLO.
+    pub slo_attainment: f64,
+    /// Median time-to-first-token, ms.
+    pub ttft_p50_ms: f64,
+    /// 99th-percentile time-to-first-token, ms.
+    pub ttft_p99_ms: f64,
+    /// Fraction of prefill demand served from the prefix cache.
+    pub cache_hit_rate: f64,
+    /// Largest number of KV blocks ever simultaneously held.
+    pub peak_blocks_in_use: u64,
+    /// Prefill waves priced over the episode.
+    pub prefill_chunks: u64,
+    /// KV-pressure preemption events.
+    pub preemptions: u64,
+}
+
+/// A prefix-cache sweep: the same conversation-structured load served
+/// with scalar KV accounting vs the paged pool with prefix sharing —
+/// equal DRAM, equal admission headroom, so any gap is purely the
+/// cache subsystem.
+#[derive(Debug, Clone)]
+pub struct PrefixCacheSweep {
+    /// Model served.
+    pub model: ModelPreset,
+    /// Design serving it.
+    pub design: DesignKind,
+    /// Prefix-structured request population.
+    pub conversations: ConversationDataset,
+    /// Offered loads, requests per second.
+    pub rates: Vec<f64>,
+    /// Requests per `(mode, rate)` point.
+    pub num_requests: usize,
+    /// Batch cap (scheduler window) for every engine.
+    pub max_batch: u64,
+    /// Admission-planning fraction of the KV pool (both modes).
+    pub kv_headroom: f64,
+    /// Paged mode's tokens per block.
+    pub block_size: u64,
+    /// Paged mode's chunked-prefill budget (`None` = monolithic).
+    pub prefill_chunk: Option<u64>,
+    /// Latency objective goodput is scored against.
+    pub slo: SloSpec,
+    /// Seed shared by every point.
+    pub seed: u64,
+}
+
+impl PrefixCacheSweep {
+    fn engine(&self, paged: bool) -> ServingEngine {
+        let mut engine = ServingEngine::new(SystemConfig::build(self.design, self.model.config()))
+            .with_max_batch(self.max_batch)
+            .with_kv_headroom(self.kv_headroom);
+        if paged {
+            engine = engine
+                .with_kv_block_size(self.block_size)
+                .with_prefix_sharing(true);
+            if let Some(chunk) = self.prefill_chunk {
+                engine = engine.with_prefill_chunk(chunk);
+            }
+        }
+        engine
+    }
+
+    /// Serves every `(rate, mode)` point and collects one row each.
+    ///
+    /// Points are independent simulator runs and fan out across cores;
+    /// results are deterministic and ordered rate-major with the scalar
+    /// baseline first at each rate.
+    pub fn run(&self) -> Vec<PrefixCacheRow> {
+        let points: Vec<(f64, bool)> = self
+            .rates
+            .iter()
+            .flat_map(|&rate| [(rate, false), (rate, true)])
+            .collect();
+        points
+            .par_iter()
+            .map(|&(rate, paged)| {
+                let workload =
+                    ServingWorkload::poisson(self.conversations, rate, self.num_requests)
+                        .with_seed(self.seed);
+                let report = self.engine(paged).run(&workload);
+                let ttft = report.ttft_summary().expect("non-empty episode");
+                PrefixCacheRow {
+                    mode: if paged { "paged+prefix" } else { "scalar" }.to_owned(),
+                    rate_per_sec: rate,
+                    requests: report.records.len() as u64,
+                    goodput_rps: report.goodput(&self.slo),
+                    slo_attainment: report.slo_attainment(&self.slo),
+                    ttft_p50_ms: ttft.p50.as_millis(),
+                    ttft_p99_ms: ttft.p99.as_millis(),
+                    cache_hit_rate: report.kv.hit_rate(),
+                    peak_blocks_in_use: report.kv.peak_blocks_in_use,
+                    prefill_chunks: report.kv.prefill_chunks,
+                    preemptions: report.preemptions,
+                }
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------
 // Cluster sweeps (beyond the paper: the fleet regime)
 // ---------------------------------------------------------------------
 
@@ -850,6 +968,43 @@ mod tests {
         // Tail latency grows with offered load; attainment falls.
         assert!(papi_at(32.0).ttft_p99_ms > papi_at(0.5).ttft_p99_ms);
         assert!(papi_at(32.0).slo_attainment <= papi_at(0.5).slo_attainment);
+    }
+
+    #[test]
+    fn prefix_cache_sweep_beats_scalar_at_equal_dram() {
+        let rows = PrefixCacheSweep {
+            model: ModelPreset::Llama65B,
+            design: DesignKind::PimOnlyPapi,
+            conversations: ConversationDataset::multi_turn(DatasetKind::GeneralQa, 512, 4),
+            rates: vec![4.0],
+            num_requests: 48,
+            max_batch: 16,
+            kv_headroom: 0.05,
+            block_size: 16,
+            prefill_chunk: None,
+            slo: SloSpec::interactive(4_000.0, 80.0),
+            seed: 7,
+        }
+        .run();
+        assert_eq!(rows.len(), 2);
+        let scalar = &rows[0];
+        let paged = &rows[1];
+        assert_eq!(scalar.mode, "scalar");
+        assert_eq!(paged.mode, "paged+prefix");
+        assert_eq!(scalar.requests, 48);
+        assert_eq!(paged.requests, 48);
+        assert_eq!(scalar.cache_hit_rate, 0.0);
+        assert!(
+            paged.cache_hit_rate > 0.2,
+            "conversation turns should hit: {}",
+            paged.cache_hit_rate
+        );
+        assert!(
+            paged.goodput_rps > scalar.goodput_rps,
+            "prefix caching should win goodput at equal DRAM: {} vs {}",
+            paged.goodput_rps,
+            scalar.goodput_rps
+        );
     }
 
     #[test]

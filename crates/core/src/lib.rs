@@ -65,6 +65,7 @@ pub use engine::DecodingSimulator;
 pub use metrics::{
     ExecutionReport, IterationCost, LatencySummary, PhaseBreakdown, RequestRecord, ServingReport,
 };
+pub use papi_kv::KvCacheStats;
 pub use prefill::{prefill_cost, prefill_cost_for, PrefillCost, PromptStats};
 pub use pricer::IterationPricer;
 pub use serving::{ServingEngine, ServingSession, SessionStatus};

@@ -3,6 +3,7 @@
 //! path produces (TTFT, TPOT, queueing delay, SLO goodput).
 
 use crate::slo::SloSpec;
+use papi_kv::KvCacheStats;
 use papi_sched::policy::SchedulerStats;
 use papi_sched::Placement;
 use papi_types::{Energy, Time};
@@ -302,6 +303,9 @@ pub struct ServingReport {
     pub peak_rlp: u64,
     /// Largest aggregate KV footprint ever resident, in tokens.
     pub peak_kv_tokens: u64,
+    /// Paged KV-cache counters: block occupancy, prefix-cache hit
+    /// rate, chunked-prefill waves, fragmentation.
+    pub kv: KvCacheStats,
 }
 
 impl ServingReport {
@@ -536,6 +540,7 @@ mod tests {
             preemptions: 0,
             peak_rlp: 3,
             peak_kv_tokens: 0,
+            kv: KvCacheStats::default(),
         };
         assert!((report.slo_attainment(&slo) - 1.0 / 3.0).abs() < 1e-12);
         assert!((report.goodput(&slo) - 0.1).abs() < 1e-12);

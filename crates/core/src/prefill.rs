@@ -44,8 +44,20 @@ pub struct PromptStats {
 impl PromptStats {
     /// Accumulates one prompt of `len` tokens.
     pub fn add_prompt(&mut self, len: u64) {
-        self.tokens += len;
-        self.sum_len_squared += len * len;
+        self.add_chunk(0, len);
+    }
+
+    /// Accumulates a `chunk`-token slice of a prompt whose first
+    /// `context` tokens are already resident (prefilled earlier, or
+    /// served from a shared-prefix cache). Each chunk token attends the
+    /// whole context before it, so the quadratic attention mass is
+    /// `(context + chunk)² − context²` — chunking a prompt (or
+    /// discounting its cached prefix) telescopes to exactly the
+    /// monolithic cost: total FC work and total attention FLOPs are
+    /// conserved.
+    pub fn add_chunk(&mut self, context: u64, chunk: u64) {
+        self.tokens += chunk;
+        self.sum_len_squared += chunk * chunk + 2 * chunk * context;
     }
 
     /// The prompt population of a whole decode trace.
@@ -176,6 +188,32 @@ mod tests {
         assert!(
             ratio > 8.0,
             "compute-bound prefill on PIM FPUs should be ≫ slower: {ratio:.1}×"
+        );
+    }
+
+    #[test]
+    fn chunked_stats_telescope_to_the_monolithic_prompt() {
+        let mut whole = PromptStats::default();
+        whole.add_prompt(1000);
+        // Uneven chunks, plus a cached 192-token prefix handled as
+        // "context already resident".
+        let mut chunked = PromptStats::default();
+        let mut context = 0;
+        for chunk in [192u64, 300, 300, 208] {
+            chunked.add_chunk(context, chunk);
+            context += chunk;
+        }
+        assert_eq!(chunked, whole);
+        // A cached prefix reduces both the linear and quadratic terms
+        // by exactly the prefix's own cost.
+        let mut cached = PromptStats::default();
+        cached.add_chunk(192, 808);
+        let mut prefix_only = PromptStats::default();
+        prefix_only.add_prompt(192);
+        assert_eq!(cached.tokens + prefix_only.tokens, whole.tokens);
+        assert_eq!(
+            cached.sum_len_squared + prefix_only.sum_len_squared,
+            whole.sum_len_squared
         );
     }
 

@@ -11,14 +11,34 @@
 //! step — through the same [`IterationPricer`] the batch path uses, so
 //! the two paths can never drift apart on hardware math.
 //!
+//! KV capacity is managed by the paged subsystem in `papi-kv`: every
+//! live request holds a [`KvSeq`] of refcounted blocks in a
+//! [`KvBlockPool`], admission and preemption are block-granular, and
+//! three opt-in extensions ride on the paging:
+//!
+//! - **prefix sharing** ([`ServingEngine::with_prefix_sharing`]):
+//!   requests carrying a [`PrefixHint`](papi_kv::PrefixHint) fork
+//!   cached full blocks of earlier contexts (shared system prompts,
+//!   conversation history) instead of re-prefilling them — saving both
+//!   prefill work and physical capacity;
+//! - **chunked prefill** ([`ServingEngine::with_prefill_chunk`]):
+//!   prompts are prefilled in bounded-token chunks interleaved with
+//!   decode iterations (shortest-remaining-first), so one giant prompt
+//!   can no longer stall the whole batch for a monolithic wave;
+//! - **block sizing** ([`ServingEngine::with_kv_block_size`]): the
+//!   paging granularity. Block size 1 with sharing and chunking off is
+//!   the scalar configuration — it reproduces the pre-paging engine's
+//!   `ServingReport` bit for bit (pinned by `tests/paged_equality.rs`).
+//!
 //! The output is a [`ServingReport`]: per-request lifecycle records
-//! (queueing delay, TTFT, TPOT, end-to-end) with percentile summaries
-//! and SLO goodput — the metrics a closed batch cannot express at all.
+//! (queueing delay, TTFT, TPOT, end-to-end) with percentile summaries,
+//! SLO goodput, and the cache counters in [`KvCacheStats`].
 
 use crate::config::SystemConfig;
 use crate::metrics::{PhaseBreakdown, RequestRecord, ServingReport};
 use crate::prefill::{prefill_cost_for, PromptStats};
 use crate::pricer::IterationPricer;
+use papi_kv::{KvBlockPool, KvCacheStats, KvPoolStats, KvSeq, PrefixTree};
 use papi_sched::{FcScheduler, Placement};
 use papi_types::{Energy, Time};
 use papi_workload::{
@@ -41,16 +61,24 @@ pub struct ServingEngine {
     config: SystemConfig,
     max_batch: u64,
     kv_headroom: f64,
+    kv_block_size: u64,
+    prefix_sharing: bool,
+    prefill_chunk: Option<u64>,
     max_iterations: u64,
 }
 
 impl ServingEngine {
-    /// Wraps a system configuration with default serving parameters.
+    /// Wraps a system configuration with default serving parameters
+    /// (scalar KV accounting: block size 1, no prefix sharing,
+    /// monolithic prefill).
     pub fn new(config: SystemConfig) -> Self {
         Self {
             config,
             max_batch: DEFAULT_MAX_BATCH,
             kv_headroom: DEFAULT_KV_HEADROOM,
+            kv_block_size: 1,
+            prefix_sharing: false,
+            prefill_chunk: None,
             max_iterations: 10_000_000,
         }
     }
@@ -87,6 +115,45 @@ impl ServingEngine {
         self
     }
 
+    /// Sets the KV paging granularity in tokens per block. Larger
+    /// blocks cut bookkeeping and enable useful sharing units; block
+    /// size 1 is exact scalar token accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` is zero.
+    #[track_caller]
+    pub fn with_kv_block_size(mut self, block_size: u64) -> Self {
+        assert!(block_size > 0, "kv block size must be positive");
+        self.kv_block_size = block_size;
+        self
+    }
+
+    /// Enables copy-on-write prefix sharing: requests whose
+    /// [`PrefixHint`](papi_kv::PrefixHint)s name a cached context fork
+    /// its full blocks instead of re-prefilling them, and completed
+    /// contexts are published back into the cache.
+    pub fn with_prefix_sharing(mut self, enabled: bool) -> Self {
+        self.prefix_sharing = enabled;
+        self
+    }
+
+    /// Enables chunked prefill: each step prefills at most
+    /// `chunk_tokens` prompt tokens (shortest-remaining-first across
+    /// the admitted-but-unprefilled requests), interleaved with decode
+    /// iterations, instead of pricing every admission wave as one
+    /// monolithic prefill.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_tokens` is zero.
+    #[track_caller]
+    pub fn with_prefill_chunk(mut self, chunk_tokens: u64) -> Self {
+        assert!(chunk_tokens > 0, "prefill chunk must be positive");
+        self.prefill_chunk = Some(chunk_tokens);
+        self
+    }
+
     /// Safety valve against runaway episodes (default: 10 M iterations).
     pub fn with_max_iterations(mut self, max_iterations: u64) -> Self {
         self.max_iterations = max_iterations;
@@ -116,7 +183,8 @@ impl ServingEngine {
     ///
     /// # Panics
     ///
-    /// Panics if the model does not fit the design's weight pool.
+    /// Panics if the model does not fit the design's weight pool, or if
+    /// the attention pool cannot hold even one KV block.
     pub fn open_session(&self, workload: &ServingWorkload) -> ServingSession<'_> {
         if let Err(msg) = self.config.validate_capacity(0.0) {
             panic!("{msg}");
@@ -124,18 +192,38 @@ impl ServingEngine {
         let kv_bytes_per_token = self.config.model.kv_bytes_per_token().value();
         let (attn_device, attn_count) = &self.config.attn_pim;
         let pool_bytes = attn_device.capacity().value() * *attn_count as f64;
+        let admit_budget_tokens = (pool_bytes * self.kv_headroom / kv_bytes_per_token) as u64;
+        let hard_budget_tokens = (pool_bytes / kv_bytes_per_token) as u64;
+        let total_blocks = hard_budget_tokens / self.kv_block_size;
+        assert!(
+            total_blocks > 0,
+            "{}: the attention pool cannot hold a single {}-token KV block",
+            self.config.design,
+            self.kv_block_size
+        );
+        let pool = KvBlockPool::new(self.kv_block_size, total_blocks);
         ServingSession {
             engine: self,
             speculation: workload.speculation,
             tlp_policy: workload.tlp_policy,
-            admit_budget_tokens: (pool_bytes * self.kv_headroom / kv_bytes_per_token) as u64,
-            hard_budget_tokens: (pool_bytes / kv_bytes_per_token) as u64,
+            admit_budget_blocks: admit_budget_tokens / self.kv_block_size,
+            prefix_tree: self.prefix_sharing.then(PrefixTree::new),
+            kv_stats: KvCacheStats {
+                block_size: self.kv_block_size,
+                total_blocks,
+                ..Default::default()
+            },
+            pool,
             scheduler: self.config.scheduler.build(),
             pricer: IterationPricer::new(&self.config),
             rng: StdRng::seed_from_u64(workload.seed.wrapping_mul(0x5851_f42d_4c95_7f2d)),
             requests: Vec::new(),
+            seqs: Vec::new(),
+            prefilled: Vec::new(),
             admitted_s: Vec::new(),
             first_token_s: Vec::new(),
+            kv_tokens: 0,
+            prefilling_kv_tokens: 0,
             clock: 0.0,
             next_arrival: 0,
             queue: VecDeque::new(),
@@ -176,14 +264,28 @@ pub struct ServingSession<'a> {
     engine: &'a ServingEngine,
     speculation: SpeculativeConfig,
     tlp_policy: TlpPolicy,
-    admit_budget_tokens: u64,
-    hard_budget_tokens: u64,
+    admit_budget_blocks: u64,
+    pool: KvBlockPool,
+    prefix_tree: Option<PrefixTree>,
+    kv_stats: KvCacheStats,
     scheduler: Box<dyn FcScheduler>,
     pricer: IterationPricer<'a>,
     rng: StdRng,
     requests: Vec<ServingRequest>,
+    /// One KV sequence per request index, `Some` while admitted.
+    seqs: Vec<Option<KvSeq>>,
+    /// Prefill progress per request index, in tokens (cached prefix
+    /// tokens count as progress).
+    prefilled: Vec<u64>,
     admitted_s: Vec<Option<f64>>,
     first_token_s: Vec<Option<f64>>,
+    /// Maintained invariant: logical KV tokens resident across live
+    /// requests (the counter the scalar engine recomputed three times
+    /// per step).
+    kv_tokens: u64,
+    /// Maintained invariant: the subset of `kv_tokens` belonging to
+    /// requests still prefilling (zero unless chunked prefill is on).
+    prefilling_kv_tokens: u64,
     clock: f64,
     next_arrival: usize, // index into arrival-sorted `requests`
     queue: VecDeque<usize>,
@@ -209,6 +311,7 @@ impl core::fmt::Debug for ServingSession<'_> {
             .field("queued", &self.queue.len())
             .field("live", &self.live.len())
             .field("finished", &self.records.len())
+            .field("kv", &self.pool.stats())
             .finish_non_exhaustive()
     }
 }
@@ -232,6 +335,8 @@ impl ServingSession<'_> {
             );
         }
         self.requests.push(request);
+        self.seqs.push(None);
+        self.prefilled.push(0);
         self.admitted_s.push(None);
         self.first_token_s.push(None);
     }
@@ -246,13 +351,26 @@ impl ServingSession<'_> {
         self.records.len() < self.requests.len()
     }
 
+    /// Logical KV tokens resident across live requests right now (the
+    /// maintained counter; equals the sum of live `kv_len`s).
+    pub fn kv_resident_tokens(&self) -> u64 {
+        self.kv_tokens
+    }
+
+    /// The paged pool's occupancy right now.
+    pub fn kv_pool_stats(&self) -> KvPoolStats {
+        self.pool.stats()
+    }
+
     /// The admission-relevant state the cluster router consumes.
     pub fn snapshot(&self) -> ReplicaSnapshot {
         ReplicaSnapshot {
             queued: self.queue.len() + (self.requests.len() - self.next_arrival),
             live: self.live.len(),
-            kv_tokens: self.live.iter().map(|&i| self.requests[i].kv_len()).sum(),
-            kv_budget_tokens: self.admit_budget_tokens,
+            kv_blocks_in_use: self.pool.blocks_in_use(),
+            kv_evictable_blocks: self.evictable_blocks(),
+            kv_budget_blocks: self.admit_budget_blocks,
+            kv_block_size: self.pool.block_size(),
         }
     }
 
@@ -264,9 +382,51 @@ impl ServingSession<'_> {
         self.rng = StdRng::seed_from_u64(seed.wrapping_mul(0x5851_f42d_4c95_7f2d));
     }
 
-    /// Runs one admission + decode round, advancing the clock by its
-    /// priced cost. Returns [`SessionStatus::Idle`] when every pushed
-    /// request has finished.
+    fn evictable_blocks(&self) -> u64 {
+        self.prefix_tree
+            .as_ref()
+            .map_or(0, |tree| tree.evictable_blocks(&self.pool))
+    }
+
+    /// Blocks committed to live work: in use minus what prefix-cache
+    /// eviction could reclaim on demand.
+    fn committed_blocks(&self) -> u64 {
+        self.pool.blocks_in_use() - self.evictable_blocks()
+    }
+
+    fn track_kv_peaks(&mut self) {
+        // Resident logical tokens: every decoded context plus what
+        // mid-prefill requests have actually written so far (their
+        // cached prefix counts — those blocks are resident). With
+        // monolithic prefill nothing is ever mid-prefill here, so this
+        // reduces to the scalar engine's `total_kv_len + new_tokens`.
+        let written_prefilling: u64 = self
+            .live
+            .iter()
+            .filter(|&&i| self.requests[i].state == RequestState::Prefilling)
+            .map(|&i| self.prefilled[i])
+            .sum();
+        let resident = self.kv_tokens - self.prefilling_kv_tokens + written_prefilling;
+        self.peak_kv_tokens = self.peak_kv_tokens.max(resident);
+        let in_use = self.pool.blocks_in_use();
+        self.kv_stats.peak_blocks_in_use = self.kv_stats.peak_blocks_in_use.max(in_use);
+        if self.pool.block_size() > 1 && in_use > 0 {
+            let slack: u64 = self
+                .live
+                .iter()
+                .filter_map(|&i| self.seqs[i].as_ref())
+                .map(|seq| seq.slack(self.pool.block_size()))
+                .sum();
+            let fraction = slack as f64 / (in_use * self.pool.block_size()) as f64;
+            if fraction > self.kv_stats.peak_fragmentation {
+                self.kv_stats.peak_fragmentation = fraction;
+            }
+        }
+    }
+
+    /// Runs one admission + prefill + decode round, advancing the clock
+    /// by its priced cost. Returns [`SessionStatus::Idle`] when every
+    /// pushed request has finished.
     ///
     /// # Panics
     ///
@@ -286,75 +446,185 @@ impl ServingSession<'_> {
             self.ingest();
         }
 
-        // --- continuous-batching admission under KV pressure ---
-        let mut kv_tokens: u64 = self.live.iter().map(|&i| self.requests[i].kv_len()).sum();
-        let mut wave = PromptStats::default();
+        // --- continuous-batching admission under KV pressure,
+        //     block-granular and prefix-aware ---
         while (self.live.len() as u64) < self.engine.max_batch {
             let Some(&candidate) = self.queue.front() else {
                 break;
             };
             let prefill_len = self.requests[candidate].prefill_len();
+            let total_need = prefill_len + self.requests[candidate].remaining();
             assert!(
-                prefill_len + self.requests[candidate].remaining() <= self.hard_budget_tokens,
+                self.pool.blocks_for(total_need) <= self.pool.total_blocks(),
                 "{}: request {} alone ({} KV tokens) exceeds the attention pool",
                 self.engine.config.design,
                 self.requests[candidate].request.id,
-                prefill_len + self.requests[candidate].remaining(),
+                total_need,
             );
-            if kv_tokens + prefill_len > self.admit_budget_tokens && !self.live.is_empty() {
+            // Plan against the full prompt (ignoring the cache
+            // discount) so the allocation below can never fail even if
+            // the cached prefix turns out to be pinned.
+            if self.committed_blocks() + self.pool.blocks_for(prefill_len)
+                > self.admit_budget_blocks
+                && !self.live.is_empty()
+            {
                 break;
             }
             self.queue.pop_front();
-            wave.add_prompt(prefill_len);
-            kv_tokens += prefill_len;
+
+            // Fork the cached prefix, if sharing is on and one exists.
+            let hint = self.requests[candidate].request.prefix;
+            let mut seq = match (&mut self.prefix_tree, hint) {
+                (Some(tree), Some(h)) if h.reuse_tokens > 0 => {
+                    self.kv_stats.prefix_lookups += 1;
+                    match tree.fork(h.key, h.reuse_tokens, &mut self.pool) {
+                        Some(forked) => {
+                            self.kv_stats.prefix_hits += 1;
+                            self.kv_stats.cached_prompt_tokens += forked.tokens();
+                            forked
+                        }
+                        None => self.pool.new_seq(),
+                    }
+                }
+                _ => self.pool.new_seq(),
+            };
+            // Reserve capacity for the whole (uncached) prompt now,
+            // evicting cold prefixes if the free list runs short; the
+            // prefill *work* is metered separately below.
+            let suffix = prefill_len - seq.tokens();
+            let growth = self.pool.growth_blocks(seq.tokens(), suffix);
+            while self.pool.free_blocks() < growth {
+                let Some(tree) = self.prefix_tree.as_mut() else {
+                    break;
+                };
+                if tree.evict_lru(&mut self.pool).is_none() {
+                    break;
+                }
+                self.kv_stats.prefix_evictions += 1;
+            }
+            assert!(
+                self.pool.append(&mut seq, suffix),
+                "{}: admission allocation failed despite the budget check",
+                self.engine.config.design,
+            );
+            self.prefilled[candidate] = seq.tokens() - suffix;
+            self.seqs[candidate] = Some(seq);
+            self.kv_tokens += prefill_len;
+            self.prefilling_kv_tokens += prefill_len;
             self.requests[candidate].state = RequestState::Prefilling;
             self.admitted_s[candidate].get_or_insert(self.clock);
             self.live.push(candidate);
         }
 
-        // --- price the admission wave's prefill (interleaved with
-        //     decode: each wave runs between decode iterations) ---
+        // --- prefill work: monolithic (every admitted prompt at once)
+        //     or chunked (a bounded token budget per step, shortest
+        //     remaining first, interleaved with decode) ---
+        let mut wave = PromptStats::default();
+        let mut budget = self.engine.prefill_chunk.unwrap_or(u64::MAX);
+        let mut pending: Vec<usize> = self
+            .live
+            .iter()
+            .copied()
+            .filter(|&i| self.requests[i].state == RequestState::Prefilling)
+            .collect();
+        if self.engine.prefill_chunk.is_some() {
+            pending.sort_by_key(|&i| (self.requests[i].prefill_len() - self.prefilled[i], i));
+        }
+        for i in pending {
+            let remaining = self.requests[i].prefill_len() - self.prefilled[i];
+            let grant = remaining.min(budget);
+            if grant > 0 {
+                wave.add_chunk(self.prefilled[i], grant);
+                self.prefilled[i] += grant;
+                budget -= grant;
+            }
+            if self.prefilled[i] == self.requests[i].prefill_len() {
+                self.requests[i].state = RequestState::Decoding;
+                self.prefilling_kv_tokens -= self.requests[i].prefill_len();
+            }
+            if budget == 0 {
+                break;
+            }
+        }
         if wave.tokens > 0 {
             let cost = prefill_cost_for(&self.engine.config, wave);
             self.clock += cost.time.value();
             self.prefill_time += cost.time;
             self.energy += cost.energy;
-            for &i in &self.live {
-                if self.requests[i].state == RequestState::Prefilling {
-                    self.requests[i].state = RequestState::Decoding;
-                }
-            }
+            self.kv_stats.prefilled_tokens += wave.tokens;
+            self.kv_stats.prefill_chunks += 1;
         }
 
-        // --- KV-pressure preemption: if this iteration's worst-case
-        //     growth would overflow the physical pool, push the
-        //     newest requests back to the queue (recompute-style).
-        //     TLP is re-derived each round: an adaptive policy
-        //     *raises* speculation as the batch shrinks, so the
-        //     growth bound must track the post-preemption batch. ---
+        // --- KV-pressure relief: if this iteration's worst-case
+        //     growth would overflow the physical pool, first evict cold
+        //     cached prefixes, then push the newest requests back to
+        //     the queue (recompute-style). TLP is re-derived each
+        //     round: an adaptive policy *raises* speculation as the
+        //     batch shrinks, so the growth bound must track the
+        //     post-preemption batch. ---
         loop {
-            let tlp = self
-                .tlp_policy
-                .length_at(self.live.len() as u64, self.speculation.length);
-            if self.live.len() <= 1
-                || kv_tokens + self.live.len() as u64 * tlp <= self.hard_budget_tokens
-            {
+            let decoding = self
+                .live
+                .iter()
+                .filter(|&&i| self.requests[i].state == RequestState::Decoding)
+                .count() as u64;
+            if decoding == 0 {
+                break;
+            }
+            let tlp = self.tlp_policy.length_at(decoding, self.speculation.length);
+            let growth: u64 = self
+                .live
+                .iter()
+                .filter(|&&i| self.requests[i].state == RequestState::Decoding)
+                .map(|&i| self.pool.growth_blocks(self.requests[i].kv_len(), tlp))
+                .sum();
+            if self.pool.blocks_in_use() + growth <= self.pool.total_blocks() {
+                break;
+            }
+            if let Some(tree) = self.prefix_tree.as_mut() {
+                if tree.evict_lru(&mut self.pool).is_some() {
+                    self.kv_stats.prefix_evictions += 1;
+                    continue;
+                }
+            }
+            if self.live.len() <= 1 {
                 break;
             }
             let victim = self.live.pop().expect("live is non-empty");
-            kv_tokens -= self.requests[victim].kv_len();
+            let seq = self.seqs[victim]
+                .take()
+                .expect("live request holds a sequence");
+            self.pool.release_seq(seq);
+            self.kv_tokens -= self.requests[victim].kv_len();
+            if self.requests[victim].state == RequestState::Prefilling {
+                self.prefilling_kv_tokens -= self.requests[victim].prefill_len();
+            }
+            self.prefilled[victim] = 0;
             self.requests[victim].state = RequestState::Queued;
             self.requests[victim].preemptions += 1;
             self.preemptions += 1;
             self.queue.push_front(victim);
         }
 
-        // --- one decoding iteration ---
-        let rlp = self.live.len() as u64;
-        let tlp = self.tlp_policy.length_at(rlp, self.speculation.length);
-        let total_kv_len: u64 = self.live.iter().map(|&i| self.requests[i].kv_len()).sum();
-        let max_kv_len = self
+        // --- one decoding iteration over the decode-ready batch ---
+        let decoding: Vec<usize> = self
             .live
+            .iter()
+            .copied()
+            .filter(|&i| self.requests[i].state == RequestState::Decoding)
+            .collect();
+        if decoding.is_empty() {
+            // A pure prefill step (chunked prefill still working
+            // through the admitted prompts). The wave above advanced
+            // the clock, so the episode always makes progress.
+            debug_assert!(wave.tokens > 0, "a step must advance prefill or decode");
+            self.track_kv_peaks();
+            return SessionStatus::Advanced;
+        }
+        let rlp = decoding.len() as u64;
+        let tlp = self.tlp_policy.length_at(rlp, self.speculation.length);
+        let total_kv_len = self.kv_tokens - self.prefilling_kv_tokens;
+        let max_kv_len = decoding
             .iter()
             .map(|&i| self.requests[i].kv_len())
             .max()
@@ -367,7 +637,7 @@ impl ServingSession<'_> {
         let mut finished = 0u64;
         let mut finishers: Vec<usize> = Vec::new();
         let mut first_timers: Vec<usize> = Vec::new();
-        for &i in &self.live {
+        for &i in &decoding {
             let banked = self
                 .speculation
                 .acceptance
@@ -377,6 +647,14 @@ impl ServingSession<'_> {
                 first_timers.push(i);
             }
             self.requests[i].generated += banked;
+            let seq = self.seqs[i]
+                .as_mut()
+                .expect("decoding request holds a sequence");
+            assert!(
+                self.pool.append(seq, banked),
+                "decode KV growth failed despite the preemption guard"
+            );
+            self.kv_tokens += banked;
             new_tokens += banked;
             if self.requests[i].remaining() == 0 {
                 finished += 1;
@@ -404,7 +682,7 @@ impl ServingSession<'_> {
         self.tokens += new_tokens;
         // The resident footprint peaks at iteration end, once this
         // iteration's banked tokens have landed in the cache.
-        self.peak_kv_tokens = self.peak_kv_tokens.max(total_kv_len + new_tokens);
+        self.track_kv_peaks();
 
         // Tokens become visible when the iteration completes.
         for &i in &first_timers {
@@ -412,6 +690,23 @@ impl ServingSession<'_> {
         }
         for &i in &finishers {
             self.requests[i].state = RequestState::Finished;
+            let seq = self.seqs[i]
+                .take()
+                .expect("finished request holds a sequence");
+            // Publish the completed context into the prefix cache
+            // before releasing our hold, so successor turns fork it.
+            if let (Some(tree), Some(hint)) =
+                (self.prefix_tree.as_mut(), self.requests[i].request.prefix)
+            {
+                if hint.publish_tokens > 0 {
+                    let publish = hint.publish_tokens.min(self.requests[i].kv_len());
+                    if tree.publish(hint.key, seq.blocks(), publish, &mut self.pool) {
+                        self.kv_stats.prefix_insertions += 1;
+                    }
+                }
+            }
+            self.pool.release_seq(seq);
+            self.kv_tokens -= self.requests[i].kv_len();
             let request = &self.requests[i];
             self.records.push(RequestRecord {
                 id: request.request.id,
@@ -469,6 +764,7 @@ impl ServingSession<'_> {
             preemptions: self.preemptions,
             peak_rlp: self.peak_rlp,
             peak_kv_tokens: self.peak_kv_tokens,
+            kv: self.kv_stats,
         }
     }
 }
@@ -477,7 +773,7 @@ impl ServingSession<'_> {
 mod tests {
     use super::*;
     use papi_llm::ModelPreset;
-    use papi_workload::{ArrivalProcess, DatasetKind};
+    use papi_workload::{ArrivalProcess, ConversationDataset, DatasetKind};
 
     fn small_workload(rate: f64, n: usize) -> ServingWorkload {
         ServingWorkload::poisson(DatasetKind::GeneralQa, rate, n).with_seed(11)
@@ -647,5 +943,159 @@ mod tests {
         );
         assert!(b.records[0].arrival.value() == 100.0);
         assert!(b.tokens_per_second() > 0.0);
+    }
+
+    /// The maintained KV counters (the satellite dedupe of the triple
+    /// per-step recomputation) never drift from first-principles sums
+    /// over the live set — stepped manually, across paging
+    /// configurations, including one with sharing and chunking on.
+    #[test]
+    fn maintained_kv_counters_match_recomputation_every_step() {
+        let workload = ServingWorkload::poisson(
+            ConversationDataset::multi_turn(DatasetKind::GeneralQa, 256, 3),
+            8.0,
+            36,
+        )
+        .with_seed(7);
+        let scalar = ServingEngine::new(SystemConfig::papi(ModelPreset::Llama65B.config()))
+            .with_max_batch(8);
+        let paged = ServingEngine::new(SystemConfig::papi(ModelPreset::Llama65B.config()))
+            .with_max_batch(8)
+            .with_kv_block_size(16)
+            .with_prefix_sharing(true)
+            .with_prefill_chunk(256);
+        for engine in [scalar, paged] {
+            let mut session = engine.open_session(&workload);
+            for request in workload.requests() {
+                session.push(request);
+            }
+            while session.step() == SessionStatus::Advanced {
+                let live_kv: u64 = session
+                    .live
+                    .iter()
+                    .map(|&i| session.requests[i].kv_len())
+                    .sum();
+                assert_eq!(session.kv_resident_tokens(), live_kv, "kv_tokens drifted");
+                let prefilling_kv: u64 = session
+                    .live
+                    .iter()
+                    .filter(|&&i| session.requests[i].state == RequestState::Prefilling)
+                    .map(|&i| session.requests[i].kv_len())
+                    .sum();
+                assert_eq!(
+                    session.prefilling_kv_tokens, prefilling_kv,
+                    "prefilling_kv_tokens drifted"
+                );
+                // Pool-side view: live sequences plus the prefix cache
+                // account for every held block (shared counted once).
+                let seq_blocks: std::collections::BTreeSet<u32> = session
+                    .live
+                    .iter()
+                    .filter_map(|&i| session.seqs[i].as_ref())
+                    .flat_map(|s| s.blocks().iter().copied())
+                    .collect();
+                assert!(session.pool.blocks_in_use() >= seq_blocks.len() as u64);
+            }
+            let report = session.into_report();
+            assert_eq!(report.records.len(), 36);
+        }
+    }
+
+    /// Prefix sharing on a conversation workload: real hits, less
+    /// prefill work, and every request still completes correctly.
+    #[test]
+    fn prefix_sharing_cuts_prefill_on_conversations() {
+        let workload = ServingWorkload::poisson(
+            ConversationDataset::multi_turn(DatasetKind::GeneralQa, 512, 4),
+            2.0,
+            48,
+        )
+        .with_seed(13);
+        let scalar =
+            ServingEngine::new(SystemConfig::pim_only_papi(ModelPreset::Llama65B.config()))
+                .with_max_batch(16)
+                .run(&workload);
+        let shared =
+            ServingEngine::new(SystemConfig::pim_only_papi(ModelPreset::Llama65B.config()))
+                .with_max_batch(16)
+                .with_kv_block_size(16)
+                .with_prefix_sharing(true)
+                .run(&workload);
+        assert_eq!(scalar.records.len(), 48);
+        assert_eq!(shared.records.len(), 48);
+        assert_eq!(scalar.kv.prefix_hits, 0);
+        assert!(
+            shared.kv.prefix_hits > 0,
+            "conversation turns should hit the prefix cache"
+        );
+        assert!(
+            shared.kv.hit_rate() > 0.2,
+            "hit rate {}",
+            shared.kv.hit_rate()
+        );
+        assert!(
+            shared.kv.prefilled_tokens < scalar.kv.prefilled_tokens,
+            "sharing should cut prefilled tokens: {} vs {}",
+            shared.kv.prefilled_tokens,
+            scalar.kv.prefilled_tokens
+        );
+        assert!(
+            shared.prefill_time.value() < scalar.prefill_time.value(),
+            "sharing should cut prefill time"
+        );
+    }
+
+    /// Chunked prefill conserves the totals: on an uncontended engine a
+    /// prompt far larger than the chunk still completes, with the same
+    /// generated tokens and the same number of decode iterations as
+    /// monolithic prefill — and the same total prefill time (the chunk
+    /// costs telescope).
+    #[test]
+    fn chunked_prefill_conserves_tokens_and_iterations() {
+        let workload = ServingWorkload::new(DatasetKind::LongContext, ArrivalProcess::Immediate, 1)
+            .with_seed(21);
+        let prompt = workload.requests()[0].request.input_len;
+        let chunk = 64;
+        assert!(prompt > 3 * chunk, "prompt {prompt} must dwarf the chunk");
+        let engine =
+            || ServingEngine::new(SystemConfig::pim_only_papi(ModelPreset::Llama65B.config()));
+        let monolithic = engine().run(&workload);
+        let chunked = engine().with_prefill_chunk(chunk).run(&workload);
+        assert_eq!(chunked.tokens, monolithic.tokens);
+        assert_eq!(chunked.iterations, monolithic.iterations);
+        assert_eq!(chunked.records.len(), 1);
+        assert_eq!(
+            chunked.records[0].output_tokens,
+            monolithic.records[0].output_tokens
+        );
+        assert_eq!(chunked.kv.prefilled_tokens, monolithic.kv.prefilled_tokens);
+        assert!(chunked.kv.prefill_chunks >= prompt / chunk);
+        assert_eq!(monolithic.kv.prefill_chunks, 1);
+        // Attention/FC prefill math telescopes exactly; only per-wave
+        // fixed overheads may differ, so the totals stay within a
+        // fraction of a percent.
+        let drift = (chunked.prefill_time.value() - monolithic.prefill_time.value()).abs()
+            / monolithic.prefill_time.value();
+        assert!(drift < 0.05, "prefill time drifted {drift}");
+    }
+
+    /// Block-granular admission really is coarser: at block size 16
+    /// the pool fills in 16-token units (peak blocks × 16 ≥ peak
+    /// tokens) and fragmentation becomes visible.
+    #[test]
+    fn paged_accounting_exposes_fragmentation() {
+        let workload = small_workload(8.0, 32);
+        let report = ServingEngine::new(SystemConfig::papi(ModelPreset::Llama65B.config()))
+            .with_max_batch(8)
+            .with_kv_block_size(16)
+            .run(&workload);
+        assert_eq!(report.records.len(), 32);
+        assert_eq!(report.kv.block_size, 16);
+        assert!(report.kv.peak_blocks_in_use * 16 >= report.peak_kv_tokens);
+        assert!(
+            report.kv.peak_fragmentation > 0.0,
+            "ragged tails must show up as internal fragmentation"
+        );
+        assert!(report.kv.peak_fragmentation < 0.5);
     }
 }

@@ -1,0 +1,38 @@
+//! `papi-kv` — the paged KV-cache subsystem.
+//!
+//! PAPI prices decode attention off each request's resident KV
+//! footprint, so *how* that footprint is managed is a first-class
+//! scaling axis (L3 and PIM-AI both make KV capacity the central
+//! resource of PIM serving). This crate models the management layer the
+//! serving engine allocates through, vLLM-style:
+//!
+//! - [`KvBlockPool`] — a fixed-size pool of KV-cache *blocks* (each
+//!   holding `block_size` token slots), with per-block reference counts
+//!   so blocks can be shared between sequences. Allocation and release
+//!   are O(1) off a free list; the pool is pure bookkeeping — no tensor
+//!   data exists in the simulator, only occupancy.
+//! - [`KvSeq`] — one request's block list plus its logical token
+//!   count. Sequences grow by appending tokens ([`KvBlockPool::append`],
+//!   which allocates blocks on demand and transparently copies a shared
+//!   tail block on write), and can be forked from cached prefix blocks
+//!   without copying ([`KvBlockPool::fork_prefix`]).
+//! - [`PrefixTree`] — a prefix cache keyed by workload-level prefix
+//!   ids (a shared system prompt, a multi-turn conversation's context).
+//!   Entries hold references on *full* blocks of a completed context;
+//!   later requests carrying the same key fork those blocks instead of
+//!   re-prefilling, and an LRU eviction path returns cold prefixes to
+//!   the pool under pressure.
+//!
+//! Degenerate configuration — `block_size == 1` with no prefix tree —
+//! reproduces scalar token counting exactly (one block per token, no
+//! internal fragmentation, no sharing), which is how the serving
+//! engine's pre-paging behaviour stays equality-pinned.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod pool;
+pub mod prefix;
+
+pub use pool::{BlockId, KvBlockPool, KvPoolStats, KvSeq};
+pub use prefix::{KvCacheStats, PrefixHint, PrefixTree};

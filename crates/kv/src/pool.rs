@@ -1,0 +1,503 @@
+//! The refcounted KV block pool and per-request sequences.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of one physical KV-cache block in a pool.
+pub type BlockId = u32;
+
+/// One request's view of its KV cache: the blocks it holds (possibly
+/// shared with other holders) and the logical tokens written so far.
+///
+/// Invariant maintained by every pool operation: `blocks.len()` is
+/// exactly `ceil(tokens / block_size)` — capacity never strays more
+/// than one partial block ahead of the logical length.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct KvSeq {
+    blocks: Vec<BlockId>,
+    tokens: u64,
+}
+
+impl KvSeq {
+    /// The block ids this sequence holds, in token order.
+    pub fn blocks(&self) -> &[BlockId] {
+        &self.blocks
+    }
+
+    /// Logical tokens resident in this sequence.
+    pub fn tokens(&self) -> u64 {
+        self.tokens
+    }
+
+    /// Token slots allocated (blocks × block size).
+    pub fn capacity(&self, block_size: u64) -> u64 {
+        self.blocks.len() as u64 * block_size
+    }
+
+    /// Allocated-but-unwritten token slots (internal fragmentation of
+    /// this sequence's tail block).
+    pub fn slack(&self, block_size: u64) -> u64 {
+        self.capacity(block_size) - self.tokens
+    }
+}
+
+/// Aggregate pool occupancy at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KvPoolStats {
+    /// Tokens per block.
+    pub block_size: u64,
+    /// Physical blocks in the pool.
+    pub total_blocks: u64,
+    /// Blocks with at least one holder.
+    pub blocks_in_use: u64,
+    /// Blocks on the free list.
+    pub free_blocks: u64,
+}
+
+impl KvPoolStats {
+    /// Fraction of the pool with at least one holder.
+    pub fn utilization(&self) -> f64 {
+        if self.total_blocks == 0 {
+            return 1.0;
+        }
+        self.blocks_in_use as f64 / self.total_blocks as f64
+    }
+}
+
+/// A fixed pool of KV-cache blocks with per-block reference counts.
+///
+/// The pool tracks *which* blocks are held and by *how many* holders —
+/// enough to model paged allocation, prefix sharing, fragmentation,
+/// and capacity pressure — without storing any cache contents.
+///
+/// Per-block state is materialized lazily: a pool sized for millions
+/// of blocks (a whole Attn-PIM pool at block size 1) costs nothing
+/// until blocks are actually allocated — ids beyond the high-water
+/// mark are implicitly free.
+#[derive(Debug, Clone)]
+pub struct KvBlockPool {
+    block_size: u64,
+    total_blocks: u64,
+    /// Per-block holder counts for every id ever allocated
+    /// (`0..refcounts.len()` is the high-water mark).
+    refcounts: Vec<u32>,
+    /// Whether a prefix cache tracks the block (parallel to
+    /// `refcounts`); see [`KvBlockPool::track`].
+    tracked: Vec<bool>,
+    /// Previously-allocated ids available for reuse (LIFO).
+    recycled: Vec<BlockId>,
+    blocks_in_use: u64,
+    /// Tracked blocks whose only holder is the cache — maintained
+    /// incrementally so "how much could eviction reclaim right now"
+    /// is O(1) in the serving engine's admission loop.
+    tracked_exclusive: u64,
+}
+
+impl KvBlockPool {
+    /// A pool of `total_blocks` blocks, each holding `block_size`
+    /// token slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` is zero.
+    #[track_caller]
+    pub fn new(block_size: u64, total_blocks: u64) -> Self {
+        assert!(block_size > 0, "block size must be positive");
+        assert!(
+            total_blocks <= u32::MAX as u64,
+            "pool of {total_blocks} blocks exceeds the id space"
+        );
+        Self {
+            block_size,
+            total_blocks,
+            refcounts: Vec::new(),
+            tracked: Vec::new(),
+            recycled: Vec::new(),
+            blocks_in_use: 0,
+            tracked_exclusive: 0,
+        }
+    }
+
+    /// Tokens per block.
+    pub fn block_size(&self) -> u64 {
+        self.block_size
+    }
+
+    /// Physical blocks in the pool.
+    pub fn total_blocks(&self) -> u64 {
+        self.total_blocks
+    }
+
+    /// Blocks currently held by at least one sequence or cache entry.
+    pub fn blocks_in_use(&self) -> u64 {
+        self.blocks_in_use
+    }
+
+    /// Blocks available for allocation (recycled plus never touched).
+    pub fn free_blocks(&self) -> u64 {
+        self.recycled.len() as u64 + (self.total_blocks - self.refcounts.len() as u64)
+    }
+
+    /// Holders of `block` right now.
+    pub fn refcount(&self, block: BlockId) -> u32 {
+        self.refcounts.get(block as usize).copied().unwrap_or(0)
+    }
+
+    /// Blocks needed to hold `tokens` logical tokens.
+    pub fn blocks_for(&self, tokens: u64) -> u64 {
+        tokens.div_ceil(self.block_size)
+    }
+
+    /// Extra blocks a sequence of `tokens` logical tokens needs to
+    /// grow by `extra` more.
+    pub fn growth_blocks(&self, tokens: u64, extra: u64) -> u64 {
+        self.blocks_for(tokens + extra) - self.blocks_for(tokens)
+    }
+
+    /// Occupancy snapshot.
+    pub fn stats(&self) -> KvPoolStats {
+        KvPoolStats {
+            block_size: self.block_size,
+            total_blocks: self.total_blocks,
+            blocks_in_use: self.blocks_in_use,
+            free_blocks: self.free_blocks(),
+        }
+    }
+
+    /// An empty sequence (holds no blocks until tokens are appended).
+    pub fn new_seq(&self) -> KvSeq {
+        KvSeq::default()
+    }
+
+    /// Forks `blocks` (a cached prefix of *full* blocks) into a new
+    /// sequence without copying: every block gains a holder and the
+    /// sequence starts at `blocks.len() × block_size` logical tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any block is free (forking unheld blocks is a bug).
+    #[track_caller]
+    pub fn fork_prefix(&mut self, blocks: &[BlockId]) -> KvSeq {
+        for &b in blocks {
+            self.retain(b);
+        }
+        KvSeq {
+            blocks: blocks.to_vec(),
+            tokens: blocks.len() as u64 * self.block_size,
+        }
+    }
+
+    /// Appends `tokens` logical tokens to `seq`, allocating blocks as
+    /// needed. If the partially-filled tail block is shared with
+    /// another holder, it is copied on write: a fresh block replaces it
+    /// in this sequence and the shared original loses one holder.
+    ///
+    /// Returns `false` (leaving `seq` untouched) if the free list
+    /// cannot cover the allocation.
+    #[must_use = "allocation can fail when the pool is exhausted"]
+    pub fn append(&mut self, seq: &mut KvSeq, tokens: u64) -> bool {
+        if tokens == 0 {
+            return true;
+        }
+        let tail_is_partial = !seq.tokens.is_multiple_of(self.block_size);
+        let tail_shared = tail_is_partial
+            && self.refcounts[*seq.blocks.last().expect("partial tail") as usize] > 1;
+        let new_blocks = self.growth_blocks(seq.tokens, tokens) + u64::from(tail_shared);
+        if self.free_blocks() < new_blocks {
+            return false;
+        }
+        if tail_shared {
+            // Copy-on-write: the divergent tail moves to a private
+            // block; the shared original keeps its other holders.
+            let old = seq.blocks.pop().expect("partial tail");
+            let fresh = self.pop_free();
+            seq.blocks.push(fresh);
+            self.release_one(old);
+        }
+        for _ in 0..self.growth_blocks(seq.tokens, tokens) {
+            let fresh = self.pop_free();
+            seq.blocks.push(fresh);
+        }
+        seq.tokens += tokens;
+        debug_assert_eq!(seq.blocks.len() as u64, self.blocks_for(seq.tokens));
+        true
+    }
+
+    /// Releases every block `seq` holds. Blocks shared with other
+    /// holders stay allocated; exclusively-held blocks return to the
+    /// free list. Returns how many blocks became free.
+    pub fn release_seq(&mut self, seq: KvSeq) -> u64 {
+        self.release_blocks(&seq.blocks)
+    }
+
+    /// Drops one holder from each block in `blocks`; returns how many
+    /// became free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any block is already free (a double release is a
+    /// bookkeeping bug, not a workload condition).
+    #[track_caller]
+    pub fn release_blocks(&mut self, blocks: &[BlockId]) -> u64 {
+        let mut freed = 0;
+        for &b in blocks {
+            freed += u64::from(self.release_one(b));
+        }
+        freed
+    }
+
+    /// Adds one holder to `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is free.
+    #[track_caller]
+    pub fn retain(&mut self, block: BlockId) {
+        let rc = &mut self.refcounts[block as usize];
+        assert!(*rc > 0, "retained free block {block}");
+        *rc += 1;
+        if self.tracked[block as usize] && *rc == 2 {
+            // A live holder joined a cache-only block: no longer
+            // reclaimable by eviction alone.
+            self.tracked_exclusive -= 1;
+        }
+    }
+
+    /// Marks `block` as held by a prefix cache, so the pool can answer
+    /// "how many blocks could cache eviction reclaim right now"
+    /// ([`KvBlockPool::tracked_exclusive_blocks`]) in O(1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is free.
+    #[track_caller]
+    pub fn track(&mut self, block: BlockId) {
+        let rc = self.refcounts[block as usize];
+        assert!(rc > 0, "tracked free block {block}");
+        if !self.tracked[block as usize] {
+            self.tracked[block as usize] = true;
+            if rc == 1 {
+                self.tracked_exclusive += 1;
+            }
+        }
+    }
+
+    /// Clears cache tracking on `block` (called by eviction before the
+    /// cache releases its hold).
+    pub fn untrack(&mut self, block: BlockId) {
+        if self.tracked[block as usize] {
+            self.tracked[block as usize] = false;
+            if self.refcounts[block as usize] == 1 {
+                self.tracked_exclusive -= 1;
+            }
+        }
+    }
+
+    /// Tracked (cache-held) blocks whose only holder is the cache —
+    /// exactly what eviction could return to the free list right now.
+    pub fn tracked_exclusive_blocks(&self) -> u64 {
+        self.tracked_exclusive
+    }
+
+    fn pop_free(&mut self) -> BlockId {
+        if let Some(b) = self.recycled.pop() {
+            debug_assert_eq!(self.refcounts[b as usize], 0);
+            debug_assert!(!self.tracked[b as usize]);
+            self.refcounts[b as usize] = 1;
+            self.blocks_in_use += 1;
+            return b;
+        }
+        // Cross the high-water mark: materialize a fresh id.
+        let b = self.refcounts.len() as BlockId;
+        debug_assert!(
+            (b as u64) < self.total_blocks,
+            "free list checked by caller"
+        );
+        self.refcounts.push(1);
+        self.tracked.push(false);
+        self.blocks_in_use += 1;
+        b
+    }
+
+    #[track_caller]
+    fn release_one(&mut self, block: BlockId) -> bool {
+        let rc = &mut self.refcounts[block as usize];
+        assert!(*rc > 0, "double-released block {block}");
+        *rc -= 1;
+        if self.tracked[block as usize] {
+            match *rc {
+                // Back to cache-only: reclaimable again.
+                1 => self.tracked_exclusive += 1,
+                // The cache itself let go without untracking first.
+                0 => {
+                    self.tracked[block as usize] = false;
+                    self.tracked_exclusive -= 1;
+                }
+                _ => {}
+            }
+        }
+        if *rc == 0 {
+            self.recycled.push(block);
+            self.blocks_in_use -= 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_roundtrip_conserves_blocks() {
+        let mut pool = KvBlockPool::new(16, 8);
+        let mut seq = pool.new_seq();
+        assert!(pool.append(&mut seq, 40)); // 3 blocks (ceil 40/16)
+        assert_eq!(seq.blocks().len(), 3);
+        assert_eq!(seq.tokens(), 40);
+        assert_eq!(seq.slack(16), 8);
+        assert_eq!(pool.blocks_in_use(), 3);
+        assert_eq!(pool.free_blocks(), 5);
+        assert_eq!(pool.release_seq(seq), 3);
+        assert_eq!(pool.blocks_in_use(), 0);
+        assert_eq!(pool.free_blocks(), 8);
+    }
+
+    #[test]
+    fn block_size_one_counts_tokens_exactly() {
+        let mut pool = KvBlockPool::new(1, 100);
+        let mut seq = pool.new_seq();
+        assert!(pool.append(&mut seq, 37));
+        assert_eq!(pool.blocks_in_use(), 37);
+        assert_eq!(seq.slack(1), 0);
+        assert!(pool.append(&mut seq, 5));
+        assert_eq!(pool.blocks_in_use(), 42);
+    }
+
+    #[test]
+    fn construction_is_lazy_for_huge_pools() {
+        // A pool sized like a whole attention pool at block size 1
+        // materializes nothing up front.
+        let mut pool = KvBlockPool::new(1, 3_000_000_000);
+        assert_eq!(pool.free_blocks(), 3_000_000_000);
+        let mut seq = pool.new_seq();
+        assert!(pool.append(&mut seq, 3));
+        assert_eq!(pool.blocks_in_use(), 3);
+        assert_eq!(pool.free_blocks(), 3_000_000_000 - 3);
+        assert_eq!(pool.refcount(2_999_999_999), 0); // implicitly free
+        pool.release_seq(seq);
+    }
+
+    #[test]
+    fn exhaustion_fails_cleanly_without_partial_allocation() {
+        let mut pool = KvBlockPool::new(4, 2);
+        let mut seq = pool.new_seq();
+        assert!(!pool.append(&mut seq, 9)); // needs 3 blocks, has 2
+        assert_eq!(seq.tokens(), 0);
+        assert_eq!(pool.blocks_in_use(), 0);
+        assert!(pool.append(&mut seq, 8));
+        assert!(!pool.append(&mut seq, 1));
+        assert_eq!(seq.tokens(), 8);
+    }
+
+    #[test]
+    fn fork_shares_until_release() {
+        let mut pool = KvBlockPool::new(8, 10);
+        let mut a = pool.new_seq();
+        assert!(pool.append(&mut a, 16)); // 2 full blocks
+        let b = pool.fork_prefix(a.blocks());
+        assert_eq!(b.tokens(), 16);
+        assert_eq!(pool.blocks_in_use(), 2); // shared, not duplicated
+        assert_eq!(pool.refcount(a.blocks()[0]), 2);
+        assert_eq!(pool.release_seq(a), 0); // b still holds both
+        assert_eq!(pool.blocks_in_use(), 2);
+        assert_eq!(pool.release_seq(b), 2);
+        assert_eq!(pool.free_blocks(), 10);
+    }
+
+    #[test]
+    fn append_to_shared_partial_tail_copies_on_write() {
+        let mut pool = KvBlockPool::new(8, 10);
+        let mut a = pool.new_seq();
+        assert!(pool.append(&mut a, 12)); // blocks [0,1], tail half full
+        let mut b = pool.fork_prefix(a.blocks());
+        // b believes the fork holds 16 token slots; rewind to the true
+        // logical length by treating it as a 12-token sequence is not
+        // modelled — instead share the *partial* tail deliberately and
+        // append, which must trigger the copy.
+        assert_eq!(pool.refcount(a.blocks()[1]), 2);
+        let tail_before = *a.blocks().last().unwrap();
+        assert!(pool.append(&mut a, 2));
+        let tail_after = *a.blocks().last().unwrap();
+        assert_ne!(tail_before, tail_after, "divergent tail was not copied");
+        assert_eq!(pool.refcount(tail_before), 1); // b keeps the original
+        assert_eq!(a.tokens(), 14);
+        assert!(pool.append(&mut b, 0));
+        // Three distinct blocks live: the shared head, b's original
+        // tail, and a's private copy.
+        assert_eq!(pool.blocks_in_use(), 3);
+        assert_eq!(pool.release_seq(a) + pool.release_seq(b), 3);
+    }
+
+    #[test]
+    fn tracked_exclusive_follows_holder_transitions() {
+        let mut pool = KvBlockPool::new(8, 8);
+        let mut seq = pool.new_seq();
+        assert!(pool.append(&mut seq, 16));
+        let blocks = seq.blocks().to_vec();
+        // Cache takes its own hold and marks the blocks tracked.
+        for &b in &blocks {
+            pool.retain(b);
+            pool.track(b);
+        }
+        assert_eq!(pool.tracked_exclusive_blocks(), 0); // seq still holds
+        pool.release_seq(seq);
+        assert_eq!(pool.tracked_exclusive_blocks(), 2); // cache-only now
+                                                        // A fork pins them again…
+        let fork = pool.fork_prefix(&blocks);
+        assert_eq!(pool.tracked_exclusive_blocks(), 0);
+        pool.release_seq(fork);
+        assert_eq!(pool.tracked_exclusive_blocks(), 2);
+        // …and eviction untracks before releasing.
+        for &b in &blocks {
+            pool.untrack(b);
+        }
+        assert_eq!(pool.tracked_exclusive_blocks(), 0);
+        assert_eq!(pool.release_blocks(&blocks), 2);
+        assert_eq!(pool.free_blocks(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "double-released")]
+    fn double_release_is_a_bug() {
+        let mut pool = KvBlockPool::new(4, 4);
+        let mut seq = pool.new_seq();
+        assert!(pool.append(&mut seq, 4));
+        let blocks = seq.blocks().to_vec();
+        pool.release_seq(seq);
+        pool.release_blocks(&blocks);
+    }
+
+    #[test]
+    fn growth_blocks_matches_ceil_arithmetic() {
+        let pool = KvBlockPool::new(16, 4);
+        assert_eq!(pool.growth_blocks(0, 1), 1);
+        assert_eq!(pool.growth_blocks(15, 1), 0);
+        assert_eq!(pool.growth_blocks(16, 1), 1);
+        assert_eq!(pool.growth_blocks(30, 40), 3);
+        let unit = KvBlockPool::new(1, 4);
+        assert_eq!(unit.growth_blocks(7, 3), 3);
+    }
+
+    #[test]
+    fn stats_and_utilization() {
+        let mut pool = KvBlockPool::new(2, 4);
+        let mut seq = pool.new_seq();
+        assert!(pool.append(&mut seq, 3));
+        let stats = pool.stats();
+        assert_eq!(stats.blocks_in_use, 2);
+        assert_eq!(stats.free_blocks, 2);
+        assert!((stats.utilization() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,113 @@
+//! Model-based property test for [`KvBlockPool`]: arbitrary
+//! alloc / append / fork / release sequences never leak blocks, never
+//! double-free, and every block's refcount always equals the number of
+//! live holders.
+//!
+//! The model is the set of live [`KvSeq`]s itself: after every
+//! operation the pool's counters are re-derived from the sequences'
+//! block lists and compared against the pool's own bookkeeping.
+
+use papi_kv::{BlockId, KvBlockPool, KvSeq};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn check_against_model(pool: &KvBlockPool, seqs: &[KvSeq]) {
+    // Re-derive per-block holder counts from the live sequences.
+    let mut holders: HashMap<BlockId, u32> = HashMap::new();
+    for seq in seqs {
+        for &b in seq.blocks() {
+            *holders.entry(b).or_insert(0) += 1;
+        }
+    }
+    // No leaks, no phantom blocks: in-use is exactly the held set, and
+    // the free list is its complement.
+    assert_eq!(pool.blocks_in_use(), holders.len() as u64);
+    assert_eq!(
+        pool.free_blocks() + pool.blocks_in_use(),
+        pool.total_blocks()
+    );
+    // Refcounts match live holders, block by block.
+    for b in 0..pool.total_blocks() as BlockId {
+        assert_eq!(
+            pool.refcount(b),
+            holders.get(&b).copied().unwrap_or(0),
+            "block {b}: pool refcount disagrees with live holders"
+        );
+    }
+    // Every sequence keeps the capacity invariant.
+    for seq in seqs {
+        assert_eq!(seq.blocks().len() as u64, pool.blocks_for(seq.tokens()));
+    }
+}
+
+fn run_ops(block_size: u64, total_blocks: u64, ops: &[(u8, u64)]) {
+    let mut pool = KvBlockPool::new(block_size, total_blocks);
+    let mut seqs: Vec<KvSeq> = Vec::new();
+    for &(op, arg) in ops {
+        match op {
+            // Open a fresh sequence and append up to `arg` tokens.
+            0 => {
+                let mut seq = pool.new_seq();
+                let before = pool.stats();
+                if !pool.append(&mut seq, arg) {
+                    // A failed allocation must leave the pool untouched.
+                    assert_eq!(pool.stats(), before);
+                    assert_eq!(seq.tokens(), 0);
+                }
+                seqs.push(seq);
+            }
+            // Append to an existing sequence (may trigger copy-on-write
+            // when its partial tail is shared with a fork).
+            1 if !seqs.is_empty() => {
+                let idx = arg as usize % seqs.len();
+                let mut seq = seqs.swap_remove(idx);
+                let tokens_before = seq.tokens();
+                if !pool.append(&mut seq, 1 + arg % 37) {
+                    assert_eq!(seq.tokens(), tokens_before);
+                }
+                seqs.push(seq);
+            }
+            // Fork the full-block prefix of an existing sequence.
+            2 if !seqs.is_empty() => {
+                let idx = arg as usize % seqs.len();
+                let full = (seqs[idx].tokens() / block_size) as usize;
+                let prefix: Vec<BlockId> = seqs[idx].blocks()[..full].to_vec();
+                let forked = pool.fork_prefix(&prefix);
+                assert_eq!(forked.tokens(), full as u64 * block_size);
+                seqs.push(forked);
+            }
+            // Release a sequence.
+            3 if !seqs.is_empty() => {
+                let idx = arg as usize % seqs.len();
+                let seq = seqs.swap_remove(idx);
+                pool.release_seq(seq);
+            }
+            _ => {}
+        }
+        check_against_model(&pool, &seqs);
+    }
+    // Draining everything returns the pool to pristine.
+    for seq in seqs.drain(..) {
+        pool.release_seq(seq);
+    }
+    assert_eq!(pool.blocks_in_use(), 0);
+    assert_eq!(pool.free_blocks(), pool.total_blocks());
+}
+
+proptest! {
+    #[test]
+    fn paged_pool_never_leaks_or_double_frees(
+        ops in proptest::collection::vec((0u8..4, 0u64..64), 1..120),
+    ) {
+        run_ops(16, 48, &ops);
+    }
+
+    #[test]
+    fn scalar_pool_never_leaks_or_double_frees(
+        ops in proptest::collection::vec((0u8..4, 0u64..64), 1..120),
+    ) {
+        // Block size 1 — the scalar-equivalence configuration — obeys
+        // the same invariants with one block per token.
+        run_ops(1, 160, &ops);
+    }
+}

@@ -12,6 +12,7 @@
 //!
 //! [`WorkloadSpec`]: crate::batching::WorkloadSpec
 
+use crate::conversation::ConversationDataset;
 use crate::dataset::DatasetKind;
 use crate::request::Request;
 use crate::speculative::{SpeculativeConfig, TlpPolicy};
@@ -40,6 +41,16 @@ pub enum ArrivalProcess {
     /// Explicit arrival offsets in seconds (a replayed trace file).
     /// Requests beyond the trace's length reuse its last gap.
     Trace(Vec<f64>),
+    /// Synchronized bursts: `burst_size` requests land together every
+    /// `interval_sec` — the thundering-herd pattern (webhook fan-out,
+    /// batch-job fan-in) that stresses admission and prefill the
+    /// hardest.
+    Bursty {
+        /// Requests per burst.
+        burst_size: usize,
+        /// Gap between consecutive bursts, in seconds.
+        interval_sec: f64,
+    },
 }
 
 impl ArrivalProcess {
@@ -95,7 +106,66 @@ impl ArrivalProcess {
                     })
                     .collect()
             }
+            ArrivalProcess::Bursty {
+                burst_size,
+                interval_sec,
+            } => {
+                assert!(*burst_size > 0, "burst size must be positive");
+                assert!(
+                    interval_sec.is_finite() && *interval_sec > 0.0,
+                    "burst interval must be positive, got {interval_sec}"
+                );
+                (0..n)
+                    .map(|i| (i / burst_size) as f64 * interval_sec)
+                    .collect()
+            }
         }
+    }
+}
+
+/// Where an open-loop workload's requests come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RequestSource {
+    /// Independent requests drawn from one length category.
+    Dataset(DatasetKind),
+    /// Prefix-structured requests (shared system prompt or multi-turn
+    /// conversations).
+    Conversations(ConversationDataset),
+}
+
+impl RequestSource {
+    /// Generates `n` requests with a seeded RNG (fully reproducible).
+    pub fn generate(&self, seed: u64, n: usize) -> Vec<Request> {
+        match self {
+            RequestSource::Dataset(kind) => kind.generate(seed, n),
+            RequestSource::Conversations(dataset) => dataset.generate(seed, n),
+        }
+    }
+
+    /// Display label for reports and sweeps.
+    pub fn label(&self) -> String {
+        match self {
+            RequestSource::Dataset(kind) => kind.to_string(),
+            RequestSource::Conversations(dataset) => dataset.label(),
+        }
+    }
+}
+
+impl From<DatasetKind> for RequestSource {
+    fn from(kind: DatasetKind) -> Self {
+        RequestSource::Dataset(kind)
+    }
+}
+
+impl From<ConversationDataset> for RequestSource {
+    fn from(dataset: ConversationDataset) -> Self {
+        RequestSource::Conversations(dataset)
+    }
+}
+
+impl core::fmt::Display for RequestSource {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.label())
     }
 }
 
@@ -178,8 +248,9 @@ impl ServingRequest {
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServingWorkload {
-    /// Dataset category requests are drawn from.
-    pub dataset: DatasetKind,
+    /// Where requests come from (a plain dataset category, or a
+    /// prefix-structured conversation population).
+    pub source: RequestSource,
     /// The arrival process.
     pub arrivals: ArrivalProcess,
     /// Number of requests in the episode.
@@ -195,18 +266,26 @@ pub struct ServingWorkload {
 impl ServingWorkload {
     /// Poisson arrivals at `rate_per_sec` over `num_requests` requests,
     /// no speculation.
-    pub fn poisson(dataset: DatasetKind, rate_per_sec: f64, num_requests: usize) -> Self {
+    pub fn poisson(
+        source: impl Into<RequestSource>,
+        rate_per_sec: f64,
+        num_requests: usize,
+    ) -> Self {
         Self::new(
-            dataset,
+            source,
             ArrivalProcess::Poisson { rate_per_sec },
             num_requests,
         )
     }
 
     /// A workload over an explicit arrival process.
-    pub fn new(dataset: DatasetKind, arrivals: ArrivalProcess, num_requests: usize) -> Self {
+    pub fn new(
+        source: impl Into<RequestSource>,
+        arrivals: ArrivalProcess,
+        num_requests: usize,
+    ) -> Self {
         Self {
-            dataset,
+            source: source.into(),
             arrivals,
             num_requests,
             speculation: SpeculativeConfig::fixed(1),
@@ -239,7 +318,7 @@ impl ServingWorkload {
     /// The episode's requests, stamped with arrival times and sorted by
     /// arrival (ties keep generation order).
     pub fn requests(&self) -> Vec<ServingRequest> {
-        let requests = self.dataset.generate(self.seed, self.num_requests);
+        let requests = self.source.generate(self.seed, self.num_requests);
         let times = self.arrivals.arrival_times(self.seed, self.num_requests);
         let mut serving: Vec<ServingRequest> = requests
             .into_iter()
@@ -293,6 +372,41 @@ mod tests {
     fn trace_extends_past_its_end_with_last_gap() {
         let t = ArrivalProcess::Trace(vec![0.0, 1.0, 3.0]).arrival_times(0, 5);
         assert_eq!(t, vec![0.0, 1.0, 3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn bursts_land_together() {
+        let t = ArrivalProcess::Bursty {
+            burst_size: 3,
+            interval_sec: 2.0,
+        }
+        .arrival_times(0, 8);
+        assert_eq!(t, vec![0.0, 0.0, 0.0, 2.0, 2.0, 2.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "burst size")]
+    fn empty_burst_rejected() {
+        ArrivalProcess::Bursty {
+            burst_size: 0,
+            interval_sec: 1.0,
+        }
+        .arrival_times(0, 1);
+    }
+
+    #[test]
+    fn conversation_source_flows_through_the_workload() {
+        use crate::conversation::ConversationDataset;
+        let w = ServingWorkload::poisson(
+            ConversationDataset::multi_turn(DatasetKind::GeneralQa, 128, 3),
+            4.0,
+            24,
+        )
+        .with_seed(5);
+        let requests = w.requests();
+        assert_eq!(requests.len(), 24);
+        assert!(requests.iter().all(|r| r.request.prefix.is_some()));
+        assert_eq!(w.source.label(), "general-qa-chat3x-sys128");
     }
 
     #[test]

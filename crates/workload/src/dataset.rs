@@ -19,13 +19,19 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-/// Which Dolly category to synthesize.
+/// Which request-length category to synthesize.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum DatasetKind {
     /// Long, heavy-tailed outputs.
     CreativeWriting,
     /// Short outputs.
     GeneralQa,
+    /// Long, heavy-tailed *prompts* with moderate outputs — document
+    /// QA / summarization-style load, where prefill dominates and the
+    /// per-request KV footprint is large at admission (beyond the two
+    /// Dolly categories the paper evaluates; the regime the paged KV
+    /// cache and chunked prefill target).
+    LongContext,
 }
 
 impl DatasetKind {
@@ -47,6 +53,14 @@ impl DatasetKind {
                 output_log_std: 0.6,
                 min_len: 4,
                 max_len: 768,
+            },
+            DatasetKind::LongContext => LengthDistribution {
+                input_log_mean: (1200.0f64).ln(),
+                input_log_std: 0.9,
+                output_log_mean: (150.0f64).ln(),
+                output_log_std: 0.6,
+                min_len: 16,
+                max_len: 8192,
             },
         }
     }
@@ -70,6 +84,7 @@ impl core::fmt::Display for DatasetKind {
         match self {
             DatasetKind::CreativeWriting => f.write_str("creative-writing"),
             DatasetKind::GeneralQa => f.write_str("general-qa"),
+            DatasetKind::LongContext => f.write_str("long-context"),
         }
     }
 }
@@ -144,8 +159,26 @@ mod tests {
     }
 
     #[test]
+    fn long_context_prompts_dwarf_the_dolly_categories() {
+        let mean_input = |kind: DatasetKind| {
+            let reqs = kind.generate(42, 2000);
+            reqs.iter().map(|r| r.input_len as f64).sum::<f64>() / reqs.len() as f64
+        };
+        let long = mean_input(DatasetKind::LongContext);
+        let qa = mean_input(DatasetKind::GeneralQa);
+        assert!(
+            long > 8.0 * qa,
+            "long-context mean prompt {long} should dwarf general-qa's {qa}"
+        );
+    }
+
+    #[test]
     fn lengths_respect_clamps() {
-        for kind in [DatasetKind::CreativeWriting, DatasetKind::GeneralQa] {
+        for kind in [
+            DatasetKind::CreativeWriting,
+            DatasetKind::GeneralQa,
+            DatasetKind::LongContext,
+        ] {
             let dist = kind.distribution();
             for r in kind.generate(1, 5000) {
                 assert!(r.output_len >= dist.min_len && r.output_len <= dist.max_len);

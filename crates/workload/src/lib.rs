@@ -9,9 +9,13 @@
 //!
 //! - [`dataset`] — seeded synthetic stand-ins for the Dolly dataset's
 //!   creative-writing (long, heavy-tailed outputs) and general-qa
-//!   (short outputs) categories. *Substitution note*: the paper uses the
+//!   (short outputs) categories, plus a long-context category for
+//!   prefill-heavy load. *Substitution note*: the paper uses the
 //!   real Dolly records; the figures depend only on the length
 //!   distributions, which we match qualitatively (see DESIGN.md).
+//! - [`conversation`] — prefix-structured populations: shared system
+//!   prompts and multi-turn conversations, stamped with the
+//!   [`PrefixHint`](papi_kv::PrefixHint)s the paged KV cache keys on.
 //! - [`speculative`] — speculation length (TLP) and token-acceptance
 //!   models.
 //! - [`batching`] — static batching and mixed continuous batching.
@@ -29,14 +33,16 @@
 
 pub mod arrival;
 pub mod batching;
+pub mod conversation;
 pub mod dataset;
 pub mod request;
 pub mod routing;
 pub mod speculative;
 pub mod trace;
 
-pub use arrival::{ArrivalProcess, RequestState, ServingRequest, ServingWorkload};
+pub use arrival::{ArrivalProcess, RequestSource, RequestState, ServingRequest, ServingWorkload};
 pub use batching::{BatchingPolicy, WorkloadSpec};
+pub use conversation::ConversationDataset;
 pub use dataset::DatasetKind;
 pub use request::Request;
 pub use routing::{ReplicaSnapshot, Router, RoutingPolicy};

@@ -11,17 +11,32 @@
 use serde::{Deserialize, Serialize};
 
 /// A replica's admission-relevant state at one instant.
+///
+/// KV occupancy is reported in *blocks* of the replica's paged cache,
+/// not tokens: block granularity is what the replica's admission
+/// planner actually allocates at, so the router sees internal
+/// fragmentation (a replica serving many ragged tails fills its pool
+/// faster than its token count suggests). Blocks the replica could
+/// reclaim from its prefix cache are reported separately — they are
+/// capacity, not commitment. With a block size of 1 (the scalar
+/// configuration) all of this degenerates to exact token counting.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ReplicaSnapshot {
     /// Requests waiting in the replica's arrival queue.
     pub queued: usize,
     /// Requests in the running batch (prefilling or decoding).
     pub live: usize,
-    /// KV-cache tokens currently resident across live requests.
-    pub kv_tokens: u64,
-    /// KV tokens the replica's admission planner may use (the headroom
+    /// KV-cache blocks currently held (live sequences plus cached
+    /// prefixes).
+    pub kv_blocks_in_use: u64,
+    /// Blocks only the replica's prefix cache holds — reclaimable by
+    /// eviction the moment admission needs them.
+    pub kv_evictable_blocks: u64,
+    /// Blocks the replica's admission planner may use (the headroom
     /// budget, not the raw pool).
-    pub kv_budget_tokens: u64,
+    pub kv_budget_blocks: u64,
+    /// Tokens per block of the replica's pool.
+    pub kv_block_size: u64,
 }
 
 impl ReplicaSnapshot {
@@ -30,19 +45,32 @@ impl ReplicaSnapshot {
         self.queued + self.live
     }
 
-    /// Fraction of the admission budget in use (0 when the budget is
+    /// Blocks irrevocably committed to live sequences (in use minus
+    /// what prefix-cache eviction could hand back).
+    pub fn kv_committed_blocks(&self) -> u64 {
+        self.kv_blocks_in_use
+            .saturating_sub(self.kv_evictable_blocks)
+    }
+
+    /// Blocks a request needing `tokens` KV tokens would allocate here.
+    pub fn blocks_for(&self, tokens: u64) -> u64 {
+        tokens.div_ceil(self.kv_block_size.max(1))
+    }
+
+    /// Fraction of the admission budget committed (1 when the budget is
     /// zero — a degenerate replica is "full").
     pub fn kv_utilization(&self) -> f64 {
-        if self.kv_budget_tokens == 0 {
+        if self.kv_budget_blocks == 0 {
             return 1.0;
         }
-        self.kv_tokens as f64 / self.kv_budget_tokens as f64
+        self.kv_committed_blocks() as f64 / self.kv_budget_blocks as f64
     }
 
     /// Whether admitting `incoming_kv_tokens` more KV tokens would
-    /// exceed the admission budget.
+    /// exceed the admission budget, at this replica's block
+    /// granularity.
     pub fn kv_saturated_for(&self, incoming_kv_tokens: u64) -> bool {
-        self.kv_tokens + incoming_kv_tokens > self.kv_budget_tokens
+        self.kv_committed_blocks() + self.blocks_for(incoming_kv_tokens) > self.kv_budget_blocks
     }
 }
 
@@ -161,11 +189,14 @@ mod tests {
     use super::*;
 
     fn snap(queued: usize, live: usize, kv: u64, budget: u64) -> ReplicaSnapshot {
+        // Block size 1: blocks are tokens, the scalar configuration.
         ReplicaSnapshot {
             queued,
             live,
-            kv_tokens: kv,
-            kv_budget_tokens: budget,
+            kv_blocks_in_use: kv,
+            kv_evictable_blocks: 0,
+            kv_budget_blocks: budget,
+            kv_block_size: 1,
         }
     }
 
@@ -232,6 +263,39 @@ mod tests {
         assert!(s.kv_saturated_for(251));
         // A zero-budget replica reads as full, never as infinitely free.
         assert_eq!(snap(0, 0, 0, 0).kv_utilization(), 1.0);
+    }
+
+    #[test]
+    fn block_granularity_exposes_fragmentation_to_the_router() {
+        // Two replicas with the same *token* budget; the paged one
+        // (16-token blocks) has burned more of its pool on ragged
+        // tails, and saturation is judged in its own block units.
+        let paged = ReplicaSnapshot {
+            queued: 0,
+            live: 4,
+            kv_blocks_in_use: 60,
+            kv_evictable_blocks: 0,
+            kv_budget_blocks: 62, // 992 tokens of budget
+            kv_block_size: 16,
+        };
+        assert_eq!(paged.blocks_for(1), 1);
+        assert_eq!(paged.blocks_for(17), 2);
+        // 33 tokens round up to 3 blocks: saturated despite 2 blocks
+        // (32 token slots) of headroom for a token-counting view.
+        assert!(paged.kv_saturated_for(33));
+        assert!(!paged.kv_saturated_for(32));
+    }
+
+    #[test]
+    fn evictable_prefix_blocks_read_as_headroom() {
+        let mut s = snap(0, 2, 9_900, 10_000);
+        assert!(s.kv_saturated_for(200));
+        // The same occupancy, but mostly reclaimable prefix cache: the
+        // router must treat it as available.
+        s.kv_evictable_blocks = 5_000;
+        assert!(!s.kv_saturated_for(200));
+        assert!((s.kv_utilization() - 0.49).abs() < 1e-12);
+        assert_eq!(s.kv_committed_blocks(), 4_900);
     }
 
     #[test]

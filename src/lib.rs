@@ -12,6 +12,7 @@
 //! - [`gpu`] — roofline model of computation-centric accelerators (A100)
 //! - [`interconnect`] — NVLink / PCIe / CXL link models
 //! - [`llm`] — transformer kernel FLOP/byte math and model presets
+//! - [`kv`] — paged KV cache: refcounted block pool, prefix sharing
 //! - [`workload`] — serving workloads: datasets, batching, speculative decoding
 //! - [`sched`] — the PAPI dynamic scheduler and static baselines
 //! - [`core`] — the heterogeneous system simulator and paper experiments
@@ -37,6 +38,7 @@ pub use papi_core as core;
 pub use papi_dram as dram;
 pub use papi_gpu as gpu;
 pub use papi_interconnect as interconnect;
+pub use papi_kv as kv;
 pub use papi_llm as llm;
 pub use papi_pim as pim;
 pub use papi_sched as sched;

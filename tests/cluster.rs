@@ -126,11 +126,20 @@ fn jsq_never_picks_a_saturated_replica_while_headroom_exists() {
     for _ in 0..500 {
         let incoming = 64 + next(512);
         let fleet: Vec<ReplicaSnapshot> = (0..4)
-            .map(|_| ReplicaSnapshot {
-                queued: next(12) as usize,
-                live: next(8) as usize,
-                kv_tokens: next(10_000),
-                kv_budget_tokens: 8_000,
+            .map(|_| {
+                // Mixed granularities: some replicas page at 16-token
+                // blocks with a reclaimable prefix cache, others count
+                // scalar tokens.
+                let block = if next(2) == 0 { 1 } else { 16 };
+                let in_use = next(10_000 / block);
+                ReplicaSnapshot {
+                    queued: next(12) as usize,
+                    live: next(8) as usize,
+                    kv_blocks_in_use: in_use,
+                    kv_evictable_blocks: next(in_use + 1),
+                    kv_budget_blocks: 8_000 / block,
+                    kv_block_size: block,
+                }
             })
             .collect();
         let pick = router.route(incoming, &fleet);
