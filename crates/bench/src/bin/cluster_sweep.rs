@@ -12,9 +12,9 @@
 //! Run with `cargo run --release -p papi-bench --bin cluster_sweep`.
 
 use papi_core::experiments::{ClusterSweep, ClusterSweepRow};
-use papi_core::{DesignKind, SloSpec};
+use papi_core::{DesignKind, SessionTuning, SloSpec};
 use papi_llm::ModelPreset;
-use papi_workload::{DatasetKind, RoutingPolicy};
+use papi_workload::{DatasetKind, PolicySpec};
 use serde::Serialize;
 
 #[derive(Debug, Serialize)]
@@ -33,8 +33,8 @@ fn main() {
         rates: vec![0.5, 4.0, 16.0, 48.0],
         num_requests: 96,
         shapes: vec![(4, 1), (2, 2), (1, 4)],
-        routing: RoutingPolicy::JoinShortestQueue,
-        max_batch: 32,
+        routing: PolicySpec::JoinShortestQueue,
+        tuning: SessionTuning::default().with_max_batch(32),
         slo: SloSpec::interactive(2_000.0, 60.0),
         seed: 42,
     }

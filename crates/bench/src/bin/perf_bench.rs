@@ -1,9 +1,10 @@
 //! Machine-readable simulator-performance harness.
 //!
 //! Times the simulator itself (not the modeled hardware) over a fixed
-//! trajectory of scenarios covering both execution paths — closed-batch
-//! trace pricing and the online serving engine — and emits one JSON
-//! document on stdout for CI trend tracking:
+//! trajectory of scenarios covering every execution path — closed-batch
+//! trace pricing, the online serving engine, and the routed
+//! multi-replica cluster — and emits one JSON document on stdout for CI
+//! trend tracking:
 //!
 //! ```json
 //! {"schema":"papi-perf-bench/1","scenarios":[
@@ -19,9 +20,12 @@
 //! prefixes), gated like `tokens`/`iterations`. Run with
 //! `cargo run --release -p papi-bench --bin perf_bench`.
 
-use papi_core::{DecodingSimulator, DesignKind, ServingEngine, SystemConfig};
+use papi_core::{
+    ClusterEngine, ClusterSpec, DecodingSimulator, DesignKind, ServingEngine, SessionTuning,
+    SystemConfig,
+};
 use papi_llm::ModelPreset;
-use papi_workload::{ConversationDataset, DatasetKind, ServingWorkload, WorkloadSpec};
+use papi_workload::{ConversationDataset, DatasetKind, PolicySpec, ServingWorkload, WorkloadSpec};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -134,6 +138,37 @@ fn main() {
             tokens: report.tokens,
             iterations: report.iterations,
             cache_hit_rate: report.kv.hit_rate(),
+        }
+    }));
+
+    // Prefix-affinity routing across a 4-replica fleet with private
+    // prefix caches: exercises the trait-based control plane (route
+    // context construction, per-arrival policy dispatch, co-simulated
+    // replica clocks) and gates the *fleet-wide* cache hit rate the
+    // policy exists to recover.
+    scenarios.push(time_scenario("prefix_affinity_routing", || {
+        let workload = ServingWorkload::poisson(
+            ConversationDataset::multi_turn(DatasetKind::GeneralQa, 512, 4),
+            6.0,
+            60,
+        )
+        .with_seed(42);
+        let report = ClusterEngine::new(
+            ClusterSpec::new(DesignKind::Papi, model.config(), 1, 4)
+                .with_routing(PolicySpec::prefix_affinity())
+                .with_tuning(
+                    SessionTuning::default()
+                        .with_max_batch(16)
+                        .with_kv_block_size(16)
+                        .with_prefix_sharing(true),
+                ),
+        )
+        .expect("valid fleet")
+        .run(&workload);
+        ScenarioOutputs {
+            tokens: report.tokens(),
+            iterations: report.replicas.iter().map(|r| r.iterations).sum(),
+            cache_hit_rate: report.cache_hit_rate(),
         }
     }));
 

@@ -6,7 +6,7 @@
 //! each a TP group of `tp_degree` nodes built by
 //! [`SystemConfig::with_tensor_parallel`] — and co-simulates them on a
 //! shared clock. Requests arrive once, globally; at each arrival the
-//! router (a [`RoutingPolicy`] from `papi-workload`) inspects every
+//! router (a [`RoutePolicy`] from `papi-workload`) inspects every
 //! replica's [`ReplicaSnapshot`](papi_workload::ReplicaSnapshot) *as of
 //! that simulated instant* and picks the admission target. Per-replica
 //! [`ServingReport`]s aggregate into a [`ClusterReport`] with
@@ -21,16 +21,22 @@
 
 use crate::config::{DesignKind, SystemConfig};
 use crate::metrics::{LatencySummary, RequestRecord, ServingReport};
-use crate::serving::{ServingEngine, SessionStatus, DEFAULT_MAX_BATCH};
+use crate::serving::{ServingEngine, SessionStatus, SessionTuning};
 use crate::slo::SloSpec;
 use papi_interconnect::{ClusterTopology, LinkSpec, TopologyError};
 use papi_llm::ModelConfig;
 use papi_types::{Energy, Time};
-use papi_workload::{Router, RoutingPolicy, ServingWorkload};
+use papi_workload::{PolicySpec, RouteContext, RoutePolicy, Router, ServingWorkload};
 use serde::{Deserialize, Serialize};
 
 /// The shape of a PAPI fleet: one design sharded `tp_degree`-way per
 /// group, `dp_replicas` groups behind the router.
+///
+/// Replica knobs live in one shared [`SessionTuning`] — the same struct
+/// [`ServingEngine`] consumes — so the fleet and single-node layers can
+/// never drift apart on what is tunable. Routing is declarative: a
+/// [`PolicySpec`] names a built-in [`RoutePolicy`]; custom policies
+/// drive the fleet through [`ClusterEngine::run_with_policy`].
 #[derive(Debug, Clone)]
 pub struct ClusterSpec {
     /// The per-node design replicated across the fleet.
@@ -44,23 +50,15 @@ pub struct ClusterSpec {
     /// The inter-node fabric TP collectives cross.
     pub inter_node: LinkSpec,
     /// How the router picks a replica per arriving request.
-    pub routing: RoutingPolicy,
-    /// Batch cap (scheduler window) of each replica.
-    pub max_batch: u64,
-    /// KV paging granularity of each replica (tokens per block; 1 is
-    /// exact scalar accounting).
-    pub kv_block_size: u64,
-    /// Whether each replica runs copy-on-write prefix sharing.
-    pub prefix_sharing: bool,
-    /// Per-step chunked-prefill token budget of each replica (`None`
-    /// prices each admission wave monolithically).
-    pub prefill_chunk: Option<u64>,
+    pub routing: PolicySpec,
+    /// The session knobs of every replica engine.
+    pub tuning: SessionTuning,
 }
 
 impl ClusterSpec {
     /// A fleet of `design` nodes: `tp_degree`-way sharding, `dp_replicas`
     /// replicas, InfiniBand NDR between nodes, join-shortest-queue
-    /// routing, and the default batch cap.
+    /// routing, and default session tuning.
     pub fn new(
         design: DesignKind,
         model: ModelConfig,
@@ -73,16 +71,13 @@ impl ClusterSpec {
             tp_degree,
             dp_replicas,
             inter_node: LinkSpec::infiniband_ndr(),
-            routing: RoutingPolicy::JoinShortestQueue,
-            max_batch: DEFAULT_MAX_BATCH,
-            kv_block_size: 1,
-            prefix_sharing: false,
-            prefill_chunk: None,
+            routing: PolicySpec::JoinShortestQueue,
+            tuning: SessionTuning::default(),
         }
     }
 
     /// Overrides the routing policy.
-    pub fn with_routing(mut self, routing: RoutingPolicy) -> Self {
+    pub fn with_routing(mut self, routing: PolicySpec) -> Self {
         self.routing = routing;
         self
     }
@@ -93,34 +88,40 @@ impl ClusterSpec {
         self
     }
 
+    /// Replaces every replica's session tuning.
+    pub fn with_tuning(mut self, tuning: SessionTuning) -> Self {
+        self.tuning = tuning;
+        self
+    }
+
     /// Overrides each replica's batch cap.
+    #[deprecated(since = "0.2.0", note = "tune through `with_tuning` / `tuning`")]
     pub fn with_max_batch(mut self, max_batch: u64) -> Self {
-        self.max_batch = max_batch;
+        self.tuning = self.tuning.with_max_batch(max_batch);
         self
     }
 
     /// Overrides each replica's KV paging granularity.
+    #[deprecated(since = "0.2.0", note = "tune through `with_tuning` / `tuning`")]
     pub fn with_kv_block_size(mut self, block_size: u64) -> Self {
-        self.kv_block_size = block_size;
+        self.tuning = self.tuning.with_kv_block_size(block_size);
         self
     }
 
-    /// Enables copy-on-write prefix sharing on every replica.
-    ///
-    /// Caveat: each replica's prefix cache is private, and the bundled
-    /// [`RoutingPolicy`]s are prefix-oblivious — a conversation's turns
-    /// can scatter across replicas and miss caches that a single node
-    /// would hit. Multi-replica fleets therefore see lower hit rates
-    /// than `PrefixCacheSweep`'s single-node numbers until a
-    /// prefix-affinity routing policy exists (see ROADMAP).
+    /// Enables copy-on-write prefix sharing on every replica. Pair it
+    /// with [`PolicySpec::prefix_affinity`] routing so multi-turn
+    /// conversations keep hitting the (private, per-replica) caches a
+    /// single node would.
+    #[deprecated(since = "0.2.0", note = "tune through `with_tuning` / `tuning`")]
     pub fn with_prefix_sharing(mut self, enabled: bool) -> Self {
-        self.prefix_sharing = enabled;
+        self.tuning = self.tuning.with_prefix_sharing(enabled);
         self
     }
 
     /// Enables chunked prefill on every replica.
+    #[deprecated(since = "0.2.0", note = "tune through `with_tuning` / `tuning`")]
     pub fn with_prefill_chunk(mut self, chunk_tokens: u64) -> Self {
-        self.prefill_chunk = Some(chunk_tokens);
+        self.tuning = self.tuning.with_prefill_chunk(chunk_tokens);
         self
     }
 }
@@ -149,13 +150,7 @@ impl ClusterEngine {
             spec.dp_replicas,
         )?;
         let sharded = config.with_tensor_parallel(spec.tp_degree, spec.inter_node.clone());
-        let mut replica = ServingEngine::new(sharded)
-            .with_max_batch(spec.max_batch)
-            .with_kv_block_size(spec.kv_block_size)
-            .with_prefix_sharing(spec.prefix_sharing);
-        if let Some(chunk) = spec.prefill_chunk {
-            replica = replica.with_prefill_chunk(chunk);
-        }
+        let replica = ServingEngine::new(sharded).with_tuning(spec.tuning.clone());
         Ok(Self {
             spec,
             topology,
@@ -178,7 +173,9 @@ impl ClusterEngine {
         self.replica.config()
     }
 
-    /// Serves one episode across the fleet.
+    /// Serves one episode across the fleet with the spec's built-in
+    /// routing policy (driven through the same [`RoutePolicy`] trait
+    /// seam as custom policies).
     ///
     /// Replicas advance on a shared simulated clock: before each global
     /// arrival is routed, every replica with pending work is stepped up
@@ -189,6 +186,25 @@ impl ClusterEngine {
     ///
     /// Panics on the same conditions as [`ServingEngine::run`].
     pub fn run(&self, workload: &ServingWorkload) -> ClusterReport {
+        let mut router = Router::new(self.spec.routing);
+        self.run_with_policy(workload, &mut router)
+    }
+
+    /// Serves one episode with a caller-supplied [`RoutePolicy`] — the
+    /// open seam for routing strategies the built-in [`PolicySpec`]s
+    /// don't cover. The policy is consulted once per global arrival, in
+    /// arrival order, and its label becomes the report's `routing`
+    /// field.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same conditions as [`ServingEngine::run`], or if
+    /// the policy returns a replica index out of range.
+    pub fn run_with_policy(
+        &self,
+        workload: &ServingWorkload,
+        policy: &mut dyn RoutePolicy,
+    ) -> ClusterReport {
         let mut sessions: Vec<_> = (0..self.spec.dp_replicas)
             .map(|idx| {
                 let mut session = self.replica.open_session(workload);
@@ -202,7 +218,7 @@ impl ClusterEngine {
                 session
             })
             .collect();
-        let mut router = Router::new(self.spec.routing);
+        let mut decisions = 0u64;
 
         for request in workload.requests() {
             let arrival = request.arrival_s;
@@ -217,7 +233,17 @@ impl ClusterEngine {
                 sessions[idx].step();
             }
             let snapshots: Vec<_> = sessions.iter().map(|s| s.snapshot()).collect();
-            let target = router.route(request.prefill_len(), &snapshots);
+            let target = policy.route(&RouteContext {
+                request: &request,
+                replicas: &snapshots,
+            });
+            assert!(
+                target < sessions.len(),
+                "routing policy {} picked replica {target} in a {}-replica fleet",
+                policy.label(),
+                sessions.len()
+            );
+            decisions += 1;
             sessions[target].push(request);
         }
         // No more arrivals: drain every replica independently.
@@ -229,8 +255,8 @@ impl ClusterEngine {
             design: self.replica.config().design.label().to_owned(),
             model: self.spec.model.name.clone(),
             tp_degree: self.spec.tp_degree,
-            routing: self.spec.routing,
-            routing_decisions: router.decisions(),
+            routing: policy.label(),
+            routing_decisions: decisions,
             replicas: sessions.into_iter().map(|s| s.into_report()).collect(),
         }
     }
@@ -246,8 +272,8 @@ pub struct ClusterReport {
     pub model: String,
     /// Nodes per TP group.
     pub tp_degree: usize,
-    /// The routing policy that assigned requests.
-    pub routing: RoutingPolicy,
+    /// Label of the routing policy that assigned requests.
+    pub routing: String,
     /// Requests the router placed.
     pub routing_decisions: u64,
     /// One report per data-parallel replica (some may be empty if the
@@ -341,6 +367,29 @@ impl ClusterReport {
         }
         self.tokens() as f64 / secs
     }
+
+    /// Fleet-wide prefix-cache hit rate: the fraction of prefill demand
+    /// (cached + prefilled tokens, summed over every replica) served
+    /// from the replicas' prefix caches. This is the number
+    /// prefix-oblivious routing destroys — conversations scattered
+    /// across replicas re-prefill contexts some other replica cached.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let cached: u64 = self
+            .replicas
+            .iter()
+            .map(|r| r.kv.cached_prompt_tokens)
+            .sum();
+        let prefilled: u64 = self.replicas.iter().map(|r| r.kv.prefilled_tokens).sum();
+        if cached + prefilled == 0 {
+            return 0.0;
+        }
+        cached as f64 / (cached + prefilled) as f64
+    }
+
+    /// Total KV-pressure preemptions across the fleet.
+    pub fn preemptions(&self) -> u64 {
+        self.replicas.iter().map(|r| r.preemptions).sum()
+    }
 }
 
 #[cfg(test)]
@@ -353,6 +402,10 @@ mod tests {
         ServingWorkload::poisson(DatasetKind::GeneralQa, rate, n).with_seed(17)
     }
 
+    fn batch(max_batch: u64) -> SessionTuning {
+        SessionTuning::default().with_max_batch(max_batch)
+    }
+
     /// The degenerate fleet (1 group of 1 node) must reproduce the
     /// single-node engine bit for bit — the cluster layer adds no
     /// hidden cost at TP=1/DP=1 (equality-pinned like
@@ -362,7 +415,7 @@ mod tests {
         let model = ModelPreset::Llama65B.config();
         let w = workload(4.0, 32);
         let cluster = ClusterEngine::new(
-            ClusterSpec::new(DesignKind::PimOnlyPapi, model.clone(), 1, 1).with_max_batch(16),
+            ClusterSpec::new(DesignKind::PimOnlyPapi, model.clone(), 1, 1).with_tuning(batch(16)),
         )
         .unwrap()
         .run(&w);
@@ -384,9 +437,9 @@ mod tests {
     fn request_count_equals_sum_of_replica_counts() {
         let w = workload(16.0, 60);
         for routing in [
-            RoutingPolicy::RoundRobin,
-            RoutingPolicy::JoinShortestQueue,
-            RoutingPolicy::KvPressureAware,
+            PolicySpec::RoundRobin,
+            PolicySpec::JoinShortestQueue,
+            PolicySpec::KvPressureAware,
         ] {
             let report = ClusterEngine::new(
                 ClusterSpec::new(
@@ -396,7 +449,7 @@ mod tests {
                     3,
                 )
                 .with_routing(routing)
-                .with_max_batch(8),
+                .with_tuning(batch(8)),
             )
             .unwrap()
             .run(&w);
@@ -419,7 +472,7 @@ mod tests {
                 1,
                 4,
             )
-            .with_max_batch(4),
+            .with_tuning(batch(4)),
         )
         .unwrap()
         .run(&workload(32.0, 64));
@@ -477,15 +530,37 @@ mod tests {
             design: "PAPI".into(),
             model: "m".into(),
             tp_degree: 1,
-            routing: RoutingPolicy::RoundRobin,
+            routing: PolicySpec::RoundRobin.label(),
             routing_decisions: 0,
             replicas: vec![],
         };
         assert_eq!(report.requests(), 0);
         assert_eq!(report.makespan(), Time::ZERO);
         assert!(report.ttft_summary().is_none());
+        assert_eq!(report.cache_hit_rate(), 0.0);
         let slo = SloSpec::interactive(1_000.0, 50.0);
         assert_eq!(report.goodput(&slo), 0.0);
         assert_eq!(report.slo_attainment(&slo), 0.0);
+    }
+
+    /// The deprecated per-knob shims still forward into the shared
+    /// tuning, so pre-`SessionTuning` call sites behave identically.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_knob_shims_forward_to_tuning() {
+        let model = ModelPreset::Llama65B.config();
+        let spec = ClusterSpec::new(DesignKind::PimOnlyPapi, model, 1, 2)
+            .with_max_batch(12)
+            .with_kv_block_size(16)
+            .with_prefix_sharing(true)
+            .with_prefill_chunk(256);
+        assert_eq!(
+            spec.tuning,
+            SessionTuning::default()
+                .with_max_batch(12)
+                .with_kv_block_size(16)
+                .with_prefix_sharing(true)
+                .with_prefill_chunk(256)
+        );
     }
 }

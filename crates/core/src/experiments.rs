@@ -9,7 +9,7 @@ use crate::cluster::{ClusterEngine, ClusterSpec};
 use crate::config::{DesignKind, SystemConfig};
 use crate::engine::DecodingSimulator;
 use crate::metrics::ExecutionReport;
-use crate::serving::ServingEngine;
+use crate::serving::{ServingEngine, SessionTuning};
 use crate::slo::SloSpec;
 use papi_gpu::{GpuEnergyModel, GpuSpec, MultiGpu};
 use papi_llm::{ModelPreset, RooflinePoint};
@@ -17,9 +17,7 @@ use papi_pim::power::power_draw;
 use papi_pim::{PimConfig, PimDevice, PimEnergyBreakdown, PimEnergyModel};
 use papi_sched::estimator::AiComparison;
 use papi_types::{DataType, Power};
-use papi_workload::{
-    ConversationDataset, DatasetKind, RoutingPolicy, ServingWorkload, WorkloadSpec,
-};
+use papi_workload::{ConversationDataset, DatasetKind, PolicySpec, ServingWorkload, WorkloadSpec};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -744,9 +742,10 @@ pub struct ClusterSweep {
     /// Fleet shapes compared, as `(tp_degree, dp_replicas)` pairs.
     pub shapes: Vec<(usize, usize)>,
     /// How each fleet's router picks replicas.
-    pub routing: RoutingPolicy,
-    /// Batch cap of each replica.
-    pub max_batch: u64,
+    pub routing: PolicySpec,
+    /// Session knobs of every replica (the same struct every serving
+    /// surface tunes through).
+    pub tuning: SessionTuning,
     /// Latency objective goodput is scored against.
     pub slo: SloSpec,
     /// Seed shared by every point.
@@ -777,7 +776,7 @@ impl ClusterSweep {
                 let engine = ClusterEngine::new(
                     ClusterSpec::new(self.design, self.model.config(), tp, dp)
                         .with_routing(self.routing)
-                        .with_max_batch(self.max_batch),
+                        .with_tuning(self.tuning.clone()),
                 )
                 .expect("sweep shape is a valid fleet");
                 let report = engine.run(&workload);
@@ -797,6 +796,131 @@ impl ClusterSweep {
                     goodput_rps: report.goodput(&self.slo),
                     slo_attainment: report.slo_attainment(&self.slo),
                     tokens_per_sec: report.tokens_per_second(),
+                    replicas_used: report
+                        .replicas
+                        .iter()
+                        .filter(|r| !r.records.is_empty())
+                        .count(),
+                }
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Routing sweeps (beyond the paper: control-plane policy comparison)
+// ---------------------------------------------------------------------
+
+/// One `(routing policy, arrival rate)` point of a routing sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RoutingSweepRow {
+    /// Routing policy label.
+    pub routing: String,
+    /// Offered load, requests per second.
+    pub rate_per_sec: f64,
+    /// Requests served fleet-wide.
+    pub requests: u64,
+    /// Fleet-wide prefix-cache hit rate (fraction of prefill demand
+    /// served from the replicas' caches).
+    pub cache_hit_rate: f64,
+    /// Requests completed within the SLO, per second of fleet makespan.
+    pub goodput_rps: f64,
+    /// Fraction of requests meeting the SLO.
+    pub slo_attainment: f64,
+    /// Median fleet time-to-first-token, ms.
+    pub ttft_p50_ms: f64,
+    /// 99th-percentile fleet time-to-first-token, ms.
+    pub ttft_p99_ms: f64,
+    /// Fleet output-token throughput.
+    pub tokens_per_sec: f64,
+    /// KV-pressure preemptions across the fleet.
+    pub preemptions: u64,
+    /// Replicas that served at least one request.
+    pub replicas_used: usize,
+}
+
+/// A routing-policy sweep: the same prefix-structured load, the same
+/// fleet, the same DRAM — only the control-plane policy differs, so any
+/// gap in fleet hit rate or goodput is purely the router. This is the
+/// experiment the closed routing enum could not express: policies like
+/// [`PolicySpec::prefix_affinity`] need the arriving request's
+/// conversation key, which only the trait-based [`RouteContext`]
+/// carries.
+///
+/// [`RouteContext`]: papi_workload::RouteContext
+#[derive(Debug, Clone)]
+pub struct RoutingSweep {
+    /// Model served.
+    pub model: ModelPreset,
+    /// Per-node design replicated across the fleet.
+    pub design: DesignKind,
+    /// Prefix-structured request population (multi-turn conversations).
+    pub conversations: ConversationDataset,
+    /// Offered loads, requests per second.
+    pub rates: Vec<f64>,
+    /// Requests per `(policy, rate)` point.
+    pub num_requests: usize,
+    /// Nodes per tensor-parallel group.
+    pub tp_degree: usize,
+    /// Data-parallel replicas behind the router.
+    pub dp_replicas: usize,
+    /// Routing policies compared.
+    pub policies: Vec<PolicySpec>,
+    /// Session knobs of every replica (prefix sharing should be on —
+    /// otherwise there is no cache for routing to protect).
+    pub tuning: SessionTuning,
+    /// Latency objective goodput is scored against.
+    pub slo: SloSpec,
+    /// Seed shared by every point.
+    pub seed: u64,
+}
+
+impl RoutingSweep {
+    /// Serves every `(rate, policy)` point and collects one row each.
+    ///
+    /// Points are independent simulator runs and fan out across cores;
+    /// results are deterministic and ordered rate-major, policy-minor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fleet shape is degenerate or exceeds the
+    /// inter-node fabric's fan-out.
+    pub fn run(&self) -> Vec<RoutingSweepRow> {
+        let points: Vec<(f64, PolicySpec)> = self
+            .rates
+            .iter()
+            .flat_map(|&rate| self.policies.iter().map(move |&policy| (rate, policy)))
+            .collect();
+        points
+            .par_iter()
+            .map(|&(rate, policy)| {
+                let workload =
+                    ServingWorkload::poisson(self.conversations, rate, self.num_requests)
+                        .with_seed(self.seed);
+                let engine = ClusterEngine::new(
+                    ClusterSpec::new(
+                        self.design,
+                        self.model.config(),
+                        self.tp_degree,
+                        self.dp_replicas,
+                    )
+                    .with_routing(policy)
+                    .with_tuning(self.tuning.clone()),
+                )
+                .expect("sweep shape is a valid fleet");
+                let report = engine.run(&workload);
+                let ttft = report.ttft_summary().expect("non-empty episode");
+                RoutingSweepRow {
+                    routing: report.routing.clone(),
+                    rate_per_sec: rate,
+                    requests: report.requests(),
+                    cache_hit_rate: report.cache_hit_rate(),
+                    goodput_rps: report.goodput(&self.slo),
+                    slo_attainment: report.slo_attainment(&self.slo),
+                    ttft_p50_ms: ttft.p50.as_millis(),
+                    ttft_p99_ms: ttft.p99.as_millis(),
+                    tokens_per_sec: report.tokens_per_second(),
+                    preemptions: report.preemptions(),
                     replicas_used: report
                         .replicas
                         .iter()
@@ -1016,8 +1140,8 @@ mod tests {
             rates: vec![0.5, 24.0],
             num_requests: 48,
             shapes: vec![(4, 1), (1, 4)],
-            routing: RoutingPolicy::JoinShortestQueue,
-            max_batch: 16,
+            routing: PolicySpec::JoinShortestQueue,
+            tuning: SessionTuning::default().with_max_batch(16),
             slo: SloSpec::interactive(2_000.0, 60.0),
             seed: 11,
         }
@@ -1033,6 +1157,50 @@ mod tests {
         // …DP wins goodput once the offered load saturates one queue.
         assert!(at("4x TP1", 24.0).goodput_rps > at("1x TP4", 24.0).goodput_rps);
         assert_eq!(at("4x TP1", 24.0).requests, 48);
+    }
+
+    /// The ROADMAP headline: on a multi-turn conversation fleet at
+    /// equal DRAM, prefix-affinity routing recovers the cache hits
+    /// prefix-oblivious JSQ scatters away, and converts them to
+    /// goodput.
+    #[test]
+    fn routing_sweep_prefix_affinity_beats_jsq_on_conversations() {
+        let rows = RoutingSweep {
+            model: ModelPreset::Llama65B,
+            design: DesignKind::PimOnlyPapi,
+            conversations: ConversationDataset::multi_turn(DatasetKind::GeneralQa, 512, 4),
+            rates: vec![6.0],
+            num_requests: 64,
+            tp_degree: 1,
+            dp_replicas: 4,
+            policies: vec![PolicySpec::JoinShortestQueue, PolicySpec::prefix_affinity()],
+            tuning: SessionTuning::default()
+                .with_max_batch(16)
+                .with_kv_block_size(16)
+                .with_prefix_sharing(true),
+            slo: SloSpec::interactive(4_000.0, 80.0),
+            seed: 7,
+        }
+        .run();
+        assert_eq!(rows.len(), 2);
+        let jsq = &rows[0];
+        let affinity = &rows[1];
+        assert_eq!(jsq.routing, "join-shortest-queue");
+        assert_eq!(affinity.routing, "prefix-affinity");
+        assert_eq!(jsq.requests, 64);
+        assert_eq!(affinity.requests, 64);
+        assert!(
+            affinity.cache_hit_rate > jsq.cache_hit_rate + 0.1,
+            "affinity should recover scattered hits: {} vs {}",
+            affinity.cache_hit_rate,
+            jsq.cache_hit_rate
+        );
+        assert!(
+            affinity.goodput_rps > jsq.goodput_rps,
+            "recovered hits should buy goodput: {} vs {}",
+            affinity.goodput_rps,
+            jsq.goodput_rps
+        );
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //! Every system exposes the same 90-HBM-device budget (30 for FC
 //! weights, 60 for attention KV), per the paper's §7.1 fairness setup.
 //!
+//! - [`admission`] — pluggable admission control: who joins the
+//!   running batch, and who yields under KV pressure.
 //! - [`config`] — system assembly and α calibration (plus
 //!   tensor-parallel sharding across nodes).
 //! - [`cluster`] — fleet simulation: TP groups replicated
@@ -49,6 +51,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod admission;
 pub mod cluster;
 pub mod config;
 pub mod engine;
@@ -59,6 +62,9 @@ pub mod pricer;
 pub mod serving;
 pub mod slo;
 
+pub use admission::{
+    AdmissionCandidate, AdmissionPolicy, AdmissionSpec, AdmissionView, BlockGranular, Fcfs,
+};
 pub use cluster::{ClusterEngine, ClusterReport, ClusterSpec};
 pub use config::{DesignKind, SchedulerKind, SystemConfig, TpGroup};
 pub use engine::DecodingSimulator;
@@ -68,5 +74,5 @@ pub use metrics::{
 pub use papi_kv::KvCacheStats;
 pub use prefill::{prefill_cost, prefill_cost_for, PrefillCost, PromptStats};
 pub use pricer::IterationPricer;
-pub use serving::{ServingEngine, ServingSession, SessionStatus};
+pub use serving::{ServingEngine, ServingSession, SessionStatus, SessionTuning};
 pub use slo::SloSpec;

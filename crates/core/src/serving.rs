@@ -34,6 +34,7 @@
 //! (queueing delay, TTFT, TPOT, end-to-end) with percentile summaries,
 //! SLO goodput, and the cache counters in [`KvCacheStats`].
 
+use crate::admission::{AdmissionCandidate, AdmissionPolicy, AdmissionSpec, AdmissionView};
 use crate::config::SystemConfig;
 use crate::metrics::{PhaseBreakdown, RequestRecord, ServingReport};
 use crate::prefill::{prefill_cost_for, PromptStats};
@@ -47,7 +48,9 @@ use papi_workload::{
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Default cap on the running batch (the scheduler window).
 pub const DEFAULT_MAX_BATCH: u64 = 64;
@@ -55,40 +58,51 @@ pub const DEFAULT_MAX_BATCH: u64 = 64;
 /// remainder absorbs KV growth between admission and completion.
 pub const DEFAULT_KV_HEADROOM: f64 = 0.85;
 
-/// Online continuous-batching simulator over one [`SystemConfig`].
-#[derive(Debug, Clone)]
-pub struct ServingEngine {
-    config: SystemConfig,
-    max_batch: u64,
-    kv_headroom: f64,
-    kv_block_size: u64,
-    prefix_sharing: bool,
-    prefill_chunk: Option<u64>,
-    max_iterations: u64,
+/// The session knobs every serving surface shares — one struct consumed
+/// by [`ServingEngine`] directly and by
+/// [`ClusterSpec`](crate::cluster::ClusterSpec) for each replica, so
+/// the knob set can never drift between the single-node and fleet
+/// layers. The default is the scalar configuration: block size 1, no
+/// prefix sharing, monolithic prefill, block-granular admission.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionTuning {
+    /// Cap on the running batch (RLP never exceeds this).
+    pub max_batch: u64,
+    /// Fraction of the Attn-PIM pool admission may plan into.
+    pub kv_headroom: f64,
+    /// KV paging granularity in tokens per block (1 = exact scalar
+    /// token accounting).
+    pub kv_block_size: u64,
+    /// Whether copy-on-write prefix sharing is on.
+    pub prefix_sharing: bool,
+    /// Per-step chunked-prefill token budget (`None` prices each
+    /// admission wave monolithically).
+    pub prefill_chunk: Option<u64>,
+    /// Which built-in admission policy arbitrates batch entry and
+    /// preemption.
+    pub admission: AdmissionSpec,
 }
 
-impl ServingEngine {
-    /// Wraps a system configuration with default serving parameters
-    /// (scalar KV accounting: block size 1, no prefix sharing,
-    /// monolithic prefill).
-    pub fn new(config: SystemConfig) -> Self {
+impl Default for SessionTuning {
+    fn default() -> Self {
         Self {
-            config,
             max_batch: DEFAULT_MAX_BATCH,
             kv_headroom: DEFAULT_KV_HEADROOM,
             kv_block_size: 1,
             prefix_sharing: false,
             prefill_chunk: None,
-            max_iterations: 10_000_000,
+            admission: AdmissionSpec::BlockGranular,
         }
     }
+}
 
-    /// The wrapped configuration.
-    pub fn config(&self) -> &SystemConfig {
-        &self.config
+impl SessionTuning {
+    /// The default scalar configuration.
+    pub fn new() -> Self {
+        Self::default()
     }
 
-    /// Caps the running batch (RLP never exceeds this).
+    /// Caps the running batch.
     ///
     /// # Panics
     ///
@@ -115,9 +129,7 @@ impl ServingEngine {
         self
     }
 
-    /// Sets the KV paging granularity in tokens per block. Larger
-    /// blocks cut bookkeeping and enable useful sharing units; block
-    /// size 1 is exact scalar token accounting.
+    /// Sets the KV paging granularity in tokens per block.
     ///
     /// # Panics
     ///
@@ -129,12 +141,147 @@ impl ServingEngine {
         self
     }
 
+    /// Enables copy-on-write prefix sharing.
+    pub fn with_prefix_sharing(mut self, enabled: bool) -> Self {
+        self.prefix_sharing = enabled;
+        self
+    }
+
+    /// Enables chunked prefill with a per-step token budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_tokens` is zero.
+    #[track_caller]
+    pub fn with_prefill_chunk(mut self, chunk_tokens: u64) -> Self {
+        assert!(chunk_tokens > 0, "prefill chunk must be positive");
+        self.prefill_chunk = Some(chunk_tokens);
+        self
+    }
+
+    /// Selects a built-in admission policy.
+    pub fn with_admission(mut self, admission: AdmissionSpec) -> Self {
+        self.admission = admission;
+        self
+    }
+
+    /// Re-checks every range invariant the builders enforce — the
+    /// guard for tunings that arrived through serde (which bypasses
+    /// the builder asserts) rather than the `with_*` methods.
+    /// [`ServingEngine::with_tuning`] calls this, so an out-of-range
+    /// deserialized config fails immediately with a named message
+    /// instead of wedging an episode later.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch`, `kv_block_size`, or `prefill_chunk` is
+    /// zero, or `kv_headroom` is outside `(0, 1]`.
+    #[track_caller]
+    pub fn validate(&self) {
+        assert!(self.max_batch > 0, "max_batch must be positive");
+        assert!(
+            self.kv_headroom > 0.0 && self.kv_headroom <= 1.0,
+            "kv headroom must be in (0, 1], got {}",
+            self.kv_headroom
+        );
+        assert!(self.kv_block_size > 0, "kv block size must be positive");
+        if let Some(chunk) = self.prefill_chunk {
+            assert!(chunk > 0, "prefill chunk must be positive");
+        }
+    }
+}
+
+/// Online continuous-batching simulator over one [`SystemConfig`].
+#[derive(Debug, Clone)]
+pub struct ServingEngine {
+    config: SystemConfig,
+    tuning: SessionTuning,
+    admission: Arc<dyn AdmissionPolicy>,
+    max_iterations: u64,
+}
+
+impl ServingEngine {
+    /// Wraps a system configuration with default serving parameters
+    /// (scalar KV accounting: block size 1, no prefix sharing,
+    /// monolithic prefill, block-granular admission).
+    pub fn new(config: SystemConfig) -> Self {
+        let tuning = SessionTuning::default();
+        Self {
+            config,
+            admission: tuning.admission.build(),
+            tuning,
+            max_iterations: 10_000_000,
+        }
+    }
+
+    /// The wrapped configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// The session knobs this engine runs with.
+    pub fn tuning(&self) -> &SessionTuning {
+        &self.tuning
+    }
+
+    /// Replaces the whole knob set (and rebuilds the admission policy
+    /// from `tuning.admission`, discarding any custom policy installed
+    /// via [`with_admission_policy`](Self::with_admission_policy)).
+    /// The `with_*` setters below are sugar over this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tuning fails [`SessionTuning::validate`] (e.g. it
+    /// was deserialized with an out-of-range knob).
+    #[track_caller]
+    pub fn with_tuning(mut self, tuning: SessionTuning) -> Self {
+        tuning.validate();
+        self.admission = tuning.admission.build();
+        self.tuning = tuning;
+        self
+    }
+
+    /// Caps the running batch (RLP never exceeds this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` is zero.
+    #[track_caller]
+    pub fn with_max_batch(mut self, max_batch: u64) -> Self {
+        self.tuning = self.tuning.with_max_batch(max_batch);
+        self
+    }
+
+    /// Sets the admission-planning fraction of the KV pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headroom` is outside `(0, 1]`.
+    #[track_caller]
+    pub fn with_kv_headroom(mut self, headroom: f64) -> Self {
+        self.tuning = self.tuning.with_kv_headroom(headroom);
+        self
+    }
+
+    /// Sets the KV paging granularity in tokens per block. Larger
+    /// blocks cut bookkeeping and enable useful sharing units; block
+    /// size 1 is exact scalar token accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` is zero.
+    #[track_caller]
+    pub fn with_kv_block_size(mut self, block_size: u64) -> Self {
+        self.tuning = self.tuning.with_kv_block_size(block_size);
+        self
+    }
+
     /// Enables copy-on-write prefix sharing: requests whose
     /// [`PrefixHint`](papi_kv::PrefixHint)s name a cached context fork
     /// its full blocks instead of re-prefilling them, and completed
     /// contexts are published back into the cache.
     pub fn with_prefix_sharing(mut self, enabled: bool) -> Self {
-        self.prefix_sharing = enabled;
+        self.tuning = self.tuning.with_prefix_sharing(enabled);
         self
     }
 
@@ -149,9 +296,34 @@ impl ServingEngine {
     /// Panics if `chunk_tokens` is zero.
     #[track_caller]
     pub fn with_prefill_chunk(mut self, chunk_tokens: u64) -> Self {
-        assert!(chunk_tokens > 0, "prefill chunk must be positive");
-        self.prefill_chunk = Some(chunk_tokens);
+        self.tuning = self.tuning.with_prefill_chunk(chunk_tokens);
         self
+    }
+
+    /// Selects a built-in admission policy.
+    pub fn with_admission(mut self, admission: AdmissionSpec) -> Self {
+        self.tuning.admission = admission;
+        self.admission = admission.build();
+        self
+    }
+
+    /// Installs a custom [`AdmissionPolicy`] — the open seam the
+    /// built-in [`AdmissionSpec`]s are also driven through.
+    ///
+    /// A custom policy has no [`AdmissionSpec`] name, so
+    /// `tuning().admission` keeps reporting the last declarative spec;
+    /// [`admission`](Self::admission) is the source of truth for what
+    /// actually arbitrates. A later [`with_tuning`](Self::with_tuning)
+    /// or [`with_admission`](Self::with_admission) replaces the custom
+    /// policy with the spec it names.
+    pub fn with_admission_policy(mut self, policy: impl AdmissionPolicy + 'static) -> Self {
+        self.admission = Arc::new(policy);
+        self
+    }
+
+    /// The admission policy arbitrating batch entry and preemption.
+    pub fn admission(&self) -> &dyn AdmissionPolicy {
+        self.admission.as_ref()
     }
 
     /// Safety valve against runaway episodes (default: 10 M iterations).
@@ -192,24 +364,25 @@ impl ServingEngine {
         let kv_bytes_per_token = self.config.model.kv_bytes_per_token().value();
         let (attn_device, attn_count) = &self.config.attn_pim;
         let pool_bytes = attn_device.capacity().value() * *attn_count as f64;
-        let admit_budget_tokens = (pool_bytes * self.kv_headroom / kv_bytes_per_token) as u64;
+        let admit_budget_tokens =
+            (pool_bytes * self.tuning.kv_headroom / kv_bytes_per_token) as u64;
         let hard_budget_tokens = (pool_bytes / kv_bytes_per_token) as u64;
-        let total_blocks = hard_budget_tokens / self.kv_block_size;
+        let total_blocks = hard_budget_tokens / self.tuning.kv_block_size;
         assert!(
             total_blocks > 0,
             "{}: the attention pool cannot hold a single {}-token KV block",
             self.config.design,
-            self.kv_block_size
+            self.tuning.kv_block_size
         );
-        let pool = KvBlockPool::new(self.kv_block_size, total_blocks);
+        let pool = KvBlockPool::new(self.tuning.kv_block_size, total_blocks);
         ServingSession {
             engine: self,
             speculation: workload.speculation,
             tlp_policy: workload.tlp_policy,
-            admit_budget_blocks: admit_budget_tokens / self.kv_block_size,
-            prefix_tree: self.prefix_sharing.then(PrefixTree::new),
+            admit_budget_blocks: admit_budget_tokens / self.tuning.kv_block_size,
+            prefix_tree: self.tuning.prefix_sharing.then(PrefixTree::new),
             kv_stats: KvCacheStats {
-                block_size: self.kv_block_size,
+                block_size: self.tuning.kv_block_size,
                 total_blocks,
                 ..Default::default()
             },
@@ -394,6 +567,26 @@ impl ServingSession<'_> {
         self.pool.blocks_in_use() - self.evictable_blocks()
     }
 
+    /// The state the admission policy sees, plus the live requests' KV
+    /// footprints it indexes when naming a preemption victim.
+    fn admission_view<'v>(&self, live_kv: &'v [u64]) -> AdmissionView<'v> {
+        AdmissionView {
+            committed_blocks: self.committed_blocks(),
+            budget_blocks: self.admit_budget_blocks,
+            block_size: self.pool.block_size(),
+            kv_tokens: self.kv_tokens,
+            queued: self.queue.len(),
+            live_kv,
+        }
+    }
+
+    fn live_kv(&self) -> Vec<u64> {
+        self.live
+            .iter()
+            .map(|&i| self.requests[i].kv_len())
+            .collect()
+    }
+
     fn track_kv_peaks(&mut self) {
         // Resident logical tokens: every decoded context plus what
         // mid-prefill requests have actually written so far (their
@@ -446,9 +639,15 @@ impl ServingSession<'_> {
             self.ingest();
         }
 
-        // --- continuous-batching admission under KV pressure,
-        //     block-granular and prefix-aware ---
-        while (self.live.len() as u64) < self.engine.max_batch {
+        // --- continuous-batching admission under KV pressure: the
+        //     engine owns the mechanism (allocation, forking, the
+        //     single-request capacity assert), the admission policy the
+        //     decision. An empty batch always admits, so no policy can
+        //     stall the episode. ---
+        // One footprint list per step, extended as candidates join, so
+        // the per-candidate policy call allocates nothing.
+        let mut live_kv = self.live_kv();
+        while (self.live.len() as u64) < self.engine.tuning.max_batch {
             let Some(&candidate) = self.queue.front() else {
                 break;
             };
@@ -461,16 +660,26 @@ impl ServingSession<'_> {
                 self.requests[candidate].request.id,
                 total_need,
             );
-            // Plan against the full prompt (ignoring the cache
-            // discount) so the allocation below can never fail even if
-            // the cached prefix turns out to be pinned.
-            if self.committed_blocks() + self.pool.blocks_for(prefill_len)
-                > self.admit_budget_blocks
-                && !self.live.is_empty()
-            {
-                break;
+            // The policy plans against the full prompt (the built-ins
+            // ignore the cache discount) so the allocation below can
+            // never fail even if the cached prefix turns out to be
+            // pinned.
+            if !self.live.is_empty() {
+                let admission = AdmissionCandidate {
+                    id: self.requests[candidate].request.id,
+                    prefill_tokens: prefill_len,
+                    total_tokens: total_need,
+                };
+                if !self
+                    .engine
+                    .admission
+                    .admit(&admission, &self.admission_view(&live_kv))
+                {
+                    break;
+                }
             }
             self.queue.pop_front();
+            live_kv.push(self.requests[candidate].kv_len());
 
             // Fork the cached prefix, if sharing is on and one exists.
             let hint = self.requests[candidate].request.prefix;
@@ -520,14 +729,14 @@ impl ServingSession<'_> {
         //     or chunked (a bounded token budget per step, shortest
         //     remaining first, interleaved with decode) ---
         let mut wave = PromptStats::default();
-        let mut budget = self.engine.prefill_chunk.unwrap_or(u64::MAX);
+        let mut budget = self.engine.tuning.prefill_chunk.unwrap_or(u64::MAX);
         let mut pending: Vec<usize> = self
             .live
             .iter()
             .copied()
             .filter(|&i| self.requests[i].state == RequestState::Prefilling)
             .collect();
-        if self.engine.prefill_chunk.is_some() {
+        if self.engine.tuning.prefill_chunk.is_some() {
             pending.sort_by_key(|&i| (self.requests[i].prefill_len() - self.prefilled[i], i));
         }
         for i in pending {
@@ -587,10 +796,20 @@ impl ServingSession<'_> {
                     continue;
                 }
             }
-            if self.live.len() <= 1 {
+            let live_kv = self.live_kv();
+            let Some(victim_pos) = self
+                .engine
+                .admission
+                .preempt_victim(&self.admission_view(&live_kv))
+            else {
                 break;
-            }
-            let victim = self.live.pop().expect("live is non-empty");
+            };
+            assert!(
+                victim_pos < self.live.len(),
+                "admission policy named preemption victim {victim_pos} in a {}-request batch",
+                self.live.len()
+            );
+            let victim = self.live.remove(victim_pos);
             let seq = self.seqs[victim]
                 .take()
                 .expect("live request holds a sequence");

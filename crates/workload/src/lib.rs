@@ -22,9 +22,11 @@
 //! - [`arrival`] — open-loop arrival processes (Poisson, uniform,
 //!   replayed traces) and the online request lifecycle
 //!   (`Queued → Prefilling → Decoding → Finished`).
-//! - [`routing`] — cluster-level request routing: replica snapshots and
-//!   the policies (round-robin, join-shortest-queue, KV-pressure-aware)
-//!   a fleet router picks admission targets with.
+//! - [`routing`] — cluster-level request routing: replica snapshots,
+//!   the open [`RoutePolicy`] trait a fleet router picks admission
+//!   targets through, the built-in policies (round-robin,
+//!   join-shortest-queue, KV-pressure-aware, prefix-affinity), and the
+//!   declarative [`PolicySpec`] naming them.
 //! - [`trace`] — per-iteration decode traces: the RLP/TLP/KV state the
 //!   system simulator executes against.
 
@@ -45,6 +47,11 @@ pub use batching::{BatchingPolicy, WorkloadSpec};
 pub use conversation::ConversationDataset;
 pub use dataset::DatasetKind;
 pub use request::Request;
-pub use routing::{ReplicaSnapshot, Router, RoutingPolicy};
+#[allow(deprecated)]
+pub use routing::RoutingPolicy;
+pub use routing::{
+    BuiltinRoutePolicy, JoinShortestQueue, KvPressureAware, PolicySpec, PrefixAffinity,
+    ReplicaSnapshot, RoundRobin, RouteContext, RoutePolicy, Router,
+};
 pub use speculative::{AcceptanceModel, SpeculativeConfig, TlpPolicy};
 pub use trace::{DecodeTrace, IterationRecord};

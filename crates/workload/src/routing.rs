@@ -2,13 +2,58 @@
 //! request.
 //!
 //! A data-parallel PAPI fleet replicates whole serving engines behind a
-//! router. The router sees one [`ReplicaSnapshot`] per replica — queue
-//! depth, live batch, KV occupancy — at the moment a request arrives,
-//! and a [`RoutingPolicy`] turns those into a replica index. Policies
-//! are deliberately simulator-agnostic: they consume snapshots, not
-//! engines, so they unit-test without a cluster.
+//! router. At each arrival the router sees a [`RouteContext`]: the
+//! arriving request itself (lengths, prefix hint, arrival time) plus
+//! one [`ReplicaSnapshot`] per replica — queue depth, live batch, KV
+//! occupancy — *as of that simulated instant*, and a [`RoutePolicy`]
+//! turns the context into a replica index.
+//!
+//! Routing is an open trait, not a closed enum: the bundled policies
+//! ([`RoundRobin`], [`JoinShortestQueue`], [`KvPressureAware`],
+//! [`PrefixAffinity`]) are ordinary `RoutePolicy` implementations, and
+//! user code can plug its own. Declarative surfaces (cluster specs,
+//! sweeps, JSON bins) name built-ins through the serde-able
+//! [`PolicySpec`], which also parses from strings
+//! (`"prefix-affinity:0.85".parse()`). Policies are deliberately
+//! simulator-agnostic: they consume snapshots, not engines, so they
+//! unit-test without a cluster.
+//!
+//! # Writing a custom policy
+//!
+//! ```
+//! use papi_workload::{ReplicaSnapshot, RouteContext, RoutePolicy};
+//!
+//! /// Sends long prompts to replica 0 (the "prefill node"), everything
+//! /// else to the least-loaded remaining replica.
+//! #[derive(Debug, Default)]
+//! struct PrefillOffload {
+//!     long_prompts: u64,
+//! }
+//!
+//! impl RoutePolicy for PrefillOffload {
+//!     fn route(&mut self, ctx: &RouteContext<'_>) -> usize {
+//!         if ctx.request.request.input_len > 2048 && ctx.replicas.len() > 1 {
+//!             self.long_prompts += 1;
+//!             return 0;
+//!         }
+//!         ctx.replicas
+//!             .iter()
+//!             .enumerate()
+//!             .skip(1)
+//!             .min_by_key(|(i, s)| (s.load(), *i))
+//!             .map_or(0, |(i, _)| i)
+//!     }
+//!
+//!     fn label(&self) -> String {
+//!         "prefill-offload".to_owned()
+//!     }
+//! }
+//! ```
 
+use crate::arrival::ServingRequest;
+use papi_kv::PrefixHint;
 use serde::{Deserialize, Serialize};
+use std::str::FromStr;
 
 /// A replica's admission-relevant state at one instant.
 ///
@@ -74,61 +119,456 @@ impl ReplicaSnapshot {
     }
 }
 
-/// How the cluster router picks a replica for each arriving request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum RoutingPolicy {
-    /// Cycle through replicas in order, ignoring state — the classic
-    /// stateless baseline.
-    RoundRobin,
-    /// Join the replica with the fewest responsible requests
-    /// (queued + live). Replicas whose KV budget cannot take the
-    /// request are skipped while any replica still has headroom.
-    JoinShortestQueue,
-    /// Join the replica with the lowest KV-budget utilization, breaking
-    /// ties by queue length — the policy that tracks the *actual*
-    /// admission bottleneck (the paper's KV-capacity pressure) rather
-    /// than a proxy count.
-    KvPressureAware,
+/// Everything a routing decision may inspect: the arriving request
+/// (identity, prompt/output lengths, prefix hint, arrival time) and the
+/// fleet's per-replica snapshots at the arrival instant.
+#[derive(Debug, Clone, Copy)]
+pub struct RouteContext<'a> {
+    /// The request being placed — `ctx.request.request` is the static
+    /// [`Request`](crate::Request) (id, lengths, prefix hint), and
+    /// `ctx.request.arrival_s` its arrival time.
+    pub request: &'a ServingRequest,
+    /// One snapshot per replica, indexed by replica id; the policy's
+    /// return value indexes this slice.
+    pub replicas: &'a [ReplicaSnapshot],
 }
 
-impl RoutingPolicy {
+impl RouteContext<'_> {
+    /// KV tokens the chosen replica must cover at admission (the
+    /// request's prompt, plus any regenerated context after a
+    /// preemption).
+    pub fn incoming_kv_tokens(&self) -> u64 {
+        self.request.prefill_len()
+    }
+
+    /// The request's shareable-prefix hint, if it carries one (the
+    /// conversation or shared-system-prompt key prefix-affinity
+    /// policies steer by).
+    pub fn prefix(&self) -> Option<PrefixHint> {
+        self.request.request.prefix
+    }
+}
+
+/// How a fleet router picks the replica that admits each arriving
+/// request.
+///
+/// Implementations may keep state across decisions (a cursor, a spill
+/// counter, learned load estimates); the cluster engine drives one
+/// policy instance per episode, in arrival order. The returned index
+/// must be in range for `ctx.replicas` — the driver asserts it.
+pub trait RoutePolicy: core::fmt::Debug {
+    /// Picks the replica index that admits `ctx.request`.
+    fn route(&mut self, ctx: &RouteContext<'_>) -> usize;
+
     /// Display label for reports and sweeps.
-    pub fn label(&self) -> &'static str {
+    fn label(&self) -> String {
+        "custom".to_owned()
+    }
+}
+
+/// Label for a prefix-affinity policy: the spill threshold rides along
+/// whenever it differs from the default, so `Display` → [`FromStr`]
+/// round-trips losslessly and sweep rows over different thresholds stay
+/// distinguishable.
+fn affinity_label(spill_utilization: f64) -> String {
+    if spill_utilization == PrefixAffinity::DEFAULT_SPILL_UTILIZATION {
+        "prefix-affinity".to_owned()
+    } else {
+        format!("prefix-affinity:{spill_utilization}")
+    }
+}
+
+/// SplitMix64: the stateless hash [`PrefixAffinity`] maps prefix keys
+/// to home replicas with — deterministic across runs and platforms.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Cycle through replicas in order, ignoring state — the classic
+/// stateless baseline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl RoundRobin {
+    /// A fresh cursor at replica 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl RoutePolicy for RoundRobin {
+    fn route(&mut self, ctx: &RouteContext<'_>) -> usize {
+        let pick = self.next % ctx.replicas.len();
+        self.next = (self.next + 1) % ctx.replicas.len();
+        pick
+    }
+
+    fn label(&self) -> String {
+        "round-robin".to_owned()
+    }
+}
+
+/// Join the replica with the fewest responsible requests
+/// (queued + live). Replicas whose KV budget cannot take the request
+/// are skipped while any replica still has headroom.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JoinShortestQueue;
+
+impl RoutePolicy for JoinShortestQueue {
+    fn route(&mut self, ctx: &RouteContext<'_>) -> usize {
+        let incoming = ctx.incoming_kv_tokens();
+        let least_loaded = |saturated_ok: bool| {
+            ctx.replicas
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| saturated_ok || !s.kv_saturated_for(incoming))
+                .min_by_key(|&(i, s)| (s.load(), i))
+                .map(|(i, _)| i)
+        };
+        least_loaded(false)
+            .or_else(|| least_loaded(true))
+            .expect("fleet is non-empty")
+    }
+
+    fn label(&self) -> String {
+        "join-shortest-queue".to_owned()
+    }
+}
+
+/// Join the replica with the lowest KV-budget utilization, breaking
+/// ties by queue length — the policy that tracks the *actual*
+/// admission bottleneck (the paper's KV-capacity pressure) rather than
+/// a proxy count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KvPressureAware;
+
+impl RoutePolicy for KvPressureAware {
+    fn route(&mut self, ctx: &RouteContext<'_>) -> usize {
+        ctx.replicas
+            .iter()
+            .enumerate()
+            .min_by(|(ia, a), (ib, b)| {
+                a.kv_utilization()
+                    .total_cmp(&b.kv_utilization())
+                    .then_with(|| a.load().cmp(&b.load()))
+                    .then_with(|| ia.cmp(ib))
+            })
+            .map(|(i, _)| i)
+            .expect("fleet is non-empty")
+    }
+
+    fn label(&self) -> String {
+        "kv-pressure-aware".to_owned()
+    }
+}
+
+/// Session-sticky, prefix-aware routing: hash the request's prefix key
+/// (its conversation id, or the fleet-wide shared-system-prompt key) to
+/// a *home* replica, so every turn of a conversation lands on the
+/// replica whose private prefix cache holds its accumulated context.
+/// When the home replica is KV-saturated for the incoming prompt — or
+/// its budget utilization has crossed `spill_utilization` — the request
+/// spills to the least-pressured replica with headroom instead of
+/// queueing behind a full pool.
+///
+/// Requests without a prefix hint fall back to join-shortest-queue.
+/// This is the policy the closed `RoutingPolicy` enum could not
+/// express: it needs the *request* (its prefix key), not just the
+/// replica snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrefixAffinity {
+    spill_utilization: f64,
+    spills: u64,
+}
+
+impl PrefixAffinity {
+    /// Default KV-utilization fraction above which the home replica
+    /// spills (1.0 = spill only on hard saturation).
+    pub const DEFAULT_SPILL_UTILIZATION: f64 = 1.0;
+
+    /// Affinity routing that spills only when the home replica's KV
+    /// budget cannot take the request.
+    pub fn new() -> Self {
+        Self::with_spill_utilization(Self::DEFAULT_SPILL_UTILIZATION)
+    }
+
+    /// Affinity routing that additionally spills once the home
+    /// replica's KV-budget utilization reaches `spill_utilization`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spill_utilization` is not in `(0, 1]`.
+    #[track_caller]
+    pub fn with_spill_utilization(spill_utilization: f64) -> Self {
+        assert!(
+            spill_utilization > 0.0 && spill_utilization <= 1.0,
+            "spill utilization must be in (0, 1], got {spill_utilization}"
+        );
+        Self {
+            spill_utilization,
+            spills: 0,
+        }
+    }
+
+    /// The home replica for `key` in a fleet of `replicas` replicas.
+    pub fn home_replica(key: u64, replicas: usize) -> usize {
+        debug_assert!(replicas > 0);
+        (splitmix64(key) % replicas as u64) as usize
+    }
+
+    /// Requests routed away from their home replica because it was
+    /// saturated.
+    pub fn spills(&self) -> u64 {
+        self.spills
+    }
+
+    /// The least-pressured replica with headroom for `incoming` tokens,
+    /// preferring anywhere but `home` (a "spill" that lands back home
+    /// is no spill at all). If only the home replica has headroom it
+    /// keeps the request; an all-saturated fleet falls back to the
+    /// least-pressured replica overall. Ties break by load, then
+    /// index, so spills are deterministic.
+    fn spill_target(home: usize, incoming: u64, replicas: &[ReplicaSnapshot]) -> usize {
+        let best = |saturated_ok: bool, home_ok: bool| {
+            replicas
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| home_ok || *i != home)
+                .filter(|(_, s)| saturated_ok || !s.kv_saturated_for(incoming))
+                .min_by(|(ia, a), (ib, b)| {
+                    a.kv_utilization()
+                        .total_cmp(&b.kv_utilization())
+                        .then_with(|| a.load().cmp(&b.load()))
+                        .then_with(|| ia.cmp(ib))
+                })
+                .map(|(i, _)| i)
+        };
+        best(false, false)
+            .or_else(|| best(false, true))
+            .or_else(|| best(true, true))
+            .expect("fleet is non-empty")
+    }
+}
+
+impl Default for PrefixAffinity {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RoutePolicy for PrefixAffinity {
+    fn route(&mut self, ctx: &RouteContext<'_>) -> usize {
+        let incoming = ctx.incoming_kv_tokens();
+        let Some(hint) = ctx.prefix() else {
+            // Prefix-free requests have no cache to protect: balance
+            // them like join-shortest-queue.
+            return JoinShortestQueue.route(ctx);
+        };
+        let home = Self::home_replica(hint.key, ctx.replicas.len());
+        let snapshot = &ctx.replicas[home];
+        if !snapshot.kv_saturated_for(incoming)
+            && snapshot.kv_utilization() < self.spill_utilization
+        {
+            home
+        } else {
+            let pick = Self::spill_target(home, incoming, ctx.replicas);
+            // A degenerate fleet (or one where only home has headroom)
+            // keeps the request — that is not a spill.
+            if pick != home {
+                self.spills += 1;
+            }
+            pick
+        }
+    }
+
+    fn label(&self) -> String {
+        affinity_label(self.spill_utilization)
+    }
+}
+
+/// The built-in policies as a closed, serde-able value — the concrete
+/// state a [`Router`] snapshots and restores. Custom [`RoutePolicy`]
+/// implementations live outside this enum and drive the cluster engine
+/// directly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BuiltinRoutePolicy {
+    /// See [`RoundRobin`].
+    RoundRobin(RoundRobin),
+    /// See [`JoinShortestQueue`].
+    JoinShortestQueue(JoinShortestQueue),
+    /// See [`KvPressureAware`].
+    KvPressureAware(KvPressureAware),
+    /// See [`PrefixAffinity`].
+    PrefixAffinity(PrefixAffinity),
+}
+
+impl RoutePolicy for BuiltinRoutePolicy {
+    fn route(&mut self, ctx: &RouteContext<'_>) -> usize {
         match self {
-            RoutingPolicy::RoundRobin => "round-robin",
-            RoutingPolicy::JoinShortestQueue => "join-shortest-queue",
-            RoutingPolicy::KvPressureAware => "kv-pressure-aware",
+            BuiltinRoutePolicy::RoundRobin(p) => p.route(ctx),
+            BuiltinRoutePolicy::JoinShortestQueue(p) => p.route(ctx),
+            BuiltinRoutePolicy::KvPressureAware(p) => p.route(ctx),
+            BuiltinRoutePolicy::PrefixAffinity(p) => p.route(ctx),
+        }
+    }
+
+    fn label(&self) -> String {
+        match self {
+            BuiltinRoutePolicy::RoundRobin(p) => p.label(),
+            BuiltinRoutePolicy::JoinShortestQueue(p) => p.label(),
+            BuiltinRoutePolicy::KvPressureAware(p) => p.label(),
+            BuiltinRoutePolicy::PrefixAffinity(p) => p.label(),
         }
     }
 }
 
-impl core::fmt::Display for RoutingPolicy {
-    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        f.write_str(self.label())
+/// Declarative name of a built-in routing policy: what cluster specs,
+/// sweeps, and JSON bins carry. `build()` turns it into the live
+/// [`BuiltinRoutePolicy`]; [`FromStr`] parses the same labels
+/// [`PolicySpec::label`] prints (plus `prefix-affinity:<threshold>` for
+/// a custom spill point), so command-line and config surfaces stay
+/// declarative.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PolicySpec {
+    /// Cycle through replicas, ignoring state.
+    RoundRobin,
+    /// Fewest responsible requests, skipping KV-saturated replicas.
+    JoinShortestQueue,
+    /// Lowest KV-budget utilization, then shortest queue.
+    KvPressureAware,
+    /// Conversation-sticky routing with KV-pressure spill.
+    PrefixAffinity {
+        /// KV-utilization fraction above which the home replica spills.
+        spill_utilization: f64,
+    },
+}
+
+impl PolicySpec {
+    /// Prefix-affinity with the default spill point (hard saturation
+    /// only).
+    pub fn prefix_affinity() -> Self {
+        PolicySpec::PrefixAffinity {
+            spill_utilization: PrefixAffinity::DEFAULT_SPILL_UTILIZATION,
+        }
+    }
+
+    /// Instantiates the policy this spec names, with fresh state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `PrefixAffinity` spec carries a `spill_utilization`
+    /// outside `(0, 1]` — possible only for values that bypassed
+    /// [`FromStr`]'s validation, e.g. hand-built or deserialized specs.
+    #[track_caller]
+    pub fn build(&self) -> BuiltinRoutePolicy {
+        match *self {
+            PolicySpec::RoundRobin => BuiltinRoutePolicy::RoundRobin(RoundRobin::new()),
+            PolicySpec::JoinShortestQueue => {
+                BuiltinRoutePolicy::JoinShortestQueue(JoinShortestQueue)
+            }
+            PolicySpec::KvPressureAware => BuiltinRoutePolicy::KvPressureAware(KvPressureAware),
+            PolicySpec::PrefixAffinity { spill_utilization } => BuiltinRoutePolicy::PrefixAffinity(
+                PrefixAffinity::with_spill_utilization(spill_utilization),
+            ),
+        }
+    }
+
+    /// Display label for reports and sweeps. Never instantiates the
+    /// policy (and so never panics, even for an out-of-range
+    /// deserialized spec); a non-default spill threshold is part of
+    /// the label, so `Display` → [`FromStr`] round-trips losslessly.
+    pub fn label(&self) -> String {
+        match *self {
+            PolicySpec::RoundRobin => "round-robin".to_owned(),
+            PolicySpec::JoinShortestQueue => "join-shortest-queue".to_owned(),
+            PolicySpec::KvPressureAware => "kv-pressure-aware".to_owned(),
+            PolicySpec::PrefixAffinity { spill_utilization } => affinity_label(spill_utilization),
+        }
     }
 }
 
-/// The stateful router: a policy plus the round-robin cursor.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+impl core::fmt::Display for PolicySpec {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+impl FromStr for PolicySpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "round-robin" => return Ok(PolicySpec::RoundRobin),
+            "join-shortest-queue" => return Ok(PolicySpec::JoinShortestQueue),
+            "kv-pressure-aware" => return Ok(PolicySpec::KvPressureAware),
+            "prefix-affinity" => return Ok(PolicySpec::prefix_affinity()),
+            _ => {}
+        }
+        if let Some(threshold) = s.strip_prefix("prefix-affinity:") {
+            let spill_utilization: f64 = threshold
+                .parse()
+                .map_err(|_| format!("invalid spill utilization {threshold:?}"))?;
+            if !(spill_utilization > 0.0 && spill_utilization <= 1.0) {
+                return Err(format!(
+                    "spill utilization must be in (0, 1], got {spill_utilization}"
+                ));
+            }
+            return Ok(PolicySpec::PrefixAffinity { spill_utilization });
+        }
+        Err(format!(
+            "unknown routing policy {s:?} (expected round-robin, join-shortest-queue, \
+             kv-pressure-aware, or prefix-affinity[:<spill>])"
+        ))
+    }
+}
+
+/// Deprecated name for [`PolicySpec`], kept so pre-trait call sites
+/// still compile.
+#[deprecated(
+    since = "0.2.0",
+    note = "renamed to PolicySpec; routing is now the open RoutePolicy trait"
+)]
+pub type RoutingPolicy = PolicySpec;
+
+/// The stateful router: a built-in policy plus its decision counter,
+/// resumable by construction — every routing-relevant bit (the spec,
+/// the policy's cursor/spill state, the decision count) round-trips
+/// through serde, so a serialized mid-run router resumes exactly where
+/// it stopped.
+///
+/// `Router` itself implements [`RoutePolicy`], so the cluster engine
+/// drives built-ins and custom policies through the same trait seam.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Router {
-    policy: RoutingPolicy,
-    next: usize,
+    spec: PolicySpec,
+    policy: BuiltinRoutePolicy,
     decisions: u64,
 }
 
 impl Router {
-    /// A fresh router running `policy`.
-    pub fn new(policy: RoutingPolicy) -> Self {
+    /// A fresh router running the policy `spec` names.
+    pub fn new(spec: PolicySpec) -> Self {
         Self {
-            policy,
-            next: 0,
+            spec,
+            policy: spec.build(),
             decisions: 0,
         }
     }
 
-    /// The configured policy.
-    pub fn policy(&self) -> RoutingPolicy {
-        self.policy
+    /// The configured policy spec.
+    pub fn policy(&self) -> PolicySpec {
+        self.spec
+    }
+
+    /// The live policy state (cursor, spill counters, …).
+    pub fn state(&self) -> &BuiltinRoutePolicy {
+        &self.policy
     }
 
     /// Routing decisions made so far.
@@ -136,9 +576,8 @@ impl Router {
         self.decisions
     }
 
-    /// Picks the replica that admits a request needing
-    /// `incoming_kv_tokens` of KV capacity (its prompt length at
-    /// admission), given one snapshot per replica.
+    /// Picks the replica that admits `request`, given one snapshot per
+    /// replica.
     ///
     /// Ties prefer the lowest replica index, so routing is
     /// deterministic.
@@ -147,46 +586,29 @@ impl Router {
     ///
     /// Panics if `replicas` is empty.
     #[track_caller]
-    pub fn route(&mut self, incoming_kv_tokens: u64, replicas: &[ReplicaSnapshot]) -> usize {
+    pub fn route(&mut self, request: &ServingRequest, replicas: &[ReplicaSnapshot]) -> usize {
         assert!(!replicas.is_empty(), "cannot route to an empty fleet");
         self.decisions += 1;
-        match self.policy {
-            RoutingPolicy::RoundRobin => {
-                let pick = self.next % replicas.len();
-                self.next = (self.next + 1) % replicas.len();
-                pick
-            }
-            RoutingPolicy::JoinShortestQueue => {
-                let least_loaded = |saturated_ok: bool| {
-                    replicas
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, s)| saturated_ok || !s.kv_saturated_for(incoming_kv_tokens))
-                        .min_by_key(|&(i, s)| (s.load(), i))
-                        .map(|(i, _)| i)
-                };
-                least_loaded(false)
-                    .or_else(|| least_loaded(true))
-                    .expect("fleet is non-empty")
-            }
-            RoutingPolicy::KvPressureAware => replicas
-                .iter()
-                .enumerate()
-                .min_by(|(ia, a), (ib, b)| {
-                    a.kv_utilization()
-                        .total_cmp(&b.kv_utilization())
-                        .then_with(|| a.load().cmp(&b.load()))
-                        .then_with(|| ia.cmp(ib))
-                })
-                .map(|(i, _)| i)
-                .expect("fleet is non-empty"),
-        }
+        let pick = self.policy.route(&RouteContext { request, replicas });
+        debug_assert!(pick < replicas.len(), "built-in policy out of range");
+        pick
+    }
+}
+
+impl RoutePolicy for Router {
+    fn route(&mut self, ctx: &RouteContext<'_>) -> usize {
+        Router::route(self, ctx.request, ctx.replicas)
+    }
+
+    fn label(&self) -> String {
+        self.spec.label()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::request::Request;
 
     fn snap(queued: usize, live: usize, kv: u64, budget: u64) -> ReplicaSnapshot {
         // Block size 1: blocks are tokens, the scalar configuration.
@@ -200,29 +622,46 @@ mod tests {
         }
     }
 
+    /// A prefix-free request whose admission needs `tokens` KV tokens.
+    fn req(tokens: u64) -> ServingRequest {
+        ServingRequest::new(Request::new(0, tokens, 1), 0.0)
+    }
+
+    /// A conversation turn: `tokens` KV tokens under prefix `key`.
+    fn turn(key: u64, tokens: u64) -> ServingRequest {
+        ServingRequest::new(
+            Request::new(0, tokens, 1).with_prefix(PrefixHint {
+                key,
+                reuse_tokens: 0,
+                publish_tokens: tokens,
+            }),
+            0.0,
+        )
+    }
+
     #[test]
     fn round_robin_cycles_deterministically() {
-        let mut r = Router::new(RoutingPolicy::RoundRobin);
+        let mut r = Router::new(PolicySpec::RoundRobin);
         let fleet = vec![snap(9, 9, 900, 1000); 3];
-        let picks: Vec<usize> = (0..7).map(|_| r.route(10, &fleet)).collect();
+        let picks: Vec<usize> = (0..7).map(|_| r.route(&req(10), &fleet)).collect();
         assert_eq!(picks, vec![0, 1, 2, 0, 1, 2, 0]);
         assert_eq!(r.decisions(), 7);
     }
 
     #[test]
     fn jsq_picks_least_loaded() {
-        let mut r = Router::new(RoutingPolicy::JoinShortestQueue);
+        let mut r = Router::new(PolicySpec::JoinShortestQueue);
         let fleet = vec![
             snap(4, 8, 100, 10_000),
             snap(1, 3, 100, 10_000),
             snap(2, 8, 100, 10_000),
         ];
-        assert_eq!(r.route(50, &fleet), 1);
+        assert_eq!(r.route(&req(50), &fleet), 1);
     }
 
     #[test]
     fn jsq_never_admits_to_a_saturated_replica_while_another_has_headroom() {
-        let mut r = Router::new(RoutingPolicy::JoinShortestQueue);
+        let mut r = Router::new(PolicySpec::JoinShortestQueue);
         // Replica 0 is the least loaded but its KV budget cannot take
         // the 200-token prompt; replica 2 has headroom.
         let fleet = vec![
@@ -230,28 +669,28 @@ mod tests {
             snap(5, 8, 9_950, 10_000),
             snap(3, 6, 2_000, 10_000),
         ];
-        assert_eq!(r.route(200, &fleet), 2);
+        assert_eq!(r.route(&req(200), &fleet), 2);
         // Once every replica is saturated, fall back to least loaded.
         let all_full = vec![
             snap(2, 2, 9_990, 10_000),
             snap(0, 1, 9_990, 10_000),
             snap(4, 4, 9_990, 10_000),
         ];
-        assert_eq!(r.route(200, &all_full), 1);
+        assert_eq!(r.route(&req(200), &all_full), 1);
     }
 
     #[test]
     fn kv_aware_follows_the_emptiest_pool() {
-        let mut r = Router::new(RoutingPolicy::KvPressureAware);
+        let mut r = Router::new(PolicySpec::KvPressureAware);
         let fleet = vec![
             snap(0, 2, 8_000, 10_000),
             snap(6, 9, 1_000, 10_000), // busiest queue, emptiest pool
             snap(1, 1, 5_000, 10_000),
         ];
-        assert_eq!(r.route(100, &fleet), 1);
+        assert_eq!(r.route(&req(100), &fleet), 1);
         // Ties on utilization break by load, then index.
         let tied = vec![snap(3, 0, 500, 1_000), snap(1, 0, 500, 1_000)];
-        assert_eq!(r.route(100, &tied), 1);
+        assert_eq!(r.route(&req(100), &tied), 1);
     }
 
     #[test]
@@ -301,15 +740,192 @@ mod tests {
     #[test]
     #[should_panic(expected = "empty fleet")]
     fn routing_to_nobody_is_a_bug() {
-        Router::new(RoutingPolicy::RoundRobin).route(1, &[]);
+        Router::new(PolicySpec::RoundRobin).route(&req(1), &[]);
     }
 
     #[test]
-    fn labels() {
+    fn labels_and_parsing_round_trip() {
+        for spec in [
+            PolicySpec::RoundRobin,
+            PolicySpec::JoinShortestQueue,
+            PolicySpec::KvPressureAware,
+            PolicySpec::prefix_affinity(),
+        ] {
+            let parsed: PolicySpec = spec.to_string().parse().expect("label parses back");
+            assert_eq!(parsed.label(), spec.label());
+        }
         assert_eq!(
-            RoutingPolicy::JoinShortestQueue.to_string(),
+            "prefix-affinity:0.85".parse::<PolicySpec>().unwrap(),
+            PolicySpec::PrefixAffinity {
+                spill_utilization: 0.85
+            }
+        );
+        // Non-default thresholds survive the Display -> FromStr round
+        // trip (the label carries them).
+        let tuned = PolicySpec::PrefixAffinity {
+            spill_utilization: 0.85,
+        };
+        assert_eq!(tuned.to_string(), "prefix-affinity:0.85");
+        assert_eq!(tuned.to_string().parse::<PolicySpec>().unwrap(), tuned);
+        // Labelling never instantiates the policy, so even an invalid
+        // hand-built spec formats instead of panicking.
+        assert_eq!(
+            PolicySpec::PrefixAffinity {
+                spill_utilization: 1.5
+            }
+            .label(),
+            "prefix-affinity:1.5"
+        );
+        assert!("prefix-affinity:1.5".parse::<PolicySpec>().is_err());
+        assert!("least-recently-fed".parse::<PolicySpec>().is_err());
+        assert_eq!(
+            PolicySpec::JoinShortestQueue.to_string(),
             "join-shortest-queue"
         );
-        assert_eq!(RoutingPolicy::RoundRobin.label(), "round-robin");
+    }
+
+    #[test]
+    fn prefix_affinity_keeps_a_conversation_home_until_saturation() {
+        let mut policy = PrefixAffinity::new();
+        let roomy = vec![snap(0, 2, 1_000, 10_000); 4];
+        let key = 42;
+        let home = PrefixAffinity::home_replica(key, roomy.len());
+        // Every turn of the conversation lands on the home replica,
+        // regardless of how busy the others are.
+        for tokens in [100, 400, 900, 2_000] {
+            let ctx = RouteContext {
+                request: &turn(key, tokens),
+                replicas: &roomy,
+            };
+            assert_eq!(policy.route(&ctx), home);
+        }
+        assert_eq!(policy.spills(), 0);
+
+        // Saturate the home replica: the next turn spills, and the
+        // spill target has headroom.
+        let mut strained = roomy.clone();
+        strained[home] = snap(0, 8, 9_990, 10_000);
+        let ctx = RouteContext {
+            request: &turn(key, 200),
+            replicas: &strained,
+        };
+        let pick = policy.route(&ctx);
+        assert_ne!(pick, home, "saturated home must spill");
+        assert!(!strained[pick].kv_saturated_for(200));
+        assert_eq!(policy.spills(), 1);
+    }
+
+    #[test]
+    fn prefix_affinity_spreads_distinct_conversations() {
+        let fleet = vec![snap(0, 0, 0, 10_000); 8];
+        let homes: std::collections::BTreeSet<usize> = (0..64)
+            .map(|key| {
+                let mut policy = PrefixAffinity::new();
+                policy.route(&RouteContext {
+                    request: &turn(key, 100),
+                    replicas: &fleet,
+                })
+            })
+            .collect();
+        assert!(
+            homes.len() >= 6,
+            "64 conversations should hash across most of 8 replicas, hit {homes:?}"
+        );
+    }
+
+    #[test]
+    fn prefix_affinity_soft_spill_threshold() {
+        let mut policy = PrefixAffinity::with_spill_utilization(0.5);
+        let key = 7;
+        let mut fleet = vec![snap(0, 0, 1_000, 10_000); 3];
+        let home = PrefixAffinity::home_replica(key, fleet.len());
+        // 60% utilization: above the soft threshold even though the
+        // prompt would still fit.
+        fleet[home] = snap(0, 1, 6_000, 10_000);
+        let pick = policy.route(&RouteContext {
+            request: &turn(key, 10),
+            replicas: &fleet,
+        });
+        assert_ne!(pick, home);
+        assert_eq!(policy.spills(), 1);
+    }
+
+    #[test]
+    fn spill_never_relands_home_silently() {
+        let mut policy = PrefixAffinity::with_spill_utilization(0.5);
+        let key = 7;
+        // Home is past the soft threshold, but every other replica is
+        // hard-saturated: the request stays home and that is NOT a
+        // spill.
+        let mut fleet = vec![snap(0, 0, 9_990, 10_000); 3];
+        let home = PrefixAffinity::home_replica(key, fleet.len());
+        fleet[home] = snap(0, 1, 6_000, 10_000);
+        let pick = policy.route(&RouteContext {
+            request: &turn(key, 200),
+            replicas: &fleet,
+        });
+        assert_eq!(pick, home, "only home has headroom");
+        assert_eq!(policy.spills(), 0, "staying home is not a spill");
+        // Give another replica headroom: now the same request spills,
+        // and the counter moves.
+        let other = (home + 1) % fleet.len();
+        fleet[other] = snap(0, 0, 1_000, 10_000);
+        let pick = policy.route(&RouteContext {
+            request: &turn(key, 200),
+            replicas: &fleet,
+        });
+        assert_eq!(pick, other);
+        assert_eq!(policy.spills(), 1);
+    }
+
+    #[test]
+    fn prefix_free_requests_fall_back_to_jsq() {
+        let mut policy = PrefixAffinity::new();
+        let fleet = vec![
+            snap(4, 8, 100, 10_000),
+            snap(1, 3, 100, 10_000),
+            snap(2, 8, 100, 10_000),
+        ];
+        let pick = policy.route(&RouteContext {
+            request: &req(50),
+            replicas: &fleet,
+        });
+        assert_eq!(pick, 1, "no hint: least-loaded replica");
+    }
+
+    #[test]
+    fn router_serde_round_trip_resumes_mid_run() {
+        // Route a prefix of the decisions, snapshot, restore, and check
+        // the restored router continues exactly like the original —
+        // cursor, spill counters, and decision count all survive.
+        for spec in [
+            PolicySpec::RoundRobin,
+            PolicySpec::JoinShortestQueue,
+            PolicySpec::KvPressureAware,
+            PolicySpec::PrefixAffinity {
+                spill_utilization: 0.75,
+            },
+        ] {
+            let fleet: Vec<ReplicaSnapshot> = (0..5)
+                .map(|i| snap(i, i, 2_000 * i as u64, 10_000))
+                .collect();
+            let mut original = Router::new(spec);
+            for k in 0..7u64 {
+                original.route(&turn(k % 3, 100 + 700 * k), &fleet);
+            }
+            let snapshot = serde_json::to_string(&original).expect("router serializes");
+            let mut restored: Router =
+                serde_json::from_str(&snapshot).expect("router deserializes");
+            assert_eq!(restored, original);
+            for k in 0..11u64 {
+                let request = turn(k % 4, 50 + 300 * k);
+                assert_eq!(
+                    restored.route(&request, &fleet),
+                    original.route(&request, &fleet),
+                    "{spec:?}: decision {k} diverged after restore"
+                );
+            }
+            assert_eq!(restored.decisions(), original.decisions());
+        }
     }
 }

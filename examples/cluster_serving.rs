@@ -15,9 +15,9 @@
 //! ```
 
 use papi::core::experiments::ClusterSweep;
-use papi::core::{DesignKind, SloSpec};
+use papi::core::{DesignKind, SessionTuning, SloSpec};
 use papi::llm::ModelPreset;
-use papi::workload::{DatasetKind, RoutingPolicy};
+use papi::workload::{DatasetKind, PolicySpec};
 
 fn main() {
     let shapes = [(4usize, 1usize), (2, 2), (1, 4)];
@@ -33,8 +33,8 @@ fn main() {
         rates: vec![0.5, 4.0, 16.0, 32.0, 64.0],
         num_requests: 96,
         shapes: shapes.to_vec(),
-        routing: RoutingPolicy::JoinShortestQueue,
-        max_batch: 32,
+        routing: PolicySpec::JoinShortestQueue,
+        tuning: SessionTuning::default().with_max_batch(32),
         slo: SloSpec::interactive(2_000.0, 60.0),
         seed: 42,
     }

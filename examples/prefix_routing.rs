@@ -1,0 +1,111 @@
+//! The control-plane headline: routing is now a policy, and the right
+//! policy recovers fleet-wide cache hits.
+//!
+//! A 4-replica PIM-only fleet serves multi-turn conversations with
+//! prefix sharing on. Each replica's prefix cache is private, so a
+//! conversation only hits if its turns keep landing on the same
+//! replica. Join-shortest-queue is prefix-oblivious: it scatters turns
+//! wherever the queue is short, and the fleet re-prefills contexts some
+//! other replica already cached. `PrefixAffinity` — a policy only the
+//! trait-based `RoutePolicy` API can express, because it reads the
+//! *request's* conversation key from the `RouteContext` — hashes each
+//! conversation to a sticky home replica and spills only under KV
+//! pressure. Same fleet, same DRAM, same workload: higher hit rate,
+//! more goodput.
+//!
+//! ```sh
+//! cargo run --release --example prefix_routing
+//! ```
+
+use papi::core::experiments::RoutingSweep;
+use papi::core::{DesignKind, SessionTuning, SloSpec};
+use papi::llm::ModelPreset;
+use papi::workload::{ConversationDataset, DatasetKind, PolicySpec};
+
+fn main() {
+    let policies = vec![
+        PolicySpec::RoundRobin,
+        PolicySpec::JoinShortestQueue,
+        PolicySpec::KvPressureAware,
+        PolicySpec::prefix_affinity(),
+    ];
+    println!(
+        "LLaMA-65B on 4 PIM-only PAPI replicas, multi-turn chat (15 conversations\n\
+         x 4 turns, 512-token system prompt), prefix sharing on (16-token blocks),\n\
+         60 requests per point, SLO: TTFT ≤ 4 s, TPOT ≤ 80 ms\n"
+    );
+    let rows = RoutingSweep {
+        model: ModelPreset::Llama65B,
+        design: DesignKind::PimOnlyPapi,
+        conversations: ConversationDataset::multi_turn(DatasetKind::GeneralQa, 512, 4),
+        rates: vec![2.0, 6.0, 12.0],
+        num_requests: 60,
+        tp_degree: 1,
+        dp_replicas: 4,
+        policies,
+        tuning: SessionTuning::default()
+            .with_max_batch(16)
+            .with_kv_block_size(16)
+            .with_prefix_sharing(true),
+        slo: SloSpec::interactive(4_000.0, 80.0),
+        seed: 7,
+    }
+    .run();
+
+    println!(
+        "{:>6} {:20} {:>8} {:>9} {:>9} {:>9} {:>7} {:>6}",
+        "rate", "policy", "hit-rate", "goodput", "ttft-p50", "ttft-p99", "attain", "used"
+    );
+    let mut last_rate = f64::NAN;
+    for row in &rows {
+        if row.rate_per_sec != last_rate {
+            println!();
+            last_rate = row.rate_per_sec;
+        }
+        println!(
+            "{:>5.1}/s {:20} {:>7.1}% {:>7.2}r/s {:>7.0}ms {:>7.0}ms {:>6.0}% {:>3}/4",
+            row.rate_per_sec,
+            row.routing,
+            row.cache_hit_rate * 100.0,
+            row.goodput_rps,
+            row.ttft_p50_ms,
+            row.ttft_p99_ms,
+            row.slo_attainment * 100.0,
+            row.replicas_used,
+        );
+    }
+
+    let at = |routing: &str, rate: f64| {
+        rows.iter()
+            .find(|r| r.routing == routing && r.rate_per_sec == rate)
+            .expect("swept point")
+    };
+    let rate = 6.0;
+    let jsq = at("join-shortest-queue", rate);
+    let affinity = at("prefix-affinity", rate);
+    println!(
+        "\nAt {rate}/s: prefix-affinity hits {:.1}% of prefill demand vs JSQ's {:.1}%\n\
+         ({:.2}x the fleet hit rate), and serves {:.2}x the goodput from the same DRAM.",
+        affinity.cache_hit_rate * 100.0,
+        jsq.cache_hit_rate * 100.0,
+        affinity.cache_hit_rate / jsq.cache_hit_rate.max(1e-12),
+        affinity.goodput_rps / jsq.goodput_rps.max(1e-12),
+    );
+    assert!(
+        affinity.cache_hit_rate > jsq.cache_hit_rate,
+        "prefix-affinity hit rate {:.3} must beat JSQ {:.3}",
+        affinity.cache_hit_rate,
+        jsq.cache_hit_rate
+    );
+    assert!(
+        affinity.goodput_rps > jsq.goodput_rps,
+        "prefix-affinity goodput {:.3} must beat JSQ {:.3}",
+        affinity.goodput_rps,
+        jsq.goodput_rps
+    );
+    println!(
+        "(Past saturation the trade reverses — stickiness stacks hot queues while\n\
+         JSQ balances them; pick the policy for the regime you run in.)\n\
+         The ROADMAP's prefix-affinity open item is closed on this build."
+    );
+}

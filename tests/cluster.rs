@@ -3,12 +3,15 @@
 //! the cluster aggregation — driven through the `papi` facade.
 
 use papi::core::{
-    ClusterEngine, ClusterReport, ClusterSpec, DesignKind, ServingEngine, SloSpec, SystemConfig,
+    ClusterEngine, ClusterReport, ClusterSpec, DesignKind, ServingEngine, SessionTuning, SloSpec,
+    SystemConfig,
 };
 use papi::llm::ModelPreset;
-use papi::workload::{DatasetKind, ReplicaSnapshot, Router, RoutingPolicy, ServingWorkload};
+use papi::workload::{
+    DatasetKind, PolicySpec, ReplicaSnapshot, Request, Router, ServingRequest, ServingWorkload,
+};
 
-fn cluster(tp: usize, dp: usize, routing: RoutingPolicy, max_batch: u64) -> ClusterEngine {
+fn cluster(tp: usize, dp: usize, routing: PolicySpec, max_batch: u64) -> ClusterEngine {
     ClusterEngine::new(
         ClusterSpec::new(
             DesignKind::PimOnlyPapi,
@@ -17,7 +20,7 @@ fn cluster(tp: usize, dp: usize, routing: RoutingPolicy, max_batch: u64) -> Clus
             dp,
         )
         .with_routing(routing)
-        .with_max_batch(max_batch),
+        .with_tuning(SessionTuning::default().with_max_batch(max_batch)),
     )
     .expect("valid fleet")
 }
@@ -28,7 +31,7 @@ fn cluster(tp: usize, dp: usize, routing: RoutingPolicy, max_batch: u64) -> Clus
 #[test]
 fn degenerate_cluster_reproduces_single_engine_exactly() {
     let workload = ServingWorkload::poisson(DatasetKind::GeneralQa, 6.0, 40).with_seed(29);
-    for routing in [RoutingPolicy::RoundRobin, RoutingPolicy::JoinShortestQueue] {
+    for routing in [PolicySpec::RoundRobin, PolicySpec::JoinShortestQueue] {
         let fleet = cluster(1, 1, routing, 16).run(&workload);
         let single =
             ServingEngine::new(SystemConfig::pim_only_papi(ModelPreset::Llama65B.config()))
@@ -50,9 +53,9 @@ fn degenerate_cluster_reproduces_single_engine_exactly() {
 fn cluster_report_conserves_requests_and_tokens() {
     let workload = ServingWorkload::poisson(DatasetKind::GeneralQa, 24.0, 72).with_seed(5);
     for routing in [
-        RoutingPolicy::RoundRobin,
-        RoutingPolicy::JoinShortestQueue,
-        RoutingPolicy::KvPressureAware,
+        PolicySpec::RoundRobin,
+        PolicySpec::JoinShortestQueue,
+        PolicySpec::KvPressureAware,
     ] {
         let report: ClusterReport = cluster(1, 3, routing, 8).run(&workload);
         let replica_sum: u64 = report.replicas.iter().map(|r| r.records.len() as u64).sum();
@@ -77,8 +80,8 @@ fn cluster_report_conserves_requests_and_tokens() {
 fn dp_wins_goodput_at_saturation_tp_wins_single_request_latency() {
     let slo = SloSpec::interactive(2_000.0, 60.0);
     let heavy = ServingWorkload::poisson(DatasetKind::GeneralQa, 48.0, 96).with_seed(42);
-    let dp4_hot = cluster(1, 4, RoutingPolicy::JoinShortestQueue, 32).run(&heavy);
-    let tp4_hot = cluster(4, 1, RoutingPolicy::JoinShortestQueue, 32).run(&heavy);
+    let dp4_hot = cluster(1, 4, PolicySpec::JoinShortestQueue, 32).run(&heavy);
+    let tp4_hot = cluster(4, 1, PolicySpec::JoinShortestQueue, 32).run(&heavy);
     assert!(
         dp4_hot.goodput(&slo) > tp4_hot.goodput(&slo),
         "at 48 req/s: 4x TP1 goodput {:.2} should beat 1x TP4 {:.2}",
@@ -87,8 +90,8 @@ fn dp_wins_goodput_at_saturation_tp_wins_single_request_latency() {
     );
 
     let trickle = ServingWorkload::poisson(DatasetKind::GeneralQa, 0.5, 24).with_seed(42);
-    let dp4_cold = cluster(1, 4, RoutingPolicy::JoinShortestQueue, 32).run(&trickle);
-    let tp4_cold = cluster(4, 1, RoutingPolicy::JoinShortestQueue, 32).run(&trickle);
+    let dp4_cold = cluster(1, 4, PolicySpec::JoinShortestQueue, 32).run(&trickle);
+    let tp4_cold = cluster(4, 1, PolicySpec::JoinShortestQueue, 32).run(&trickle);
     let tp4_tpot = tp4_cold.tpot_summary().unwrap().p50.value();
     let dp4_tpot = dp4_cold.tpot_summary().unwrap().p50.value();
     assert!(
@@ -113,7 +116,7 @@ fn dp_wins_goodput_at_saturation_tp_wins_single_request_latency() {
 /// has headroom for the incoming prompt.
 #[test]
 fn jsq_never_picks_a_saturated_replica_while_headroom_exists() {
-    let mut router = Router::new(RoutingPolicy::JoinShortestQueue);
+    let mut router = Router::new(PolicySpec::JoinShortestQueue);
     // Deterministic pseudo-random fleet states (no RNG needed: a small
     // LCG keeps the test self-contained).
     let mut state = 0x2545_f491u64;
@@ -142,7 +145,8 @@ fn jsq_never_picks_a_saturated_replica_while_headroom_exists() {
                 }
             })
             .collect();
-        let pick = router.route(incoming, &fleet);
+        let request = ServingRequest::new(Request::new(0, incoming, 1), 0.0);
+        let pick = router.route(&request, &fleet);
         let headroom_exists = fleet.iter().any(|s| !s.kv_saturated_for(incoming));
         if headroom_exists {
             assert!(

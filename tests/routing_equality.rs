@@ -1,0 +1,207 @@
+//! Equality pin for the control-plane policy redesign: the built-in
+//! routing policies, driven through the trait-based `RoutePolicy` API,
+//! must reproduce the closed-enum router's `ClusterReport`s bit for
+//! bit.
+//!
+//! The golden values below were captured from the cluster engine at
+//! commit deb9aba (the last `RoutingPolicy`-enum implementation):
+//! fleet request/token totals, makespan and energy as `f64::to_bits`,
+//! and an FNV fingerprint over every replica's records, placements, RLP
+//! series, makespan, and energy. Any drift in routing order, admission,
+//! preemption, pricing, or RNG consumption changes at least one of
+//! these numbers (like `tests/paged_equality.rs` does for the paging
+//! refactor).
+
+use papi::core::{ClusterEngine, ClusterReport, ClusterSpec, DesignKind, SessionTuning};
+use papi::llm::ModelPreset;
+use papi::workload::{ConversationDataset, DatasetKind, PolicySpec, Router, ServingWorkload};
+
+/// FNV-1a over every replica's per-request records, placements, RLP
+/// series, makespan, and energy (field order fixed; floats hashed by
+/// bit pattern).
+fn fingerprint(report: &ClusterReport) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for replica in &report.replicas {
+        mix(replica.records.len() as u64);
+        for r in &replica.records {
+            mix(r.id);
+            mix(r.arrival.value().to_bits());
+            mix(r.admitted.value().to_bits());
+            mix(r.first_token.value().to_bits());
+            mix(r.finished.value().to_bits());
+            mix(r.prompt_tokens);
+            mix(r.output_tokens);
+            mix(r.preemptions);
+        }
+        for p in &replica.placements {
+            mix(*p as u64);
+        }
+        for r in &replica.rlp_series {
+            mix(*r);
+        }
+        mix(replica.makespan.value().to_bits());
+        mix(replica.energy.value().to_bits());
+    }
+    h
+}
+
+struct Golden {
+    routing: PolicySpec,
+    label: &'static str,
+    requests: u64,
+    tokens: u64,
+    makespan_bits: u64,
+    energy_bits: u64,
+    fingerprint: u64,
+}
+
+fn assert_matches(report: &ClusterReport, golden: &Golden) {
+    assert_eq!(report.routing, golden.label, "{}", golden.label);
+    assert_eq!(report.requests(), golden.requests, "{}", golden.label);
+    assert_eq!(report.tokens(), golden.tokens, "{}", golden.label);
+    assert_eq!(
+        report.makespan().value().to_bits(),
+        golden.makespan_bits,
+        "{}: fleet makespan drifted from the enum-router engine",
+        golden.label
+    );
+    assert_eq!(
+        report.energy().value().to_bits(),
+        golden.energy_bits,
+        "{}: fleet energy drifted",
+        golden.label
+    );
+    assert_eq!(
+        fingerprint(report),
+        golden.fingerprint,
+        "{}: replica record/placement/RLP fingerprint drifted",
+        golden.label
+    );
+}
+
+fn scalar_fleet(routing: PolicySpec) -> ClusterReport {
+    let workload = ServingWorkload::poisson(DatasetKind::GeneralQa, 16.0, 60).with_seed(17);
+    ClusterEngine::new(
+        ClusterSpec::new(
+            DesignKind::PimOnlyPapi,
+            ModelPreset::Llama65B.config(),
+            1,
+            3,
+        )
+        .with_routing(routing)
+        .with_tuning(SessionTuning::default().with_max_batch(8)),
+    )
+    .expect("valid fleet")
+    .run(&workload)
+}
+
+fn goldens() -> [Golden; 3] {
+    [
+        Golden {
+            routing: PolicySpec::RoundRobin,
+            label: "round-robin",
+            requests: 60,
+            tokens: 4673,
+            makespan_bits: 0x400d33b379d6e6c6,
+            energy_bits: 0x40d1c8f6384a5d96,
+            fingerprint: 0x9d08152194e8d09a,
+        },
+        Golden {
+            routing: PolicySpec::JoinShortestQueue,
+            label: "join-shortest-queue",
+            requests: 60,
+            tokens: 4673,
+            makespan_bits: 0x400cc023211cc405,
+            energy_bits: 0x40d19d81f0da2acc,
+            fingerprint: 0xaa50d4cc4e42604f,
+        },
+        Golden {
+            routing: PolicySpec::KvPressureAware,
+            label: "kv-pressure-aware",
+            requests: 60,
+            tokens: 4673,
+            makespan_bits: 0x400d2ecae2247f67,
+            energy_bits: 0x40d1d602554cb923,
+            fingerprint: 0x41328d2bfccbd824,
+        },
+    ]
+}
+
+#[test]
+fn builtin_policies_reproduce_the_enum_router_reports_bit_for_bit() {
+    for golden in &goldens() {
+        assert_matches(&scalar_fleet(golden.routing), golden);
+    }
+}
+
+/// The same goldens hold when the built-in policy is driven explicitly
+/// through the open trait seam (`run_with_policy` with a `Router` as
+/// the `dyn RoutePolicy`) — `run()` is not a privileged path.
+#[test]
+fn trait_driven_builtins_match_the_declarative_path() {
+    let workload = ServingWorkload::poisson(DatasetKind::GeneralQa, 16.0, 60).with_seed(17);
+    for golden in &goldens() {
+        let engine = ClusterEngine::new(
+            ClusterSpec::new(
+                DesignKind::PimOnlyPapi,
+                ModelPreset::Llama65B.config(),
+                1,
+                3,
+            )
+            .with_tuning(SessionTuning::default().with_max_batch(8)),
+        )
+        .expect("valid fleet");
+        let mut router = Router::new(golden.routing);
+        let report = engine.run_with_policy(&workload, &mut router);
+        assert_matches(&report, golden);
+        assert_eq!(router.decisions(), 60);
+    }
+}
+
+/// The paged prefix-sharing fleet (block 16, sharing, chunked prefill)
+/// on the PR-3 multi-turn conversation dataset also reproduces exactly
+/// — the tuning collapse into `SessionTuning` changed no replica
+/// behavior.
+#[test]
+fn paged_conversation_fleet_reproduces_bit_for_bit() {
+    let workload = ServingWorkload::poisson(
+        ConversationDataset::multi_turn(DatasetKind::GeneralQa, 512, 4),
+        6.0,
+        64,
+    )
+    .with_seed(13);
+    let report = ClusterEngine::new(
+        ClusterSpec::new(
+            DesignKind::PimOnlyPapi,
+            ModelPreset::Llama65B.config(),
+            1,
+            4,
+        )
+        .with_routing(PolicySpec::JoinShortestQueue)
+        .with_tuning(
+            SessionTuning::default()
+                .with_max_batch(16)
+                .with_kv_block_size(16)
+                .with_prefix_sharing(true)
+                .with_prefill_chunk(512),
+        ),
+    )
+    .expect("valid fleet")
+    .run(&workload);
+    assert_matches(
+        &report,
+        &Golden {
+            routing: PolicySpec::JoinShortestQueue,
+            label: "join-shortest-queue",
+            requests: 64,
+            tokens: 5783,
+            makespan_bits: 0x4027428c40f7e427,
+            energy_bits: 0x40e6ec3608763e7b,
+            fingerprint: 0xdd83989553bd960f,
+        },
+    );
+}
