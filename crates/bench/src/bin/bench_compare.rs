@@ -20,13 +20,20 @@
 //!   fails — a quietly colder cache is a performance regression even
 //!   when wall time looks fine. Tighten or loosen with
 //!   `--hit-rate-tolerance <fraction>`;
+//! - **serving latency**: for scenarios whose baseline reports a
+//!   simulated tail latency (`ttft_p99_ms > 0`, e.g. the
+//!   `disaggregated_long_context` fleet), a current p99 TTFT more than
+//!   the latency tolerance (default 15 %) *above* baseline fails —
+//!   simulated latency is deterministic and machine-independent, so
+//!   growth is a modeled-performance regression, not noise. Tune with
+//!   `--latency-tolerance <fraction>`;
 //! - **coverage**: a baseline scenario missing from the current report
 //!   fails; new scenarios are reported but pass.
 //!
 //! ```sh
 //! cargo run --release -p papi-bench --bin perf_bench > perf_bench.json
 //! cargo run --release -p papi-bench --bin bench_compare -- \
-//!     [--normalize] [--hit-rate-tolerance 0.05] \
+//!     [--normalize] [--hit-rate-tolerance 0.05] [--latency-tolerance 0.05] \
 //!     BENCH_baseline.json perf_bench.json [tolerance]
 //! ```
 
@@ -41,6 +48,15 @@ struct ScenarioResult {
     tokens_per_sec: f64,
     iterations: u64,
     cache_hit_rate: f64,
+    /// `None` (pre-disaggregation reports) or zero both mean "not a
+    /// latency-gated scenario".
+    ttft_p99_ms: Option<f64>,
+}
+
+impl ScenarioResult {
+    fn ttft_p99_ms(&self) -> f64 {
+        self.ttft_p99_ms.unwrap_or(0.0)
+    }
 }
 
 /// Hit rates are deterministic, but gate by default with the same 15 %
@@ -48,6 +64,10 @@ struct ScenarioResult {
 /// demand a baseline refresh twice over (`--hit-rate-tolerance`
 /// overrides).
 const DEFAULT_HIT_RATE_TOLERANCE: f64 = 0.15;
+
+/// Same rationale for simulated tail latency (`--latency-tolerance`
+/// overrides; it gates growth *above* baseline).
+const DEFAULT_LATENCY_TOLERANCE: f64 = 0.15;
 
 #[derive(Debug, Deserialize)]
 struct PerfReport {
@@ -66,6 +86,29 @@ fn load(path: &str) -> PerfReport {
         report.schema
     );
     report
+}
+
+/// Parses `<flag> <fraction>` out of `args` (removing both tokens),
+/// returning `default` when the flag is absent, or an exit code (with
+/// the error already printed) when the value is missing or outside
+/// `[0, 1)`.
+fn parse_fraction_flag(args: &mut Vec<String>, flag: &str, default: f64) -> Result<f64, ExitCode> {
+    let Some(pos) = args.iter().position(|a| a == flag) else {
+        return Ok(default);
+    };
+    args.remove(pos);
+    if pos >= args.len() {
+        eprintln!("{flag} needs a value");
+        return Err(ExitCode::from(2));
+    }
+    let value = args.remove(pos);
+    match value.parse::<f64>() {
+        Ok(parsed) if (0.0..1.0).contains(&parsed) => Ok(parsed),
+        _ => {
+            eprintln!("{flag} must be a number in [0, 1), got {value:?}");
+            Err(ExitCode::from(2))
+        }
+    }
 }
 
 /// Median of a non-empty slice (averaging the middle pair).
@@ -94,33 +137,28 @@ fn main() -> ExitCode {
         false
     };
     // --hit-rate-tolerance <fraction>: how far a prefix-cache hit rate
-    // may fall below baseline before gating. Hit rates are
-    // deterministic simulation outputs, so routing/caching PRs can
-    // tighten this to 0 for exact-match gating without touching the
-    // wall-clock tolerance.
-    let hit_rate_tolerance =
-        if let Some(pos) = args.iter().position(|a| a == "--hit-rate-tolerance") {
-            args.remove(pos);
-            let value = if pos < args.len() {
-                args.remove(pos)
-            } else {
-                eprintln!("--hit-rate-tolerance needs a value");
-                return ExitCode::from(2);
-            };
-            match value.parse::<f64>() {
-                Ok(parsed) if (0.0..1.0).contains(&parsed) => parsed,
-                _ => {
-                    eprintln!("--hit-rate-tolerance must be a number in [0, 1), got {value:?}");
-                    return ExitCode::from(2);
-                }
-            }
-        } else {
-            DEFAULT_HIT_RATE_TOLERANCE
+    // may fall below baseline before gating. --latency-tolerance
+    // <fraction>: how far a scenario's simulated p99 TTFT may rise
+    // above baseline. Both gate deterministic simulation outputs, so
+    // routing/caching/disaggregation PRs can tighten either to 0 for
+    // exact-match gating without touching the wall-clock tolerance.
+    let hit_rate_tolerance = match parse_fraction_flag(
+        &mut args,
+        "--hit-rate-tolerance",
+        DEFAULT_HIT_RATE_TOLERANCE,
+    ) {
+        Ok(tolerance) => tolerance,
+        Err(code) => return code,
+    };
+    let latency_tolerance =
+        match parse_fraction_flag(&mut args, "--latency-tolerance", DEFAULT_LATENCY_TOLERANCE) {
+            Ok(tolerance) => tolerance,
+            Err(code) => return code,
         };
     let (Some(baseline_path), Some(current_path)) = (args.first(), args.get(1)) else {
         eprintln!(
             "usage: bench_compare [--normalize] [--hit-rate-tolerance <f>] \
-             <baseline.json> <current.json> [tolerance]"
+             [--latency-tolerance <f>] <baseline.json> <current.json> [tolerance]"
         );
         return ExitCode::from(2);
     };
@@ -198,6 +236,19 @@ fn main() -> ExitCode {
                 base.cache_hit_rate,
                 cur.cache_hit_rate,
                 hit_rate_tolerance * 100.0
+            ));
+        }
+        if base.ttft_p99_ms() > 0.0
+            && cur.ttft_p99_ms() > base.ttft_p99_ms() * (1.0 + latency_tolerance)
+        {
+            failures.push(format!(
+                "{}: simulated p99 TTFT regressed {:.1}% (baseline {:.0} ms, current {:.0} ms); \
+                 gate allows {:.0}%",
+                base.scenario,
+                (cur.ttft_p99_ms() / base.ttft_p99_ms() - 1.0) * 100.0,
+                base.ttft_p99_ms(),
+                cur.ttft_p99_ms(),
+                latency_tolerance * 100.0
             ));
         }
         let ratio = ratio_of(base, cur) / machine_factor;

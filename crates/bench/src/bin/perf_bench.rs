@@ -15,9 +15,11 @@
 //!
 //! `tokens_per_sec` is simulated output tokens per wall-clock second of
 //! simulation — the harness's throughput figure of merit.
-//! `cache_hit_rate` is a deterministic simulation *output* (the prefix
-//! cache's token hit rate; zero for scenarios that don't share
-//! prefixes), gated like `tokens`/`iterations`. Run with
+//! `cache_hit_rate` and `ttft_p99_ms` are deterministic simulation
+//! *outputs* (the prefix cache's token hit rate, and the episode's
+//! 99th-percentile simulated time-to-first-token; zero for scenarios
+//! where they don't apply), gated like `tokens`/`iterations` —
+//! `ttft_p99_ms` within `bench_compare`'s latency tolerance. Run with
 //! `cargo run --release -p papi-bench --bin perf_bench`.
 
 use papi_core::{
@@ -25,7 +27,10 @@ use papi_core::{
     SystemConfig,
 };
 use papi_llm::ModelPreset;
-use papi_workload::{ConversationDataset, DatasetKind, PolicySpec, ServingWorkload, WorkloadSpec};
+use papi_workload::{
+    ArrivalProcess, ConversationDataset, DatasetKind, PolicySpec, ReplicaRole, ServingWorkload,
+    WorkloadSpec,
+};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -37,6 +42,7 @@ struct ScenarioResult {
     tokens_per_sec: f64,
     iterations: u64,
     cache_hit_rate: f64,
+    ttft_p99_ms: f64,
 }
 
 #[derive(Debug, Serialize)]
@@ -50,6 +56,7 @@ struct ScenarioOutputs {
     tokens: u64,
     iterations: u64,
     cache_hit_rate: f64,
+    ttft_p99_ms: f64,
 }
 
 impl ScenarioOutputs {
@@ -58,6 +65,7 @@ impl ScenarioOutputs {
             tokens,
             iterations,
             cache_hit_rate: 0.0,
+            ttft_p99_ms: 0.0,
         }
     }
 }
@@ -80,6 +88,7 @@ fn time_scenario(name: &str, run: impl Fn() -> ScenarioOutputs) -> ScenarioResul
         tokens_per_sec: outputs.tokens as f64 / best.max(1e-12),
         iterations: outputs.iterations,
         cache_hit_rate: outputs.cache_hit_rate,
+        ttft_p99_ms: outputs.ttft_p99_ms,
     }
 }
 
@@ -138,6 +147,7 @@ fn main() {
             tokens: report.tokens,
             iterations: report.iterations,
             cache_hit_rate: report.kv.hit_rate(),
+            ttft_p99_ms: 0.0,
         }
     }));
 
@@ -169,6 +179,47 @@ fn main() {
             tokens: report.tokens(),
             iterations: report.replicas.iter().map(|r| r.iterations).sum(),
             cache_hit_rate: report.cache_hit_rate(),
+            ttft_p99_ms: 0.0,
+        }
+    }));
+
+    // Disaggregated prefill/decode serving on bursty long-context
+    // load: exercises the role-aware event loop, prefill export, the
+    // fabric-priced migration queue, and decode-side placement — and
+    // gates the fleet's p99 TTFT (a deterministic simulated output)
+    // through bench_compare's latency tolerance.
+    scenarios.push(time_scenario("disaggregated_long_context", || {
+        let workload = ServingWorkload::new(
+            DatasetKind::LongContext,
+            ArrivalProcess::Bursty {
+                burst_size: 16,
+                interval_sec: 10.0,
+            },
+            48,
+        )
+        .with_seed(42);
+        let report = ClusterEngine::new(
+            ClusterSpec::new(DesignKind::PimOnlyPapi, model.config(), 1, 4)
+                .with_roles(vec![
+                    ReplicaRole::Prefill,
+                    ReplicaRole::Prefill,
+                    ReplicaRole::Decode,
+                    ReplicaRole::Decode,
+                ])
+                .with_prefill_design(DesignKind::A100AttAcc)
+                .with_tuning(SessionTuning::default().with_max_batch(16)),
+        )
+        .expect("valid fleet")
+        .run(&workload);
+        ScenarioOutputs {
+            tokens: report.tokens(),
+            iterations: report.replicas.iter().map(|r| r.iterations).sum(),
+            cache_hit_rate: 0.0,
+            ttft_p99_ms: report
+                .ttft_summary()
+                .expect("non-empty episode")
+                .p99
+                .as_millis(),
         }
     }));
 

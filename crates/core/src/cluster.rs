@@ -7,7 +7,7 @@
 //! [`SystemConfig::with_tensor_parallel`] — and co-simulates them on a
 //! shared clock. Requests arrive once, globally; at each arrival the
 //! router (a [`RoutePolicy`] from `papi-workload`) inspects every
-//! replica's [`ReplicaSnapshot`](papi_workload::ReplicaSnapshot) *as of
+//! replica's [`ReplicaSnapshot`] *as of
 //! that simulated instant* and picks the admission target. Per-replica
 //! [`ServingReport`]s aggregate into a [`ClusterReport`] with
 //! fleet-wide TTFT/TPOT percentiles and SLO goodput.
@@ -18,16 +18,38 @@
 //! TPOT — but the fleet still runs *one* queue per group and pays
 //! per-layer all-reduces; DP multiplies queues and batch slots, so at
 //! high offered load it sustains more goodput.
+//!
+//! Beyond identical replicas, the fleet can be **disaggregated**: each
+//! replica carries a [`ReplicaRole`] (`Colocated` / `Prefill` /
+//! `Decode`), optionally with a different hardware design per role —
+//! a GPU-heavy pool for compute-bound prefill, a PIM-heavy pool for
+//! memory-bound decode, the cluster-scale mirror of PAPI's intra-node
+//! phase-affinity argument. New arrivals route only to
+//! prefill-capable replicas; when a prefill-role replica finishes a
+//! prompt, the sequence's KV blocks are exported and *migrated* over
+//! the fabric (priced as [`Route::KvMigrate`](papi_interconnect::Route)
+//! traffic by the spec's [`MigrationPricing`]) to a decode-capable
+//! replica picked by a pluggable [`MigrationPolicy`] — JSQ over the
+//! decode pool by default. In-flight sequences occupy *neither* pool.
+//! An all-`Colocated` fleet never migrates and reproduces the
+//! pre-disaggregation engine bit for bit
+//! (`tests/routing_equality.rs`).
 
 use crate::config::{DesignKind, SystemConfig};
 use crate::metrics::{LatencySummary, RequestRecord, ServingReport};
-use crate::serving::{ServingEngine, SessionStatus, SessionTuning};
+use crate::serving::{PrefillHandoff, ServingEngine, SessionTuning};
 use crate::slo::SloSpec;
-use papi_interconnect::{ClusterTopology, LinkSpec, TopologyError};
+use papi_interconnect::{
+    ClusterTopology, LinkSpec, MigrationCost, MigrationPricing, TopologyError,
+};
 use papi_llm::ModelConfig;
 use papi_types::{Energy, Time};
-use papi_workload::{PolicySpec, RouteContext, RoutePolicy, Router, ServingWorkload};
+use papi_workload::{
+    MigrationContext, MigrationPolicy, MigrationSpec, PolicySpec, ReplicaRole, ReplicaSnapshot,
+    RouteContext, RoutePolicy, Router, ServingWorkload,
+};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// The shape of a PAPI fleet: one design sharded `tp_degree`-way per
 /// group, `dp_replicas` groups behind the router.
@@ -53,6 +75,23 @@ pub struct ClusterSpec {
     pub routing: PolicySpec,
     /// The session knobs of every replica engine.
     pub tuning: SessionTuning,
+    /// Per-replica lifecycle roles, parallel to the replica indices.
+    /// Empty (the default) means every replica is [`ReplicaRole::Colocated`]
+    /// — the classic, non-disaggregated fleet.
+    pub roles: Vec<ReplicaRole>,
+    /// Design override for [`ReplicaRole::Prefill`] replicas (`None`
+    /// replicates `design`) — typically a GPU-heavy system, since
+    /// prefill is compute-bound.
+    pub prefill_design: Option<DesignKind>,
+    /// Design override for [`ReplicaRole::Decode`] replicas (`None`
+    /// replicates `design`) — typically a PIM-heavy system, since
+    /// decode attention is memory-bound.
+    pub decode_design: Option<DesignKind>,
+    /// How migrated prefill→decode handoffs pick their decode replica.
+    pub migration: MigrationSpec,
+    /// What link prices the KV-migration transfers (the inter-node
+    /// fabric by default; `Free` is the zero-cost ablation).
+    pub migration_pricing: MigrationPricing,
 }
 
 impl ClusterSpec {
@@ -73,6 +112,59 @@ impl ClusterSpec {
             inter_node: LinkSpec::infiniband_ndr(),
             routing: PolicySpec::JoinShortestQueue,
             tuning: SessionTuning::default(),
+            roles: Vec::new(),
+            prefill_design: None,
+            decode_design: None,
+            migration: MigrationSpec::default(),
+            migration_pricing: MigrationPricing::default(),
+        }
+    }
+
+    /// Assigns per-replica roles (the disaggregation axis). The vector
+    /// must be one role per replica; [`ClusterEngine::new`] validates
+    /// the shape.
+    pub fn with_roles(mut self, roles: Vec<ReplicaRole>) -> Self {
+        self.roles = roles;
+        self
+    }
+
+    /// Overrides the hardware design of `Prefill`-role replicas.
+    pub fn with_prefill_design(mut self, design: DesignKind) -> Self {
+        self.prefill_design = Some(design);
+        self
+    }
+
+    /// Overrides the hardware design of `Decode`-role replicas.
+    pub fn with_decode_design(mut self, design: DesignKind) -> Self {
+        self.decode_design = Some(design);
+        self
+    }
+
+    /// Selects a built-in decode-side placement policy for migrated
+    /// sequences (custom policies drive the fleet through
+    /// [`ClusterEngine::run_with_policies`]).
+    pub fn with_migration(mut self, migration: MigrationSpec) -> Self {
+        self.migration = migration;
+        self
+    }
+
+    /// Overrides how KV-migration transfers are priced.
+    pub fn with_migration_pricing(mut self, pricing: MigrationPricing) -> Self {
+        self.migration_pricing = pricing;
+        self
+    }
+
+    /// The role of replica `idx` (`Colocated` when no roles were set).
+    pub fn role_of(&self, idx: usize) -> ReplicaRole {
+        self.roles.get(idx).copied().unwrap_or_default()
+    }
+
+    /// The hardware design serving `role` in this fleet.
+    pub fn design_for(&self, role: ReplicaRole) -> DesignKind {
+        match role {
+            ReplicaRole::Colocated => self.design,
+            ReplicaRole::Prefill => self.prefill_design.unwrap_or(self.design),
+            ReplicaRole::Decode => self.decode_design.unwrap_or(self.design),
         }
     }
 
@@ -126,12 +218,14 @@ impl ClusterSpec {
     }
 }
 
-/// The cluster simulator: N replica engines plus the router.
+/// The cluster simulator: N replica engines (one per replica — roles
+/// may give them heterogeneous hardware) plus the router and the
+/// migration machinery.
 #[derive(Debug, Clone)]
 pub struct ClusterEngine {
     spec: ClusterSpec,
     topology: ClusterTopology,
-    replica: ServingEngine,
+    replicas: Vec<ServingEngine>,
 }
 
 impl ClusterEngine {
@@ -139,22 +233,65 @@ impl ClusterEngine {
     ///
     /// # Errors
     ///
-    /// Returns [`TopologyError`] if the fleet shape is degenerate or
-    /// exceeds the inter-node fabric's fan-out.
+    /// Returns [`TopologyError`] if the fleet shape is degenerate,
+    /// exceeds the inter-node fabric's fan-out, carries a role vector
+    /// whose length disagrees with `dp_replicas`, or disaggregates
+    /// without at least one prefill-capable *and* one decode-capable
+    /// replica (arrivals or migrations would have nowhere to go).
     pub fn new(spec: ClusterSpec) -> Result<Self, TopologyError> {
-        let config = SystemConfig::build(spec.design, spec.model.clone());
+        if !spec.roles.is_empty() && spec.roles.len() != spec.dp_replicas {
+            return Err(TopologyError::new(format!(
+                "{} roles assigned to a {}-replica fleet",
+                spec.roles.len(),
+                spec.dp_replicas
+            )));
+        }
+        if !spec.roles.is_empty() {
+            if !spec.roles.iter().any(ReplicaRole::accepts_arrivals) {
+                return Err(TopologyError::new(
+                    "no prefill-capable replica: every arrival would be unroutable",
+                ));
+            }
+            if !spec.roles.iter().any(ReplicaRole::can_decode) {
+                return Err(TopologyError::new(
+                    "no decode-capable replica: every migration would be unplaceable",
+                ));
+            }
+        }
+        let base = SystemConfig::build(spec.design, spec.model.clone());
         let topology = ClusterTopology::new(
-            config.topology.clone(),
+            base.topology.clone(),
             spec.inter_node.clone(),
             spec.tp_degree,
             spec.dp_replicas,
         )?;
-        let sharded = config.with_tensor_parallel(spec.tp_degree, spec.inter_node.clone());
-        let replica = ServingEngine::new(sharded).with_tuning(spec.tuning.clone());
+        // One engine per replica; distinct designs built (and, for
+        // PAPI, α-calibrated) exactly once each and cloned across the
+        // fleet — the base design reuses the config built above, so a
+        // homogeneous fleet pays one build, like before roles existed.
+        let mut by_design: HashMap<DesignKind, ServingEngine> = HashMap::new();
+        by_design.insert(
+            spec.design,
+            ServingEngine::new(base.with_tensor_parallel(spec.tp_degree, spec.inter_node.clone()))
+                .with_tuning(spec.tuning.clone()),
+        );
+        let replicas = (0..spec.dp_replicas)
+            .map(|idx| {
+                let design = spec.design_for(spec.role_of(idx));
+                by_design
+                    .entry(design)
+                    .or_insert_with(|| {
+                        let config = SystemConfig::build(design, spec.model.clone())
+                            .with_tensor_parallel(spec.tp_degree, spec.inter_node.clone());
+                        ServingEngine::new(config).with_tuning(spec.tuning.clone())
+                    })
+                    .clone()
+            })
+            .collect();
         Ok(Self {
             spec,
             topology,
-            replica,
+            replicas,
         })
     }
 
@@ -168,46 +305,99 @@ impl ClusterEngine {
         &self.topology
     }
 
-    /// The (shared) replica engine configuration.
+    /// The base replica engine configuration (replica 0's; roles may
+    /// give other replicas different hardware — see
+    /// [`replica_configs`](Self::replica_configs)).
     pub fn replica_config(&self) -> &SystemConfig {
-        self.replica.config()
+        self.replicas[0].config()
+    }
+
+    /// Every replica's engine configuration, in replica order.
+    pub fn replica_configs(&self) -> impl Iterator<Item = &SystemConfig> {
+        self.replicas.iter().map(ServingEngine::config)
+    }
+
+    /// The resolved role of every replica.
+    pub fn roles(&self) -> Vec<ReplicaRole> {
+        (0..self.spec.dp_replicas)
+            .map(|idx| self.spec.role_of(idx))
+            .collect()
+    }
+
+    /// Prices one handoff's KV transfer: the source replica's block
+    /// footprint × its block bytes, over the link the spec's
+    /// [`MigrationPricing`] names.
+    fn price_migration(&self, source: usize, handoff: &PrefillHandoff) -> MigrationCost {
+        let block_size = self.replicas[source].tuning().kv_block_size;
+        let block_bytes = self.spec.model.kv_bytes_per_token() * block_size as f64;
+        self.spec
+            .migration_pricing
+            .cost(&self.spec.inter_node, handoff.kv.blocks, block_bytes)
     }
 
     /// Serves one episode across the fleet with the spec's built-in
-    /// routing policy (driven through the same [`RoutePolicy`] trait
-    /// seam as custom policies).
+    /// routing and migration policies (driven through the same trait
+    /// seams as custom policies).
     ///
-    /// Replicas advance on a shared simulated clock: before each global
-    /// arrival is routed, every replica with pending work is stepped up
-    /// to the arrival instant, so the router sees the fleet as it would
-    /// exist right then — not a stale or clairvoyant view.
+    /// Replicas advance on a shared simulated clock: before each
+    /// global event — an arrival being routed, or a migrated sequence
+    /// landing on its decode replica — every replica with pending work
+    /// is stepped up to the event instant, so policies see the fleet
+    /// as it would exist right then — not a stale or clairvoyant view.
     ///
     /// # Panics
     ///
     /// Panics on the same conditions as [`ServingEngine::run`].
     pub fn run(&self, workload: &ServingWorkload) -> ClusterReport {
         let mut router = Router::new(self.spec.routing);
-        self.run_with_policy(workload, &mut router)
+        let mut migration = self.spec.migration.build();
+        self.run_with_policies(workload, &mut router, migration.as_mut())
     }
 
     /// Serves one episode with a caller-supplied [`RoutePolicy`] — the
     /// open seam for routing strategies the built-in [`PolicySpec`]s
-    /// don't cover. The policy is consulted once per global arrival, in
-    /// arrival order, and its label becomes the report's `routing`
-    /// field.
+    /// don't cover. Migrated sequences (if the fleet disaggregates)
+    /// are placed by the spec's built-in [`MigrationSpec`].
     ///
     /// # Panics
     ///
-    /// Panics on the same conditions as [`ServingEngine::run`], or if
-    /// the policy returns a replica index out of range.
+    /// Panics on the same conditions as
+    /// [`run_with_policies`](Self::run_with_policies).
     pub fn run_with_policy(
         &self,
         workload: &ServingWorkload,
         policy: &mut dyn RoutePolicy,
     ) -> ClusterReport {
-        let mut sessions: Vec<_> = (0..self.spec.dp_replicas)
-            .map(|idx| {
-                let mut session = self.replica.open_session(workload);
+        let mut migration = self.spec.migration.build();
+        self.run_with_policies(workload, policy, migration.as_mut())
+    }
+
+    /// Serves one episode with caller-supplied routing *and*
+    /// decode-placement policies — the fully open control plane. The
+    /// routing policy is consulted once per global arrival, in arrival
+    /// order (and must pick a prefill-capable replica); the migration
+    /// policy once per completed KV transfer, in delivery order (and
+    /// must pick a decode-capable replica). Their labels become the
+    /// report's `routing` and `migration.policy` fields.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same conditions as [`ServingEngine::run`], or if
+    /// either policy returns an out-of-range or role-incompatible
+    /// replica index.
+    pub fn run_with_policies(
+        &self,
+        workload: &ServingWorkload,
+        policy: &mut dyn RoutePolicy,
+        migration: &mut dyn MigrationPolicy,
+    ) -> ClusterReport {
+        let roles = self.roles();
+        let mut sessions: Vec<_> = self
+            .replicas
+            .iter()
+            .enumerate()
+            .map(|(idx, engine)| {
+                let mut session = engine.open_session(workload);
                 // Replica 0 keeps the workload's acceptance stream (a
                 // 1-replica cluster is bit-identical to the single
                 // engine); later replicas decorrelate by index.
@@ -215,51 +405,185 @@ impl ClusterEngine {
                     session
                         .reseed(workload.seed ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
                 }
+                if roles[idx] == ReplicaRole::Prefill {
+                    session.enable_prefill_export();
+                }
                 session
             })
             .collect();
+        let arrivals = workload.requests();
+        let mut next_arrival = 0usize;
+        let mut in_flight: Vec<InFlightMigration> = Vec::new();
         let mut decisions = 0u64;
+        let mut stats = MigrationReport {
+            policy: migration.label(),
+            pricing: self.spec.migration_pricing.label(),
+            ..MigrationReport::default()
+        };
+        let mut transfer_times: Vec<Time> = Vec::new();
 
-        for request in workload.requests() {
-            let arrival = request.arrival_s;
-            // Advance the fleet to the arrival instant.
-            while let Some(idx) = sessions
+        // Stamp each replica's snapshot with its configured role, so
+        // policies can honor the disaggregation contract.
+        let observe = |sessions: &[crate::serving::ServingSession<'_>]| -> Vec<ReplicaSnapshot> {
+            sessions
+                .iter()
+                .zip(&roles)
+                .map(|(s, &role)| {
+                    let mut snapshot = s.snapshot();
+                    snapshot.role = role;
+                    snapshot
+                })
+                .collect()
+        };
+
+        loop {
+            // The next global event: the earliest pending arrival or
+            // migration delivery (delivery first on an exact tie, so
+            // the router sees the landed sequence).
+            let arrival_t = arrivals.get(next_arrival).map(|r| r.arrival_s);
+            let delivery = in_flight
                 .iter()
                 .enumerate()
-                .filter(|(_, s)| s.has_pending_work() && s.clock() < arrival)
+                .min_by(|(ia, a), (ib, b)| a.deliver_s.total_cmp(&b.deliver_s).then(ia.cmp(ib)))
+                .map(|(i, m)| (i, m.deliver_s));
+            let (horizon, deliver_now) = match (arrival_t, delivery) {
+                (Some(at), Some((di, dt))) => {
+                    if dt <= at {
+                        (Some(dt), Some(di))
+                    } else {
+                        (Some(at), None)
+                    }
+                }
+                (Some(at), None) => (Some(at), None),
+                (None, Some((di, dt))) => (Some(dt), Some(di)),
+                (None, None) => (None, None),
+            };
+
+            // Advance the fleet toward the event one step at a time,
+            // harvesting any handoffs each step exports — a fresh
+            // export can schedule a delivery *earlier* than the event
+            // we were heading for, so re-evaluate after every step.
+            if let Some(idx) = sessions
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.has_pending_work() && horizon.is_none_or(|t| s.clock() < t))
                 .min_by(|(_, a), (_, b)| a.clock().total_cmp(&b.clock()))
                 .map(|(i, _)| i)
             {
                 sessions[idx].step();
+                for handoff in sessions[idx].drain_egress() {
+                    let cost = self.price_migration(idx, &handoff);
+                    in_flight.push(InFlightMigration {
+                        deliver_s: handoff.ready_s + cost.time.value(),
+                        source: idx,
+                        handoff,
+                        cost,
+                    });
+                }
+                continue;
             }
-            let snapshots: Vec<_> = sessions.iter().map(|s| s.snapshot()).collect();
-            let target = policy.route(&RouteContext {
-                request: &request,
-                replicas: &snapshots,
-            });
-            assert!(
-                target < sessions.len(),
-                "routing policy {} picked replica {target} in a {}-replica fleet",
-                policy.label(),
-                sessions.len()
-            );
-            decisions += 1;
-            sessions[target].push(request);
+
+            match deliver_now {
+                Some(pos) => {
+                    let migrated = in_flight.remove(pos);
+                    let snapshots = observe(&sessions);
+                    let target = migration.place(&MigrationContext {
+                        request: &migrated.handoff.request,
+                        kv_tokens: migrated.handoff.kv.tokens,
+                        source: migrated.source,
+                        replicas: &snapshots,
+                    });
+                    assert!(
+                        target < sessions.len(),
+                        "migration policy {} picked replica {target} in a {}-replica fleet",
+                        migration.label(),
+                        sessions.len()
+                    );
+                    assert!(
+                        roles[target].can_decode(),
+                        "migration policy {} placed a sequence on prefill-only replica {target}",
+                        migration.label()
+                    );
+                    stats.migrations += 1;
+                    stats.bytes += migrated.cost.bytes.value();
+                    stats.energy += migrated.cost.energy;
+                    transfer_times.push(migrated.cost.time);
+                    sessions[target].push_migrated(migrated.handoff, migrated.deliver_s);
+                }
+                None => match next_arrival < arrivals.len() {
+                    true => {
+                        let request = arrivals[next_arrival].clone();
+                        next_arrival += 1;
+                        let snapshots = observe(&sessions);
+                        let target = policy.route(&RouteContext {
+                            request: &request,
+                            replicas: &snapshots,
+                        });
+                        assert!(
+                            target < sessions.len(),
+                            "routing policy {} picked replica {target} in a {}-replica fleet",
+                            policy.label(),
+                            sessions.len()
+                        );
+                        assert!(
+                            roles[target].accepts_arrivals(),
+                            "routing policy {} sent an arrival to decode-only replica {target}",
+                            policy.label()
+                        );
+                        decisions += 1;
+                        sessions[target].push(request);
+                    }
+                    // No event, nothing steppable: the episode is done.
+                    false => break,
+                },
+            }
         }
-        // No more arrivals: drain every replica independently.
-        for session in &mut sessions {
-            while session.step() == SessionStatus::Advanced {}
-        }
+        debug_assert!(in_flight.is_empty(), "a migration was never delivered");
+        stats.latency = LatencySummary::from_times(&transfer_times);
 
         ClusterReport {
-            design: self.replica.config().design.label().to_owned(),
+            design: self.replicas[0].config().design.label().to_owned(),
             model: self.spec.model.name.clone(),
             tp_degree: self.spec.tp_degree,
             routing: policy.label(),
             routing_decisions: decisions,
+            roles,
+            migration: stats,
             replicas: sessions.into_iter().map(|s| s.into_report()).collect(),
         }
     }
+}
+
+/// A KV sequence on the wire between its prefill and decode replicas.
+#[derive(Debug, Clone)]
+struct InFlightMigration {
+    /// When the transfer completes and the sequence may be placed.
+    deliver_s: f64,
+    /// The prefill-role replica it departed from.
+    source: usize,
+    /// The sequence itself.
+    handoff: PrefillHandoff,
+    /// The priced transfer (recorded into the report at delivery).
+    cost: MigrationCost,
+}
+
+/// Fleet-wide accounting of prefill→decode KV migrations — all zeros
+/// (and `latency: None`) for a fleet that never migrated.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MigrationReport {
+    /// Label of the decode-placement policy.
+    pub policy: String,
+    /// Label of the link migrations were priced over.
+    pub pricing: String,
+    /// Sequences migrated (each counted at delivery).
+    pub migrations: u64,
+    /// Total KV payload moved over the fabric, in bytes.
+    pub bytes: f64,
+    /// Total wire energy of the transfers.
+    pub energy: Energy,
+    /// Percentiles of the per-migration transfer latency; `None` when
+    /// nothing migrated.
+    pub latency: Option<LatencySummary>,
 }
 
 /// The outcome of one episode across the fleet: per-replica
@@ -276,8 +600,15 @@ pub struct ClusterReport {
     pub routing: String,
     /// Requests the router placed.
     pub routing_decisions: u64,
+    /// The lifecycle role of each replica, parallel to `replicas`
+    /// (all `Colocated` for a non-disaggregated fleet).
+    pub roles: Vec<ReplicaRole>,
+    /// KV-migration accounting (zeros for a fleet that never
+    /// migrated).
+    pub migration: MigrationReport,
     /// One report per data-parallel replica (some may be empty if the
-    /// router starved them).
+    /// router starved them, and prefill-role replicas record nothing —
+    /// their requests complete on the decode side).
     pub replicas: Vec<ServingReport>,
 }
 
@@ -292,11 +623,11 @@ impl ClusterReport {
         self.replicas.iter().map(|r| r.tokens).sum()
     }
 
-    /// Total energy across the fleet.
+    /// Total energy across the fleet, migration wire energy included.
     pub fn energy(&self) -> Energy {
         self.replicas
             .iter()
-            .fold(Energy::ZERO, |acc, r| acc + r.energy)
+            .fold(self.migration.energy, |acc, r| acc + r.energy)
     }
 
     /// Every request record in the fleet, in replica order.
@@ -532,6 +863,8 @@ mod tests {
             tp_degree: 1,
             routing: PolicySpec::RoundRobin.label(),
             routing_decisions: 0,
+            roles: vec![],
+            migration: MigrationReport::default(),
             replicas: vec![],
         };
         assert_eq!(report.requests(), 0);
@@ -541,6 +874,174 @@ mod tests {
         let slo = SloSpec::interactive(1_000.0, 50.0);
         assert_eq!(report.goodput(&slo), 0.0);
         assert_eq!(report.slo_attainment(&slo), 0.0);
+    }
+
+    /// A 1-prefill + 1-decode fleet completes every request exactly
+    /// once: each request is admitted and prefilled on the prefill
+    /// replica, migrated, and recorded by the decode replica with
+    /// ordered timestamps that include the transfer.
+    #[test]
+    fn disaggregated_fleet_conserves_requests_through_migration() {
+        let w = workload(4.0, 24);
+        let report = ClusterEngine::new(
+            ClusterSpec::new(
+                DesignKind::PimOnlyPapi,
+                ModelPreset::Llama65B.config(),
+                1,
+                2,
+            )
+            .with_roles(vec![ReplicaRole::Prefill, ReplicaRole::Decode])
+            .with_tuning(batch(8)),
+        )
+        .unwrap()
+        .run(&w);
+        assert_eq!(
+            report.roles,
+            vec![ReplicaRole::Prefill, ReplicaRole::Decode]
+        );
+        assert_eq!(report.requests(), 24, "requests lost or duplicated");
+        assert_eq!(report.routing_decisions, 24);
+        assert_eq!(
+            report.migration.migrations, 24,
+            "every request migrates once"
+        );
+        assert!(report.migration.bytes > 0.0);
+        assert!(report.migration.energy.value() > 0.0);
+        let latency = report.migration.latency.expect("migrations were priced");
+        assert!(latency.p50.value() > 0.0);
+        // The prefill replica records nothing (its requests complete on
+        // the decode side) but did all the prefill work; the decode
+        // replica records everything and paid no prefill.
+        let prefill = &report.replicas[0];
+        let decode = &report.replicas[1];
+        assert!(prefill.records.is_empty());
+        assert!(prefill.prefill_time.value() > 0.0);
+        assert_eq!(decode.records.len(), 24);
+        assert_eq!(decode.prefill_time.value(), 0.0);
+        assert!(decode.tokens > 0);
+        for r in decode.records.iter() {
+            assert!(r.arrival.value() <= r.admitted.value());
+            assert!(r.admitted.value() < r.first_token.value());
+            assert!(r.first_token.value() <= r.finished.value());
+            assert!(r.output_tokens > 0);
+        }
+        // No request id appears twice anywhere in the fleet.
+        let mut ids: Vec<u64> = report.records().map(|r| r.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 24);
+    }
+
+    /// Free-priced migration still migrates (counts increment) but
+    /// moves zero bytes in zero time — and finishes no later than the
+    /// fabric-priced fleet.
+    #[test]
+    fn free_migration_is_counted_but_unpriced() {
+        let w = workload(6.0, 16);
+        let spec = |pricing| {
+            ClusterSpec::new(
+                DesignKind::PimOnlyPapi,
+                ModelPreset::Llama65B.config(),
+                1,
+                2,
+            )
+            .with_roles(vec![ReplicaRole::Prefill, ReplicaRole::Decode])
+            .with_migration_pricing(pricing)
+            .with_tuning(batch(8))
+        };
+        let free = ClusterEngine::new(spec(papi_interconnect::MigrationPricing::Free))
+            .unwrap()
+            .run(&w);
+        let priced = ClusterEngine::new(spec(papi_interconnect::MigrationPricing::Fabric))
+            .unwrap()
+            .run(&w);
+        assert_eq!(free.migration.migrations, 16);
+        assert_eq!(free.migration.bytes, 0.0);
+        assert_eq!(free.migration.latency.unwrap().max.value(), 0.0);
+        assert_eq!(free.migration.pricing, "free");
+        assert!(priced.migration.bytes > 0.0);
+        assert!(
+            free.makespan().value() <= priced.makespan().value() + 1e-12,
+            "free migration cannot be slower: {} vs {}",
+            free.makespan(),
+            priced.makespan()
+        );
+    }
+
+    /// Mixed fleets work too: a colocated replica both takes arrivals
+    /// and absorbs migrations from the prefill replica.
+    #[test]
+    fn colocated_replica_absorbs_migrations_in_a_mixed_fleet() {
+        let w = workload(8.0, 24);
+        let report = ClusterEngine::new(
+            ClusterSpec::new(
+                DesignKind::PimOnlyPapi,
+                ModelPreset::Llama65B.config(),
+                1,
+                2,
+            )
+            .with_roles(vec![ReplicaRole::Prefill, ReplicaRole::Colocated])
+            .with_tuning(batch(8)),
+        )
+        .unwrap()
+        .run(&w);
+        assert_eq!(report.requests(), 24);
+        // Everything the prefill replica admitted arrived by migration;
+        // the colocated replica recorded the whole episode.
+        assert_eq!(report.replicas[1].records.len(), 24);
+        assert!(report.migration.migrations > 0);
+    }
+
+    /// Heterogeneous role designs: the prefill pool can run different
+    /// hardware than the decode pool, visible per replica.
+    #[test]
+    fn role_designs_build_heterogeneous_replicas() {
+        let engine = ClusterEngine::new(
+            ClusterSpec::new(
+                DesignKind::PimOnlyPapi,
+                ModelPreset::Llama65B.config(),
+                1,
+                3,
+            )
+            .with_roles(vec![
+                ReplicaRole::Prefill,
+                ReplicaRole::Decode,
+                ReplicaRole::Decode,
+            ])
+            .with_prefill_design(DesignKind::A100AttAcc),
+        )
+        .unwrap();
+        let designs: Vec<_> = engine
+            .replica_configs()
+            .map(|config| config.design)
+            .collect();
+        assert_eq!(
+            designs,
+            vec![
+                DesignKind::A100AttAcc,
+                DesignKind::PimOnlyPapi,
+                DesignKind::PimOnlyPapi,
+            ]
+        );
+    }
+
+    /// Malformed role vectors are rejected at construction.
+    #[test]
+    fn degenerate_role_fleets_rejected() {
+        let model = ModelPreset::Llama65B.config();
+        let base = |roles| {
+            ClusterSpec::new(DesignKind::PimOnlyPapi, model.clone(), 1, 2).with_roles(roles)
+        };
+        // Length mismatch.
+        assert!(ClusterEngine::new(base(vec![ReplicaRole::Prefill])).is_err());
+        // Nowhere to decode.
+        assert!(
+            ClusterEngine::new(base(vec![ReplicaRole::Prefill, ReplicaRole::Prefill])).is_err()
+        );
+        // Nowhere to admit arrivals.
+        assert!(ClusterEngine::new(base(vec![ReplicaRole::Decode, ReplicaRole::Decode])).is_err());
+        // A valid split passes.
+        assert!(ClusterEngine::new(base(vec![ReplicaRole::Prefill, ReplicaRole::Decode])).is_ok());
     }
 
     /// The deprecated per-knob shims still forward into the shared

@@ -19,7 +19,9 @@
 //! - [`config`] — system assembly and α calibration (plus
 //!   tensor-parallel sharding across nodes).
 //! - [`cluster`] — fleet simulation: TP groups replicated
-//!   data-parallel behind a request router, with fleet-wide metrics.
+//!   data-parallel behind a request router, with fleet-wide metrics —
+//!   including role-disaggregated fleets (prefill pool → priced KV
+//!   migration → decode pool).
 //! - [`pricer`] — the shared hardware cost model (one implementation,
 //!   used by every execution path).
 //! - [`engine`] — the batch-mode decoding simulator (paper figures).
@@ -65,7 +67,7 @@ pub mod slo;
 pub use admission::{
     AdmissionCandidate, AdmissionPolicy, AdmissionSpec, AdmissionView, BlockGranular, Fcfs,
 };
-pub use cluster::{ClusterEngine, ClusterReport, ClusterSpec};
+pub use cluster::{ClusterEngine, ClusterReport, ClusterSpec, MigrationReport};
 pub use config::{DesignKind, SchedulerKind, SystemConfig, TpGroup};
 pub use engine::DecodingSimulator;
 pub use metrics::{
@@ -74,5 +76,5 @@ pub use metrics::{
 pub use papi_kv::KvCacheStats;
 pub use prefill::{prefill_cost, prefill_cost_for, PrefillCost, PromptStats};
 pub use pricer::IterationPricer;
-pub use serving::{ServingEngine, ServingSession, SessionStatus, SessionTuning};
+pub use serving::{PrefillHandoff, ServingEngine, ServingSession, SessionStatus, SessionTuning};
 pub use slo::SloSpec;

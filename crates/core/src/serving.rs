@@ -39,7 +39,7 @@ use crate::config::SystemConfig;
 use crate::metrics::{PhaseBreakdown, RequestRecord, ServingReport};
 use crate::prefill::{prefill_cost_for, PromptStats};
 use crate::pricer::IterationPricer;
-use papi_kv::{KvBlockPool, KvCacheStats, KvPoolStats, KvSeq, PrefixTree};
+use papi_kv::{KvBlockPool, KvCacheStats, KvPoolStats, KvSeq, KvSeqExport, PrefixTree};
 use papi_sched::{FcScheduler, Placement};
 use papi_types::{Energy, Time};
 use papi_workload::{
@@ -393,8 +393,13 @@ impl ServingEngine {
             requests: Vec::new(),
             seqs: Vec::new(),
             prefilled: Vec::new(),
+            available_s: Vec::new(),
+            premigrated: Vec::new(),
             admitted_s: Vec::new(),
             first_token_s: Vec::new(),
+            export_prefills: false,
+            egress: Vec::new(),
+            exported: 0,
             kv_tokens: 0,
             prefilling_kv_tokens: 0,
             clock: 0.0,
@@ -414,6 +419,32 @@ impl ServingEngine {
             peak_kv_tokens: 0,
         }
     }
+}
+
+/// One decode-ready sequence leaving a prefill-role session: the
+/// request (prefill complete, nothing generated), the KV export its
+/// destination re-materializes, and the timestamps the fleet needs to
+/// price and account the handoff.
+///
+/// Produced by sessions in [prefill-export
+/// mode](ServingSession::enable_prefill_export), delivered to a
+/// decode-side session via [`ServingSession::push_migrated`]. While in
+/// flight the sequence occupies *neither* pool — the source released
+/// its blocks at export, and the destination allocates at admission.
+#[derive(Debug, Clone)]
+pub struct PrefillHandoff {
+    /// The request, with its prompt fully prefilled and `generated`
+    /// still zero.
+    pub request: ServingRequest,
+    /// When the source session first admitted it (the queueing-delay
+    /// endpoint carried into the final record).
+    pub admitted_s: f64,
+    /// The detached KV sequence: logical tokens plus the source pool's
+    /// block footprint (the priced payload size).
+    pub kv: KvSeqExport,
+    /// Source-session clock when the export happened (the transfer
+    /// departs here).
+    pub ready_s: f64,
 }
 
 /// What one [`ServingSession::step`] call did.
@@ -450,8 +481,26 @@ pub struct ServingSession<'a> {
     /// Prefill progress per request index, in tokens (cached prefix
     /// tokens count as progress).
     prefilled: Vec<u64>,
+    /// When this session may first see each request: the arrival time
+    /// for ordinary pushes, the migration delivery time for
+    /// [`push_migrated`](Self::push_migrated) entries (whose *record*
+    /// keeps the original arrival for honest TTFT accounting).
+    available_s: Vec<f64>,
+    /// `Some` while the request's prefill is already paid: the KV
+    /// export that arrived with a migrated sequence, consumed (via
+    /// [`KvBlockPool::import_seq`]) at admission and cleared on
+    /// preemption — recompute rebuilds the context locally.
+    premigrated: Vec<Option<KvSeqExport>>,
     admitted_s: Vec<Option<f64>>,
     first_token_s: Vec<Option<f64>>,
+    /// Prefill-export mode: requests leave at prefill completion as
+    /// [`PrefillHandoff`]s instead of decoding here.
+    export_prefills: bool,
+    /// Handoffs exported since the last [`drain_egress`](Self::drain_egress).
+    egress: Vec<PrefillHandoff>,
+    /// Requests that left via export (they will never produce a record
+    /// here; the decode-side session records them).
+    exported: u64,
     /// Maintained invariant: logical KV tokens resident across live
     /// requests (the counter the scalar engine recomputed three times
     /// per step).
@@ -499,19 +548,98 @@ impl ServingSession<'_> {
     /// Panics if `request` arrives before the previously pushed one.
     #[track_caller]
     pub fn push(&mut self, request: ServingRequest) {
-        if let Some(last) = self.requests.last() {
+        let available_s = request.arrival_s;
+        self.push_at(request, available_s, None, None);
+    }
+
+    /// Admits a migrated decode-ready sequence: a request whose prompt
+    /// was prefilled on another (prefill-role) session, delivered here
+    /// at `delivered_s` after its KV transfer. The request joins the
+    /// queue like any arrival, but its admission allocates the whole
+    /// KV footprint with *no* prefill work or cost — prefill was
+    /// already paid at the source — and it starts decoding the step it
+    /// is admitted. Its eventual [`RequestRecord`] keeps the original
+    /// arrival and the source-side admission time, so TTFT honestly
+    /// spans queueing + prefill + migration + first decode.
+    ///
+    /// If the request is later preempted under KV pressure, the paid
+    /// prefill is forfeited: recompute-style re-admission prefills the
+    /// whole context locally (this session can — roles are scheduling
+    /// policy, not missing hardware).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handoff was delivered out of order relative to
+    /// earlier pushes, or if it has already generated tokens.
+    #[track_caller]
+    pub fn push_migrated(&mut self, handoff: PrefillHandoff, delivered_s: f64) {
+        let PrefillHandoff {
+            mut request,
+            admitted_s,
+            kv,
+            ready_s,
+        } = handoff;
+        assert_eq!(
+            request.generated, 0,
+            "a migrated sequence must be decode-ready, not mid-decode"
+        );
+        assert_eq!(
+            kv.tokens,
+            request.kv_len(),
+            "handoff KV export disagrees with the request's footprint"
+        );
+        assert!(
+            delivered_s >= ready_s,
+            "migration delivered before it departed ({delivered_s} < {ready_s})"
+        );
+        request.state = RequestState::Queued;
+        self.push_at(request, delivered_s, Some(kv), Some(admitted_s));
+    }
+
+    #[track_caller]
+    fn push_at(
+        &mut self,
+        request: ServingRequest,
+        available_s: f64,
+        premigrated: Option<KvSeqExport>,
+        admitted_s: Option<f64>,
+    ) {
+        if let Some(&last) = self.available_s.last() {
             assert!(
-                request.arrival_s >= last.arrival_s,
-                "requests must be pushed in arrival order ({} after {})",
-                request.arrival_s,
-                last.arrival_s
+                available_s >= last,
+                "requests must be pushed in arrival order ({available_s} after {last})",
             );
         }
         self.requests.push(request);
         self.seqs.push(None);
         self.prefilled.push(0);
-        self.admitted_s.push(None);
+        self.available_s.push(available_s);
+        self.premigrated.push(premigrated);
+        self.admitted_s.push(admitted_s);
         self.first_token_s.push(None);
+    }
+
+    /// Switches this session into prefill-export mode (a prefill-role
+    /// replica): the moment a request's prompt is fully resident, its
+    /// KV blocks are exported from the pool and the request leaves as
+    /// a [`PrefillHandoff`] (collect with
+    /// [`drain_egress`](Self::drain_egress)) instead of decoding here.
+    pub fn enable_prefill_export(&mut self) {
+        self.export_prefills = true;
+    }
+
+    /// Takes the handoffs exported since the last drain, in export
+    /// order. Empty unless
+    /// [`enable_prefill_export`](Self::enable_prefill_export) was
+    /// called.
+    pub fn drain_egress(&mut self) -> Vec<PrefillHandoff> {
+        std::mem::take(&mut self.egress)
+    }
+
+    /// Requests that left this session via prefill export (they are
+    /// recorded by the decode-side session instead).
+    pub fn exported(&self) -> u64 {
+        self.exported
     }
 
     /// The session's simulated wall-clock, seconds since episode start.
@@ -519,9 +647,10 @@ impl ServingSession<'_> {
         self.clock
     }
 
-    /// Whether any pushed request has not yet finished.
+    /// Whether any pushed request has not yet finished here or left
+    /// via prefill export.
     pub fn has_pending_work(&self) -> bool {
-        self.records.len() < self.requests.len()
+        (self.records.len() as u64 + self.exported) < self.requests.len() as u64
     }
 
     /// Logical KV tokens resident across live requests right now (the
@@ -535,9 +664,13 @@ impl ServingSession<'_> {
         self.pool.stats()
     }
 
-    /// The admission-relevant state the cluster router consumes.
+    /// The admission-relevant state the cluster router consumes. The
+    /// role is reported as `Colocated`; a disaggregated cluster engine
+    /// stamps each snapshot with the replica's configured role before
+    /// handing it to a policy.
     pub fn snapshot(&self) -> ReplicaSnapshot {
         ReplicaSnapshot {
+            role: papi_workload::ReplicaRole::Colocated,
             queued: self.queue.len() + (self.requests.len() - self.next_arrival),
             live: self.live.len(),
             kv_blocks_in_use: self.pool.blocks_in_use(),
@@ -577,6 +710,23 @@ impl ServingSession<'_> {
             kv_tokens: self.kv_tokens,
             queued: self.queue.len(),
             live_kv,
+        }
+    }
+
+    /// Publishes request `idx`'s context (its shareable leading tokens,
+    /// per its [`PrefixHint`](papi_kv::PrefixHint)) into the prefix
+    /// cache before the session lets go of `seq` — at completion, or at
+    /// prefill export, so successor turns fork it either way.
+    fn publish_context(&mut self, idx: usize, seq: &KvSeq) {
+        if let (Some(tree), Some(hint)) =
+            (self.prefix_tree.as_mut(), self.requests[idx].request.prefix)
+        {
+            if hint.publish_tokens > 0 {
+                let publish = hint.publish_tokens.min(self.requests[idx].kv_len());
+                if tree.publish(hint.key, seq.blocks(), publish, &mut self.pool) {
+                    self.kv_stats.prefix_insertions += 1;
+                }
+            }
         }
     }
 
@@ -632,9 +782,10 @@ impl ServingSession<'_> {
         }
         // --- ingest arrivals up to the current clock ---
         self.ingest();
-        // Idle system: jump to the next arrival.
+        // Idle system: jump to the next arrival (for a migrated entry,
+        // its delivery instant — the original arrival is in the past).
         if self.live.is_empty() && self.queue.is_empty() {
-            let upcoming = self.requests[self.next_arrival].arrival_s;
+            let upcoming = self.available_s[self.next_arrival];
             self.clock = self.clock.max(upcoming);
             self.ingest();
         }
@@ -682,9 +833,13 @@ impl ServingSession<'_> {
             live_kv.push(self.requests[candidate].kv_len());
 
             // Fork the cached prefix, if sharing is on and one exists.
+            // A migrated (prefill-paid) sequence skips the cache: its
+            // context arrives whole over the fabric and is
+            // re-materialized as private blocks.
+            let premigrated = self.premigrated[candidate];
             let hint = self.requests[candidate].request.prefix;
             let mut seq = match (&mut self.prefix_tree, hint) {
-                (Some(tree), Some(h)) if h.reuse_tokens > 0 => {
+                (Some(tree), Some(h)) if premigrated.is_none() && h.reuse_tokens > 0 => {
                     self.kv_stats.prefix_lookups += 1;
                     match tree.fork(h.key, h.reuse_tokens, &mut self.pool) {
                         Some(forked) => {
@@ -711,16 +866,37 @@ impl ServingSession<'_> {
                 }
                 self.kv_stats.prefix_evictions += 1;
             }
-            assert!(
-                self.pool.append(&mut seq, suffix),
-                "{}: admission allocation failed despite the budget check",
-                self.engine.config.design,
-            );
-            self.prefilled[candidate] = seq.tokens() - suffix;
-            self.seqs[candidate] = Some(seq);
+            match premigrated {
+                Some(export) => {
+                    // Prefill was paid at the source: re-materialize
+                    // the exported sequence at this pool's granularity;
+                    // the whole context is resident the moment its
+                    // blocks land and the request is decode-ready
+                    // without a wave.
+                    debug_assert_eq!(seq.tokens(), 0, "a migrated sequence forks no prefix");
+                    let imported = self.pool.import_seq(export).unwrap_or_else(|| {
+                        panic!(
+                            "{}: migration import failed despite the budget check",
+                            self.engine.config.design
+                        )
+                    });
+                    self.seqs[candidate] = Some(imported);
+                    self.prefilled[candidate] = prefill_len;
+                    self.requests[candidate].state = RequestState::Decoding;
+                }
+                None => {
+                    assert!(
+                        self.pool.append(&mut seq, suffix),
+                        "{}: admission allocation failed despite the budget check",
+                        self.engine.config.design,
+                    );
+                    self.seqs[candidate] = Some(seq);
+                    self.prefilled[candidate] = prefill_len - suffix;
+                    self.prefilling_kv_tokens += prefill_len;
+                    self.requests[candidate].state = RequestState::Prefilling;
+                }
+            }
             self.kv_tokens += prefill_len;
-            self.prefilling_kv_tokens += prefill_len;
-            self.requests[candidate].state = RequestState::Prefilling;
             self.admitted_s[candidate].get_or_insert(self.clock);
             self.live.push(candidate);
         }
@@ -762,6 +938,40 @@ impl ServingSession<'_> {
             self.energy += cost.energy;
             self.kv_stats.prefilled_tokens += wave.tokens;
             self.kv_stats.prefill_chunks += 1;
+        }
+
+        // --- prefill export (prefill-role replicas): every request
+        //     whose prompt is now fully resident leaves as a handoff —
+        //     its context is published into the local prefix cache (so
+        //     later turns of the same conversation still fork it at
+        //     admission), its blocks are exported from the pool, and
+        //     the transfer departs at the post-wave clock. ---
+        let mut exported_now = 0u64;
+        if self.export_prefills {
+            let mut pos = 0;
+            while pos < self.live.len() {
+                let idx = self.live[pos];
+                if self.requests[idx].state != RequestState::Decoding {
+                    pos += 1;
+                    continue;
+                }
+                let seq = self.seqs[idx]
+                    .take()
+                    .expect("exporting request holds a sequence");
+                self.publish_context(idx, &seq);
+                let kv_tokens = self.requests[idx].kv_len();
+                let kv = self.pool.export_seq(seq);
+                self.kv_tokens -= kv_tokens;
+                self.live.remove(pos);
+                self.exported += 1;
+                exported_now += 1;
+                self.egress.push(PrefillHandoff {
+                    request: self.requests[idx].clone(),
+                    admitted_s: self.admitted_s[idx].expect("exported request was admitted"),
+                    kv,
+                    ready_s: self.clock,
+                });
+            }
         }
 
         // --- KV-pressure relief: if this iteration's worst-case
@@ -819,6 +1029,9 @@ impl ServingSession<'_> {
                 self.prefilling_kv_tokens -= self.requests[victim].prefill_len();
             }
             self.prefilled[victim] = 0;
+            // A preempted migrated sequence forfeits its paid prefill:
+            // re-admission recomputes the context locally.
+            self.premigrated[victim] = None;
             self.requests[victim].state = RequestState::Queued;
             self.requests[victim].preemptions += 1;
             self.preemptions += 1;
@@ -834,9 +1047,14 @@ impl ServingSession<'_> {
             .collect();
         if decoding.is_empty() {
             // A pure prefill step (chunked prefill still working
-            // through the admitted prompts). The wave above advanced
-            // the clock, so the episode always makes progress.
-            debug_assert!(wave.tokens > 0, "a step must advance prefill or decode");
+            // through the admitted prompts, or a prefill-role step
+            // whose completions all just left as handoffs). The wave
+            // advanced the clock — or an export shrank the pending set
+            // — so the episode always makes progress.
+            debug_assert!(
+                wave.tokens > 0 || exported_now > 0,
+                "a step must advance prefill, export, or decode"
+            );
             self.track_kv_peaks();
             return SessionStatus::Advanced;
         }
@@ -912,18 +1130,7 @@ impl ServingSession<'_> {
             let seq = self.seqs[i]
                 .take()
                 .expect("finished request holds a sequence");
-            // Publish the completed context into the prefix cache
-            // before releasing our hold, so successor turns fork it.
-            if let (Some(tree), Some(hint)) =
-                (self.prefix_tree.as_mut(), self.requests[i].request.prefix)
-            {
-                if hint.publish_tokens > 0 {
-                    let publish = hint.publish_tokens.min(self.requests[i].kv_len());
-                    if tree.publish(hint.key, seq.blocks(), publish, &mut self.pool) {
-                        self.kv_stats.prefix_insertions += 1;
-                    }
-                }
-            }
+            self.publish_context(i, &seq);
             self.pool.release_seq(seq);
             self.kv_tokens -= self.requests[i].kv_len();
             let request = &self.requests[i];
@@ -953,7 +1160,7 @@ impl ServingSession<'_> {
 
     fn ingest(&mut self) {
         while self.next_arrival < self.requests.len()
-            && self.requests[self.next_arrival].arrival_s <= self.clock
+            && self.available_s[self.next_arrival] <= self.clock
         {
             self.queue.push_back(self.next_arrival);
             self.next_arrival += 1;

@@ -16,16 +16,19 @@
 //! Beyond the paper's single node, [`ClusterTopology`] scales the same
 //! link model to a *fleet*: tensor-parallel groups of nodes joined by an
 //! inter-node fabric (InfiniBand/Ethernet presets), replicated
-//! data-parallel, with TP all-reduce and KV-shard traffic as dedicated
-//! [`Route`] classes.
+//! data-parallel, with TP all-reduce, KV-shard, and prefill→decode KV
+//! migration traffic as dedicated [`Route`] classes (migration priced
+//! declaratively through [`MigrationPricing`]).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod cluster;
 mod link;
+mod migration;
 mod topology;
 
 pub use cluster::ClusterTopology;
 pub use link::LinkSpec;
+pub use migration::{MigrationCost, MigrationPricing};
 pub use topology::{Route, SystemTopology, TopologyError};

@@ -24,6 +24,11 @@ pub enum Route {
     /// KV-cache blocks scattered to the tensor-parallel shard that owns
     /// them (prefill write-out, request migration).
     KvShard,
+    /// A finished prefill's whole KV cache handed from a prefill-role
+    /// replica to a decode-role replica of a disaggregated fleet (bulk
+    /// one-shot transfer, priced by
+    /// [`MigrationPricing`](crate::MigrationPricing)).
+    KvMigrate,
 }
 
 impl Route {
@@ -31,7 +36,7 @@ impl Route {
     /// a [`ClusterTopology`](crate::ClusterTopology), not a single-node
     /// [`SystemTopology`]).
     pub fn is_cluster_scope(&self) -> bool {
-        matches!(self, Route::TpAllReduce | Route::KvShard)
+        matches!(self, Route::TpAllReduce | Route::KvShard | Route::KvMigrate)
     }
 }
 
@@ -43,8 +48,12 @@ pub struct TopologyError {
 }
 
 impl TopologyError {
-    pub(crate) fn new(message: String) -> Self {
-        Self { message }
+    /// An error describing why a topology (or fleet shape built on
+    /// one) cannot be hosted.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
     }
 }
 
@@ -172,7 +181,7 @@ impl SystemTopology {
             Route::PuToFcPim => &self.fc_pim_link,
             Route::PuToAttnPim => &self.attn_pim_link,
             Route::HostToPu => &self.host_link,
-            Route::TpAllReduce | Route::KvShard => {
+            Route::TpAllReduce | Route::KvShard | Route::KvMigrate => {
                 panic!("{route:?} is cluster-scope traffic; a single-node SystemTopology has no inter-node fabric")
             }
         }
@@ -189,7 +198,7 @@ impl SystemTopology {
             Route::PuToFcPim => self.fc_pim_devices,
             Route::PuToAttnPim => self.attn_pim_devices,
             Route::HostToPu => 0,
-            Route::TpAllReduce | Route::KvShard => {
+            Route::TpAllReduce | Route::KvShard | Route::KvMigrate => {
                 panic!("{route:?} is cluster-scope traffic; a single-node SystemTopology has no inter-node fabric")
             }
         }

@@ -34,5 +34,5 @@
 pub mod pool;
 pub mod prefix;
 
-pub use pool::{BlockId, KvBlockPool, KvPoolStats, KvSeq};
+pub use pool::{BlockId, KvBlockPool, KvPoolStats, KvSeq, KvSeqExport};
 pub use prefix::{KvCacheStats, PrefixHint, PrefixTree};

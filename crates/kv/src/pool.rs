@@ -40,6 +40,25 @@ impl KvSeq {
     }
 }
 
+/// A sequence detached from its pool for migration: the logical state
+/// another pool needs to re-materialize it, with no block identity.
+///
+/// Produced by [`KvBlockPool::export_seq`], consumed by
+/// [`KvBlockPool::import_seq`]. The physical blocks were released at
+/// export (shared blocks keep their other holders), so an exported
+/// sequence occupies *no* pool while in flight — exactly the
+/// wire-transit state of a prefill→decode KV migration. `blocks`
+/// records the source pool's footprint so the transfer can be priced
+/// in source-granularity block units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KvSeqExport {
+    /// Logical tokens the sequence held.
+    pub tokens: u64,
+    /// Blocks the sequence occupied in the *source* pool (its priced
+    /// payload size, in source block units).
+    pub blocks: u64,
+}
+
 /// Aggregate pool occupancy at one instant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct KvPoolStats {
@@ -227,6 +246,32 @@ impl KvBlockPool {
     /// free list. Returns how many blocks became free.
     pub fn release_seq(&mut self, seq: KvSeq) -> u64 {
         self.release_blocks(&seq.blocks)
+    }
+
+    /// Detaches `seq` from this pool for migration: every block loses
+    /// this sequence's hold (shared blocks keep their other holders,
+    /// exactly like [`release_seq`](Self::release_seq)), and the
+    /// returned [`KvSeqExport`] carries the logical state a destination
+    /// pool re-materializes with [`import_seq`](Self::import_seq).
+    pub fn export_seq(&mut self, seq: KvSeq) -> KvSeqExport {
+        let export = KvSeqExport {
+            tokens: seq.tokens,
+            blocks: seq.blocks.len() as u64,
+        };
+        self.release_seq(seq);
+        export
+    }
+
+    /// Re-materializes an exported sequence in this pool: allocates
+    /// fresh blocks for its logical tokens (at *this* pool's block
+    /// granularity, which may differ from the source's) and returns the
+    /// live sequence. Returns `None`, allocating nothing, if the free
+    /// list cannot cover it — the caller keeps the export and retries
+    /// after eviction or preemption frees capacity.
+    #[must_use = "allocation can fail when the pool is exhausted"]
+    pub fn import_seq(&mut self, export: KvSeqExport) -> Option<KvSeq> {
+        let mut seq = self.new_seq();
+        self.append(&mut seq, export.tokens).then_some(seq)
     }
 
     /// Drops one holder from each block in `blocks`; returns how many
@@ -488,6 +533,75 @@ mod tests {
         assert_eq!(pool.growth_blocks(30, 40), 3);
         let unit = KvBlockPool::new(1, 4);
         assert_eq!(unit.growth_blocks(7, 3), 3);
+    }
+
+    #[test]
+    fn export_import_round_trip_restores_occupancy() {
+        let mut pool = KvBlockPool::new(16, 8);
+        let mut seq = pool.new_seq();
+        assert!(pool.append(&mut seq, 40)); // 3 blocks
+        let export = pool.export_seq(seq);
+        assert_eq!(
+            export,
+            KvSeqExport {
+                tokens: 40,
+                blocks: 3
+            }
+        );
+        // In flight: the sequence occupies nothing.
+        assert_eq!(pool.blocks_in_use(), 0);
+        assert_eq!(pool.free_blocks(), 8);
+        let imported = pool.import_seq(export).expect("room for the import");
+        assert_eq!(imported.tokens(), 40);
+        assert_eq!(imported.blocks().len(), 3);
+        assert_eq!(pool.blocks_in_use(), 3);
+        assert_eq!(pool.release_seq(imported), 3);
+        assert_eq!(pool.free_blocks(), 8);
+    }
+
+    #[test]
+    fn export_keeps_shared_blocks_alive() {
+        let mut pool = KvBlockPool::new(8, 10);
+        let mut a = pool.new_seq();
+        assert!(pool.append(&mut a, 16)); // 2 full blocks
+        let b = pool.fork_prefix(a.blocks());
+        let shared = a.blocks().to_vec();
+        let export = pool.export_seq(a);
+        assert_eq!(export.blocks, 2);
+        // b still holds both blocks: exporting dropped only a's holds.
+        assert_eq!(pool.blocks_in_use(), 2);
+        for &blk in &shared {
+            assert_eq!(pool.refcount(blk), 1);
+        }
+        assert_eq!(pool.release_seq(b), 2);
+    }
+
+    #[test]
+    fn import_into_a_different_granularity_reblocks() {
+        let mut coarse = KvBlockPool::new(16, 8);
+        let mut fine = KvBlockPool::new(4, 32);
+        let mut seq = coarse.new_seq();
+        assert!(coarse.append(&mut seq, 40));
+        let export = coarse.export_seq(seq);
+        assert_eq!(export.blocks, 3); // source-granularity payload
+        let imported = fine.import_seq(export).expect("room");
+        assert_eq!(imported.tokens(), 40);
+        assert_eq!(imported.blocks().len(), 10); // ceil(40 / 4)
+        fine.release_seq(imported);
+    }
+
+    #[test]
+    fn import_fails_cleanly_when_the_destination_is_full() {
+        let mut pool = KvBlockPool::new(4, 2);
+        let export = KvSeqExport {
+            tokens: 12,
+            blocks: 3,
+        };
+        assert!(pool.import_seq(export).is_none());
+        assert_eq!(pool.blocks_in_use(), 0);
+        // The export is Copy: the caller can retry once room appears.
+        let mut pool = KvBlockPool::new(4, 3);
+        assert!(pool.import_seq(export).is_some());
     }
 
     #[test]

@@ -22,11 +22,14 @@
 //! - [`arrival`] — open-loop arrival processes (Poisson, uniform,
 //!   replayed traces) and the online request lifecycle
 //!   (`Queued → Prefilling → Decoding → Finished`).
-//! - [`routing`] — cluster-level request routing: replica snapshots,
-//!   the open [`RoutePolicy`] trait a fleet router picks admission
-//!   targets through, the built-in policies (round-robin,
-//!   join-shortest-queue, KV-pressure-aware, prefix-affinity), and the
-//!   declarative [`PolicySpec`] naming them.
+//! - [`routing`] — cluster-level request routing: replica snapshots
+//!   (now carrying a [`ReplicaRole`] for disaggregated fleets), the
+//!   open [`RoutePolicy`] trait a fleet router picks admission targets
+//!   through, the built-in policies (round-robin, join-shortest-queue,
+//!   KV-pressure-aware, prefix-affinity, adaptive-affinity), the
+//!   declarative [`PolicySpec`] naming them, and the decode-side
+//!   [`MigrationPolicy`] seam that places migrated prefill→decode
+//!   handoffs.
 //! - [`trace`] — per-iteration decode traces: the RLP/TLP/KV state the
 //!   system simulator executes against.
 
@@ -50,8 +53,9 @@ pub use request::Request;
 #[allow(deprecated)]
 pub use routing::RoutingPolicy;
 pub use routing::{
-    BuiltinRoutePolicy, JoinShortestQueue, KvPressureAware, PolicySpec, PrefixAffinity,
-    ReplicaSnapshot, RoundRobin, RouteContext, RoutePolicy, Router,
+    AdaptiveAffinity, BuiltinRoutePolicy, DecodeJsq, DecodeKvPressure, JoinShortestQueue,
+    KvPressureAware, MigrationContext, MigrationPolicy, MigrationSpec, PolicySpec, PrefixAffinity,
+    ReplicaRole, ReplicaSnapshot, RoundRobin, RouteContext, RoutePolicy, Router,
 };
 pub use speculative::{AcceptanceModel, SpeculativeConfig, TlpPolicy};
 pub use trace::{DecodeTrace, IterationRecord};

@@ -55,6 +55,58 @@ use papi_kv::PrefixHint;
 use serde::{Deserialize, Serialize};
 use std::str::FromStr;
 
+/// What phase of the request lifecycle a replica serves — the
+/// disaggregation axis of a fleet.
+///
+/// A `Colocated` replica runs the classic path: it admits arrivals,
+/// prefills them, and decodes them to completion. A `Prefill` replica
+/// only admits and prefills — the moment a request's prompt is
+/// resident, its KV blocks are exported and migrated to a decode-side
+/// replica. A `Decode` replica never takes raw arrivals; it receives
+/// migrated decode-ready sequences (prefill already paid) and runs
+/// them to `<|eos|>`. Roles let the fleet match each phase's hardware
+/// affinity: prefill is compute-bound (GPU-heavy pool), decode
+/// attention is memory-bound (PIM-heavy pool) — the cluster-scale
+/// mirror of PAPI's intra-node FC placement argument.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReplicaRole {
+    /// Serves both phases (the classic, non-disaggregated replica).
+    #[default]
+    Colocated,
+    /// Admits arrivals and prefills; hands decode off via KV migration.
+    Prefill,
+    /// Receives migrated sequences and decodes; takes no raw arrivals.
+    Decode,
+}
+
+impl ReplicaRole {
+    /// Whether a router may send *new arrivals* here (prefill happens
+    /// on admission, so only prefill-capable replicas qualify).
+    pub fn accepts_arrivals(&self) -> bool {
+        !matches!(self, ReplicaRole::Decode)
+    }
+
+    /// Whether migrated decode-ready sequences may be placed here.
+    pub fn can_decode(&self) -> bool {
+        !matches!(self, ReplicaRole::Prefill)
+    }
+
+    /// Display label for reports and sweeps.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ReplicaRole::Colocated => "colocated",
+            ReplicaRole::Prefill => "prefill",
+            ReplicaRole::Decode => "decode",
+        }
+    }
+}
+
+impl core::fmt::Display for ReplicaRole {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// A replica's admission-relevant state at one instant.
 ///
 /// KV occupancy is reported in *blocks* of the replica's paged cache,
@@ -67,6 +119,11 @@ use std::str::FromStr;
 /// configuration) all of this degenerates to exact token counting.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ReplicaSnapshot {
+    /// The lifecycle phase this replica serves. Routing policies must
+    /// send new arrivals only to [`accepts_arrivals`](ReplicaRole)
+    /// replicas; migration policies place decode-ready sequences only
+    /// on [`can_decode`](ReplicaRole) ones.
+    pub role: ReplicaRole,
     /// Requests waiting in the replica's arrival queue.
     pub queued: usize,
     /// Requests in the running batch (prefilling or decoding).
@@ -147,6 +204,26 @@ impl RouteContext<'_> {
     pub fn prefix(&self) -> Option<PrefixHint> {
         self.request.request.prefix
     }
+
+    /// The replica indices a new arrival may legally land on (role
+    /// accepts arrivals). Falls back to *every* index when no replica
+    /// advertises a prefill-capable role — a policy must stay total
+    /// even over a malformed fleet (the cluster engine validates shape
+    /// separately).
+    pub fn arrival_targets(&self) -> Vec<usize> {
+        let capable: Vec<usize> = self
+            .replicas
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.role.accepts_arrivals())
+            .map(|(i, _)| i)
+            .collect();
+        if capable.is_empty() {
+            (0..self.replicas.len()).collect()
+        } else {
+            capable
+        }
+    }
 }
 
 /// How a fleet router picks the replica that admits each arriving
@@ -204,8 +281,12 @@ impl RoundRobin {
 
 impl RoutePolicy for RoundRobin {
     fn route(&mut self, ctx: &RouteContext<'_>) -> usize {
-        let pick = self.next % ctx.replicas.len();
-        self.next = (self.next + 1) % ctx.replicas.len();
+        // Cycle over the arrival-capable subset only; in an
+        // all-colocated fleet that subset is the whole fleet, so the
+        // classic behavior is unchanged.
+        let targets = ctx.arrival_targets();
+        let pick = targets[self.next % targets.len()];
+        self.next = (self.next + 1) % targets.len();
         pick
     }
 
@@ -223,10 +304,11 @@ pub struct JoinShortestQueue;
 impl RoutePolicy for JoinShortestQueue {
     fn route(&mut self, ctx: &RouteContext<'_>) -> usize {
         let incoming = ctx.incoming_kv_tokens();
+        let targets = ctx.arrival_targets();
         let least_loaded = |saturated_ok: bool| {
-            ctx.replicas
+            targets
                 .iter()
-                .enumerate()
+                .map(|&i| (i, &ctx.replicas[i]))
                 .filter(|(_, s)| saturated_ok || !s.kv_saturated_for(incoming))
                 .min_by_key(|&(i, s)| (s.load(), i))
                 .map(|(i, _)| i)
@@ -250,9 +332,9 @@ pub struct KvPressureAware;
 
 impl RoutePolicy for KvPressureAware {
     fn route(&mut self, ctx: &RouteContext<'_>) -> usize {
-        ctx.replicas
-            .iter()
-            .enumerate()
+        ctx.arrival_targets()
+            .into_iter()
+            .map(|i| (i, &ctx.replicas[i]))
             .min_by(|(ia, a), (ib, b)| {
                 a.kv_utilization()
                     .total_cmp(&b.kv_utilization())
@@ -328,17 +410,22 @@ impl PrefixAffinity {
         self.spills
     }
 
-    /// The least-pressured replica with headroom for `incoming` tokens,
-    /// preferring anywhere but `home` (a "spill" that lands back home
-    /// is no spill at all). If only the home replica has headroom it
-    /// keeps the request; an all-saturated fleet falls back to the
-    /// least-pressured replica overall. Ties break by load, then
-    /// index, so spills are deterministic.
-    fn spill_target(home: usize, incoming: u64, replicas: &[ReplicaSnapshot]) -> usize {
+    /// The least-pressured arrival-capable replica with headroom for
+    /// `incoming` tokens, preferring anywhere but `home` (a "spill"
+    /// that lands back home is no spill at all). If only the home
+    /// replica has headroom it keeps the request; an all-saturated
+    /// fleet falls back to the least-pressured replica overall. Ties
+    /// break by load, then index, so spills are deterministic.
+    fn spill_target(
+        home: usize,
+        incoming: u64,
+        targets: &[usize],
+        replicas: &[ReplicaSnapshot],
+    ) -> usize {
         let best = |saturated_ok: bool, home_ok: bool| {
-            replicas
+            targets
                 .iter()
-                .enumerate()
+                .map(|&i| (i, &replicas[i]))
                 .filter(|(i, _)| home_ok || *i != home)
                 .filter(|(_, s)| saturated_ok || !s.kv_saturated_for(incoming))
                 .min_by(|(ia, a), (ib, b)| {
@@ -370,14 +457,19 @@ impl RoutePolicy for PrefixAffinity {
             // them like join-shortest-queue.
             return JoinShortestQueue.route(ctx);
         };
-        let home = Self::home_replica(hint.key, ctx.replicas.len());
+        // Hash over the arrival-capable subset (in an all-colocated
+        // fleet: every replica, i.e. the classic behavior), so a
+        // disaggregated fleet's conversations stay sticky to prefill
+        // homes and decode-only replicas are never picked.
+        let targets = ctx.arrival_targets();
+        let home = targets[Self::home_replica(hint.key, targets.len())];
         let snapshot = &ctx.replicas[home];
         if !snapshot.kv_saturated_for(incoming)
             && snapshot.kv_utilization() < self.spill_utilization
         {
             home
         } else {
-            let pick = Self::spill_target(home, incoming, ctx.replicas);
+            let pick = Self::spill_target(home, incoming, &targets, ctx.replicas);
             // A degenerate fleet (or one where only home has headroom)
             // keeps the request — that is not a spill.
             if pick != home {
@@ -389,6 +481,105 @@ impl RoutePolicy for PrefixAffinity {
 
     fn label(&self) -> String {
         affinity_label(self.spill_utilization)
+    }
+}
+
+/// Label for an adaptive-affinity policy; like [`affinity_label`], the
+/// queue threshold rides along when non-default so `Display` →
+/// [`FromStr`] round-trips losslessly.
+fn adaptive_label(queue_pressure: f64) -> String {
+    if queue_pressure == AdaptiveAffinity::DEFAULT_QUEUE_PRESSURE {
+        "adaptive-affinity".to_owned()
+    } else {
+        format!("adaptive-affinity:{queue_pressure}")
+    }
+}
+
+/// The affinity/balance hybrid: [`PrefixAffinity`] while the fleet has
+/// slack, [`JoinShortestQueue`] once it saturates.
+///
+/// Pure affinity has a known failure mode past saturation: stickiness
+/// stacks conversations onto hot replicas whose queues are already
+/// deep, and prefix-oblivious JSQ re-wins goodput (the residual trade
+/// the PR 4 `RoutingSweep` table shows). This policy watches the
+/// fleet-wide *queue pressure* — mean queued requests per
+/// arrival-capable replica — at every decision: below
+/// `queue_pressure` it routes exactly like `PrefixAffinity`
+/// (conversations stay home, caches stay hot); at or above it, queues
+/// have grown past what cache hits can buy back, and it degrades to
+/// JSQ until the backlog drains. The switch is per-decision and
+/// hysteresis-free, so bursts degrade and recover automatically.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveAffinity {
+    affinity: PrefixAffinity,
+    queue_pressure: f64,
+    balanced: u64,
+}
+
+impl AdaptiveAffinity {
+    /// Default mean-queued-per-replica threshold above which affinity
+    /// yields to load balancing. Below saturation, queues hover near
+    /// zero; a sustained backlog of a few requests per replica means
+    /// arrivals outpace service and stickiness is stacking hot queues.
+    pub const DEFAULT_QUEUE_PRESSURE: f64 = 2.0;
+
+    /// The hybrid at the default queue-pressure threshold.
+    pub fn new() -> Self {
+        Self::with_queue_pressure(Self::DEFAULT_QUEUE_PRESSURE)
+    }
+
+    /// The hybrid switching to JSQ once mean queued requests per
+    /// arrival-capable replica reaches `queue_pressure`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue_pressure` is not positive and finite.
+    #[track_caller]
+    pub fn with_queue_pressure(queue_pressure: f64) -> Self {
+        assert!(
+            queue_pressure.is_finite() && queue_pressure > 0.0,
+            "queue pressure must be positive, got {queue_pressure}"
+        );
+        Self {
+            affinity: PrefixAffinity::new(),
+            queue_pressure,
+            balanced: 0,
+        }
+    }
+
+    /// Decisions routed in the degraded (JSQ) regime so far.
+    pub fn balanced_decisions(&self) -> u64 {
+        self.balanced
+    }
+
+    /// Requests routed away from a saturated home replica while in the
+    /// affinity regime.
+    pub fn spills(&self) -> u64 {
+        self.affinity.spills()
+    }
+}
+
+impl Default for AdaptiveAffinity {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RoutePolicy for AdaptiveAffinity {
+    fn route(&mut self, ctx: &RouteContext<'_>) -> usize {
+        let targets = ctx.arrival_targets();
+        let queued: usize = targets.iter().map(|&i| ctx.replicas[i].queued).sum();
+        let pressure = queued as f64 / targets.len() as f64;
+        if pressure >= self.queue_pressure {
+            self.balanced += 1;
+            JoinShortestQueue.route(ctx)
+        } else {
+            self.affinity.route(ctx)
+        }
+    }
+
+    fn label(&self) -> String {
+        adaptive_label(self.queue_pressure)
     }
 }
 
@@ -406,6 +597,8 @@ pub enum BuiltinRoutePolicy {
     KvPressureAware(KvPressureAware),
     /// See [`PrefixAffinity`].
     PrefixAffinity(PrefixAffinity),
+    /// See [`AdaptiveAffinity`].
+    AdaptiveAffinity(AdaptiveAffinity),
 }
 
 impl RoutePolicy for BuiltinRoutePolicy {
@@ -415,6 +608,7 @@ impl RoutePolicy for BuiltinRoutePolicy {
             BuiltinRoutePolicy::JoinShortestQueue(p) => p.route(ctx),
             BuiltinRoutePolicy::KvPressureAware(p) => p.route(ctx),
             BuiltinRoutePolicy::PrefixAffinity(p) => p.route(ctx),
+            BuiltinRoutePolicy::AdaptiveAffinity(p) => p.route(ctx),
         }
     }
 
@@ -424,6 +618,7 @@ impl RoutePolicy for BuiltinRoutePolicy {
             BuiltinRoutePolicy::JoinShortestQueue(p) => p.label(),
             BuiltinRoutePolicy::KvPressureAware(p) => p.label(),
             BuiltinRoutePolicy::PrefixAffinity(p) => p.label(),
+            BuiltinRoutePolicy::AdaptiveAffinity(p) => p.label(),
         }
     }
 }
@@ -447,6 +642,13 @@ pub enum PolicySpec {
         /// KV-utilization fraction above which the home replica spills.
         spill_utilization: f64,
     },
+    /// Conversation-sticky below the queue-pressure threshold,
+    /// join-shortest-queue above it.
+    AdaptiveAffinity {
+        /// Mean queued requests per arrival-capable replica at which
+        /// affinity yields to load balancing.
+        queue_pressure: f64,
+    },
 }
 
 impl PolicySpec {
@@ -455,6 +657,14 @@ impl PolicySpec {
     pub fn prefix_affinity() -> Self {
         PolicySpec::PrefixAffinity {
             spill_utilization: PrefixAffinity::DEFAULT_SPILL_UTILIZATION,
+        }
+    }
+
+    /// The affinity/balance hybrid at the default queue-pressure
+    /// threshold.
+    pub fn adaptive_affinity() -> Self {
+        PolicySpec::AdaptiveAffinity {
+            queue_pressure: AdaptiveAffinity::DEFAULT_QUEUE_PRESSURE,
         }
     }
 
@@ -476,6 +686,11 @@ impl PolicySpec {
             PolicySpec::PrefixAffinity { spill_utilization } => BuiltinRoutePolicy::PrefixAffinity(
                 PrefixAffinity::with_spill_utilization(spill_utilization),
             ),
+            PolicySpec::AdaptiveAffinity { queue_pressure } => {
+                BuiltinRoutePolicy::AdaptiveAffinity(AdaptiveAffinity::with_queue_pressure(
+                    queue_pressure,
+                ))
+            }
         }
     }
 
@@ -489,6 +704,7 @@ impl PolicySpec {
             PolicySpec::JoinShortestQueue => "join-shortest-queue".to_owned(),
             PolicySpec::KvPressureAware => "kv-pressure-aware".to_owned(),
             PolicySpec::PrefixAffinity { spill_utilization } => affinity_label(spill_utilization),
+            PolicySpec::AdaptiveAffinity { queue_pressure } => adaptive_label(queue_pressure),
         }
     }
 }
@@ -508,6 +724,7 @@ impl FromStr for PolicySpec {
             "join-shortest-queue" => return Ok(PolicySpec::JoinShortestQueue),
             "kv-pressure-aware" => return Ok(PolicySpec::KvPressureAware),
             "prefix-affinity" => return Ok(PolicySpec::prefix_affinity()),
+            "adaptive-affinity" => return Ok(PolicySpec::adaptive_affinity()),
             _ => {}
         }
         if let Some(threshold) = s.strip_prefix("prefix-affinity:") {
@@ -521,9 +738,20 @@ impl FromStr for PolicySpec {
             }
             return Ok(PolicySpec::PrefixAffinity { spill_utilization });
         }
+        if let Some(threshold) = s.strip_prefix("adaptive-affinity:") {
+            let queue_pressure: f64 = threshold
+                .parse()
+                .map_err(|_| format!("invalid queue pressure {threshold:?}"))?;
+            if !(queue_pressure.is_finite() && queue_pressure > 0.0) {
+                return Err(format!(
+                    "queue pressure must be positive, got {queue_pressure}"
+                ));
+            }
+            return Ok(PolicySpec::AdaptiveAffinity { queue_pressure });
+        }
         Err(format!(
             "unknown routing policy {s:?} (expected round-robin, join-shortest-queue, \
-             kv-pressure-aware, or prefix-affinity[:<spill>])"
+             kv-pressure-aware, prefix-affinity[:<spill>], or adaptive-affinity[:<pressure>])"
         ))
     }
 }
@@ -605,6 +833,169 @@ impl RoutePolicy for Router {
     }
 }
 
+// ---------------------------------------------------------------------
+// Decode-side placement of migrated sequences
+// ---------------------------------------------------------------------
+
+/// Everything a decode-side placement decision may inspect: the
+/// decode-ready request being handed off, its resident KV footprint,
+/// where it prefilled, and the fleet's snapshots at the delivery
+/// instant.
+#[derive(Debug, Clone, Copy)]
+pub struct MigrationContext<'a> {
+    /// The request whose prefill just completed (prefill already paid;
+    /// `generated` is still zero).
+    pub request: &'a ServingRequest,
+    /// KV tokens the destination must allocate on arrival.
+    pub kv_tokens: u64,
+    /// Index of the prefill-role replica the sequence departed from.
+    pub source: usize,
+    /// One snapshot per replica, indexed by replica id; the policy's
+    /// return value indexes this slice and must name a
+    /// [`can_decode`](ReplicaRole::can_decode) replica.
+    pub replicas: &'a [ReplicaSnapshot],
+}
+
+impl MigrationContext<'_> {
+    /// The replica indices a migrated sequence may legally land on
+    /// (role can decode). Falls back to every index when no replica
+    /// advertises a decode-capable role, so policies stay total; the
+    /// cluster engine validates fleet shape separately.
+    pub fn decode_targets(&self) -> Vec<usize> {
+        let capable: Vec<usize> = self
+            .replicas
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.role.can_decode())
+            .map(|(i, _)| i)
+            .collect();
+        if capable.is_empty() {
+            (0..self.replicas.len()).collect()
+        } else {
+            capable
+        }
+    }
+}
+
+/// How a disaggregated fleet places a freshly prefilled sequence on
+/// its decode pool — the decode-side twin of [`RoutePolicy`].
+///
+/// Consulted once per completed migration transfer, in delivery order.
+/// The returned index must be in range and decode-capable — the
+/// cluster engine asserts both.
+pub trait MigrationPolicy: core::fmt::Debug {
+    /// Picks the replica that admits the migrated sequence.
+    fn place(&mut self, ctx: &MigrationContext<'_>) -> usize;
+
+    /// Display label for reports and sweeps.
+    fn label(&self) -> String {
+        "custom".to_owned()
+    }
+}
+
+/// Join the decode-capable replica with the fewest responsible
+/// requests, skipping replicas whose KV budget cannot take the
+/// sequence while any has headroom — JSQ over the decode pool, the
+/// default [`MigrationPolicy`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DecodeJsq;
+
+impl MigrationPolicy for DecodeJsq {
+    fn place(&mut self, ctx: &MigrationContext<'_>) -> usize {
+        let targets = ctx.decode_targets();
+        let least_loaded = |saturated_ok: bool| {
+            targets
+                .iter()
+                .map(|&i| (i, &ctx.replicas[i]))
+                .filter(|(_, s)| saturated_ok || !s.kv_saturated_for(ctx.kv_tokens))
+                .min_by_key(|&(i, s)| (s.load(), i))
+                .map(|(i, _)| i)
+        };
+        least_loaded(false)
+            .or_else(|| least_loaded(true))
+            .expect("fleet is non-empty")
+    }
+
+    fn label(&self) -> String {
+        "decode-jsq".to_owned()
+    }
+}
+
+/// Place on the decode-capable replica with the lowest KV-budget
+/// utilization (ties by load, then index) — the placement that tracks
+/// the decode pool's actual bottleneck, its KV capacity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DecodeKvPressure;
+
+impl MigrationPolicy for DecodeKvPressure {
+    fn place(&mut self, ctx: &MigrationContext<'_>) -> usize {
+        ctx.decode_targets()
+            .into_iter()
+            .map(|i| (i, &ctx.replicas[i]))
+            .min_by(|(ia, a), (ib, b)| {
+                a.kv_utilization()
+                    .total_cmp(&b.kv_utilization())
+                    .then_with(|| a.load().cmp(&b.load()))
+                    .then_with(|| ia.cmp(ib))
+            })
+            .map(|(i, _)| i)
+            .expect("fleet is non-empty")
+    }
+
+    fn label(&self) -> String {
+        "decode-kv-pressure".to_owned()
+    }
+}
+
+/// Declarative name of a built-in [`MigrationPolicy`] — what cluster
+/// specs and sweeps carry, mirroring [`PolicySpec`] for routing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MigrationSpec {
+    /// JSQ over the decode pool (the default).
+    #[default]
+    JoinShortestQueue,
+    /// Lowest KV-budget utilization over the decode pool.
+    KvPressureAware,
+}
+
+impl MigrationSpec {
+    /// Instantiates the policy this spec names, with fresh state.
+    pub fn build(&self) -> Box<dyn MigrationPolicy> {
+        match self {
+            MigrationSpec::JoinShortestQueue => Box::new(DecodeJsq),
+            MigrationSpec::KvPressureAware => Box::new(DecodeKvPressure),
+        }
+    }
+
+    /// Display label for reports and sweeps.
+    pub fn label(&self) -> String {
+        match self {
+            MigrationSpec::JoinShortestQueue => "decode-jsq".to_owned(),
+            MigrationSpec::KvPressureAware => "decode-kv-pressure".to_owned(),
+        }
+    }
+}
+
+impl core::fmt::Display for MigrationSpec {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+impl FromStr for MigrationSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "decode-jsq" => Ok(MigrationSpec::JoinShortestQueue),
+            "decode-kv-pressure" => Ok(MigrationSpec::KvPressureAware),
+            _ => Err(format!(
+                "unknown migration policy {s:?} (expected decode-jsq or decode-kv-pressure)"
+            )),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -613,6 +1004,7 @@ mod tests {
     fn snap(queued: usize, live: usize, kv: u64, budget: u64) -> ReplicaSnapshot {
         // Block size 1: blocks are tokens, the scalar configuration.
         ReplicaSnapshot {
+            role: ReplicaRole::Colocated,
             queued,
             live,
             kv_blocks_in_use: kv,
@@ -710,6 +1102,7 @@ mod tests {
         // (16-token blocks) has burned more of its pool on ragged
         // tails, and saturation is judged in its own block units.
         let paged = ReplicaSnapshot {
+            role: ReplicaRole::Colocated,
             queued: 0,
             live: 4,
             kv_blocks_in_use: 60,
@@ -893,6 +1286,182 @@ mod tests {
         assert_eq!(pick, 1, "no hint: least-loaded replica");
     }
 
+    /// A replica snapshot at `queued`/`kv` with an explicit role.
+    fn role_snap(role: ReplicaRole, queued: usize, kv: u64) -> ReplicaSnapshot {
+        ReplicaSnapshot {
+            role,
+            ..snap(queued, 0, kv, 10_000)
+        }
+    }
+
+    #[test]
+    fn every_builtin_skips_decode_only_replicas() {
+        // Replica 1 is decode-only and by every metric the most
+        // attractive target — each built-in must still avoid it.
+        let fleet = vec![
+            role_snap(ReplicaRole::Prefill, 5, 8_000),
+            role_snap(ReplicaRole::Decode, 0, 0),
+            role_snap(ReplicaRole::Colocated, 3, 4_000),
+        ];
+        for spec in [
+            PolicySpec::RoundRobin,
+            PolicySpec::JoinShortestQueue,
+            PolicySpec::KvPressureAware,
+            PolicySpec::prefix_affinity(),
+            PolicySpec::adaptive_affinity(),
+        ] {
+            let mut policy = spec.build();
+            for key in 0..16u64 {
+                let request = turn(key, 100);
+                let pick = policy.route(&RouteContext {
+                    request: &request,
+                    replicas: &fleet,
+                });
+                assert_ne!(pick, 1, "{spec:?} routed an arrival to a decode replica");
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles_over_the_prefill_capable_subset() {
+        let mut r = RoundRobin::new();
+        let fleet = vec![
+            role_snap(ReplicaRole::Prefill, 0, 0),
+            role_snap(ReplicaRole::Decode, 0, 0),
+            role_snap(ReplicaRole::Prefill, 0, 0),
+            role_snap(ReplicaRole::Decode, 0, 0),
+        ];
+        let picks: Vec<usize> = (0..5)
+            .map(|_| {
+                r.route(&RouteContext {
+                    request: &req(10),
+                    replicas: &fleet,
+                })
+            })
+            .collect();
+        assert_eq!(picks, vec![0, 2, 0, 2, 0]);
+    }
+
+    #[test]
+    fn role_capabilities() {
+        assert!(ReplicaRole::Colocated.accepts_arrivals());
+        assert!(ReplicaRole::Colocated.can_decode());
+        assert!(ReplicaRole::Prefill.accepts_arrivals());
+        assert!(!ReplicaRole::Prefill.can_decode());
+        assert!(!ReplicaRole::Decode.accepts_arrivals());
+        assert!(ReplicaRole::Decode.can_decode());
+        assert_eq!(ReplicaRole::default(), ReplicaRole::Colocated);
+        assert_eq!(ReplicaRole::Prefill.to_string(), "prefill");
+    }
+
+    #[test]
+    fn adaptive_affinity_sticks_below_pressure_and_balances_above() {
+        let mut policy = AdaptiveAffinity::with_queue_pressure(2.0);
+        let key = 42;
+        // Idle fleet: behaves exactly like prefix-affinity.
+        let idle = vec![snap(0, 2, 1_000, 10_000); 4];
+        let home = {
+            let mut pure = PrefixAffinity::new();
+            pure.route(&RouteContext {
+                request: &turn(key, 100),
+                replicas: &idle,
+            })
+        };
+        assert_eq!(
+            policy.route(&RouteContext {
+                request: &turn(key, 100),
+                replicas: &idle,
+            }),
+            home
+        );
+        assert_eq!(policy.balanced_decisions(), 0);
+
+        // Saturated fleet (mean queued ≥ 2): degrade to JSQ — the pick
+        // is the least-loaded replica even though home has KV headroom.
+        let mut hot = vec![snap(4, 8, 1_000, 10_000); 4];
+        let other = (home + 1) % 4;
+        hot[other] = snap(0, 1, 1_000, 10_000);
+        let pick = policy.route(&RouteContext {
+            request: &turn(key, 100),
+            replicas: &hot,
+        });
+        assert_eq!(pick, other, "under pressure the hybrid must balance");
+        assert_eq!(policy.balanced_decisions(), 1);
+
+        // Pressure drains: affinity resumes.
+        assert_eq!(
+            policy.route(&RouteContext {
+                request: &turn(key, 100),
+                replicas: &idle,
+            }),
+            home
+        );
+        assert_eq!(policy.balanced_decisions(), 1);
+    }
+
+    #[test]
+    fn adaptive_labels_and_parsing_round_trip() {
+        assert_eq!(PolicySpec::adaptive_affinity().label(), "adaptive-affinity");
+        assert_eq!(
+            "adaptive-affinity".parse::<PolicySpec>().unwrap(),
+            PolicySpec::adaptive_affinity()
+        );
+        let tuned = PolicySpec::AdaptiveAffinity {
+            queue_pressure: 6.5,
+        };
+        assert_eq!(tuned.to_string(), "adaptive-affinity:6.5");
+        assert_eq!(tuned.to_string().parse::<PolicySpec>().unwrap(), tuned);
+        assert!("adaptive-affinity:-1".parse::<PolicySpec>().is_err());
+        assert!("adaptive-affinity:forever".parse::<PolicySpec>().is_err());
+    }
+
+    #[test]
+    fn migration_policies_place_only_on_decode_capable_replicas() {
+        // Replica 0 (prefill) is empty and would win both metrics; the
+        // migration built-ins must skip it.
+        let fleet = vec![
+            role_snap(ReplicaRole::Prefill, 0, 0),
+            role_snap(ReplicaRole::Decode, 2, 6_000),
+            role_snap(ReplicaRole::Decode, 5, 2_000),
+        ];
+        let request = req(100);
+        let ctx = MigrationContext {
+            request: &request,
+            kv_tokens: 100,
+            source: 0,
+            replicas: &fleet,
+        };
+        assert_eq!(DecodeJsq.place(&ctx), 1, "fewest responsible requests");
+        assert_eq!(DecodeKvPressure.place(&ctx), 2, "emptiest pool");
+        // JSQ skips a KV-saturated decode replica while another has
+        // headroom.
+        let strained = vec![
+            role_snap(ReplicaRole::Prefill, 0, 0),
+            role_snap(ReplicaRole::Decode, 0, 9_950),
+            role_snap(ReplicaRole::Decode, 5, 2_000),
+        ];
+        let ctx = MigrationContext {
+            request: &request,
+            kv_tokens: 100,
+            source: 0,
+            replicas: &strained,
+        };
+        assert_eq!(DecodeJsq.place(&ctx), 2);
+    }
+
+    #[test]
+    fn migration_spec_round_trips_and_builds() {
+        for spec in [
+            MigrationSpec::JoinShortestQueue,
+            MigrationSpec::KvPressureAware,
+        ] {
+            assert_eq!(spec.to_string().parse::<MigrationSpec>().unwrap(), spec);
+            assert_eq!(spec.build().label(), spec.label());
+        }
+        assert_eq!(MigrationSpec::default(), MigrationSpec::JoinShortestQueue);
+        assert!("teleport".parse::<MigrationSpec>().is_err());
+    }
+
     #[test]
     fn router_serde_round_trip_resumes_mid_run() {
         // Route a prefix of the decisions, snapshot, restore, and check
@@ -904,6 +1473,9 @@ mod tests {
             PolicySpec::KvPressureAware,
             PolicySpec::PrefixAffinity {
                 spill_utilization: 0.75,
+            },
+            PolicySpec::AdaptiveAffinity {
+                queue_pressure: 3.0,
             },
         ] {
             let fleet: Vec<ReplicaSnapshot> = (0..5)

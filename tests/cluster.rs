@@ -142,6 +142,7 @@ fn jsq_never_picks_a_saturated_replica_while_headroom_exists() {
                     kv_evictable_blocks: next(in_use + 1),
                     kv_budget_blocks: 8_000 / block,
                     kv_block_size: block,
+                    ..ReplicaSnapshot::default()
                 }
             })
             .collect();

@@ -13,8 +13,11 @@
 //! refactor).
 
 use papi::core::{ClusterEngine, ClusterReport, ClusterSpec, DesignKind, SessionTuning};
+use papi::interconnect::MigrationPricing;
 use papi::llm::ModelPreset;
-use papi::workload::{ConversationDataset, DatasetKind, PolicySpec, Router, ServingWorkload};
+use papi::workload::{
+    ConversationDataset, DatasetKind, PolicySpec, ReplicaRole, Router, ServingWorkload,
+};
 
 /// FNV-1a over every replica's per-request records, placements, RLP
 /// series, makespan, and energy (field order fixed; floats hashed by
@@ -159,6 +162,38 @@ fn trait_driven_builtins_match_the_declarative_path() {
         let report = engine.run_with_policy(&workload, &mut router);
         assert_matches(&report, golden);
         assert_eq!(router.decisions(), 60);
+    }
+}
+
+/// The ISSUE-5 disaggregation pin: a fleet with every replica
+/// *explicitly* `Colocated` and migration explicitly priced as free
+/// runs the full role-aware engine — role-stamped snapshots, the
+/// migration clock, the event loop — and must still reproduce the PR 4
+/// goldens bit for bit. Disaggregation is pay-for-what-you-use: an
+/// all-colocated fleet never migrates, so nothing may drift.
+#[test]
+fn all_colocated_fleet_with_free_migration_reproduces_the_goldens() {
+    let workload = ServingWorkload::poisson(DatasetKind::GeneralQa, 16.0, 60).with_seed(17);
+    for golden in &goldens() {
+        let report = ClusterEngine::new(
+            ClusterSpec::new(
+                DesignKind::PimOnlyPapi,
+                ModelPreset::Llama65B.config(),
+                1,
+                3,
+            )
+            .with_routing(golden.routing)
+            .with_roles(vec![ReplicaRole::Colocated; 3])
+            .with_migration_pricing(MigrationPricing::Free)
+            .with_tuning(SessionTuning::default().with_max_batch(8)),
+        )
+        .expect("valid fleet")
+        .run(&workload);
+        assert_matches(&report, golden);
+        assert_eq!(report.roles, vec![ReplicaRole::Colocated; 3]);
+        assert_eq!(report.migration.migrations, 0);
+        assert_eq!(report.migration.bytes, 0.0);
+        assert!(report.migration.latency.is_none());
     }
 }
 

@@ -1,8 +1,10 @@
 //! Behavioral tests for the trait-based routing API: conservation under
-//! arbitrary policies, and prefix-affinity's conversation stickiness at
-//! fleet scale — driven through the `papi` facade.
+//! arbitrary policies, prefix-affinity's conversation stickiness at
+//! fleet scale, and the adaptive affinity/balance hybrid's saturation
+//! behavior — driven through the `papi` facade.
 
-use papi::core::{ClusterEngine, ClusterSpec, DesignKind, SessionTuning};
+use papi::core::experiments::RoutingSweep;
+use papi::core::{ClusterEngine, ClusterSpec, DesignKind, SessionTuning, SloSpec};
 use papi::llm::ModelPreset;
 use papi::workload::{
     ConversationDataset, DatasetKind, PolicySpec, RouteContext, RoutePolicy, ServingWorkload,
@@ -76,6 +78,65 @@ proptest! {
         ids.dedup();
         prop_assert_eq!(ids.len(), 24);
     }
+}
+
+/// The ROADMAP follow-up closed by this PR: past saturation, pure
+/// affinity stacks hot queues and loses goodput — the adaptive hybrid
+/// detects the fleet-wide queue pressure and degrades to JSQ, beating
+/// pure affinity where it fails while matching it where it wins.
+#[test]
+fn adaptive_affinity_beats_pure_affinity_past_saturation() {
+    // The PR 4 `RoutingSweep` setup: 4 PIM-only replicas, multi-turn
+    // chat with prefix sharing, moderate (6/s) and saturating (12/s)
+    // offered loads.
+    let rows = RoutingSweep {
+        model: ModelPreset::Llama65B,
+        design: DesignKind::PimOnlyPapi,
+        conversations: ConversationDataset::multi_turn(DatasetKind::GeneralQa, 512, 4),
+        rates: vec![6.0, 12.0],
+        num_requests: 64,
+        tp_degree: 1,
+        dp_replicas: 4,
+        policies: vec![
+            PolicySpec::prefix_affinity(),
+            PolicySpec::adaptive_affinity(),
+        ],
+        tuning: SessionTuning::default()
+            .with_max_batch(16)
+            .with_kv_block_size(16)
+            .with_prefix_sharing(true),
+        slo: SloSpec::interactive(4_000.0, 80.0),
+        seed: 7,
+    }
+    .run();
+    assert_eq!(rows.len(), 4);
+    let at = |routing: &str, rate: f64| {
+        rows.iter()
+            .find(|r| r.routing == routing && r.rate_per_sec == rate)
+            .expect("swept point")
+    };
+    // Past saturation the hybrid out-serves pure affinity: balancing
+    // drains the hot queues stickiness builds.
+    let pure_hot = at("prefix-affinity", 12.0);
+    let hybrid_hot = at("adaptive-affinity", 12.0);
+    assert_eq!(pure_hot.requests, 64);
+    assert_eq!(hybrid_hot.requests, 64);
+    assert!(
+        hybrid_hot.goodput_rps > pure_hot.goodput_rps,
+        "past saturation the hybrid must beat pure affinity: {} vs {}",
+        hybrid_hot.goodput_rps,
+        pure_hot.goodput_rps
+    );
+    // At moderate load the hybrid still behaves like affinity — it
+    // keeps most of the fleet-wide cache hit rate stickiness buys.
+    let pure_warm = at("prefix-affinity", 6.0);
+    let hybrid_warm = at("adaptive-affinity", 6.0);
+    assert!(
+        hybrid_warm.cache_hit_rate > 0.5 * pure_warm.cache_hit_rate,
+        "below saturation the hybrid should stay mostly sticky: {} vs {}",
+        hybrid_warm.cache_hit_rate,
+        pure_warm.cache_hit_rate
+    );
 }
 
 /// At fleet scale with roomy DRAM, prefix-affinity keeps every turn of

@@ -101,12 +101,18 @@ pub trait Deserialize: Sized {
 }
 
 /// Derive-macro helper: fetches and deserializes a named struct field.
+///
+/// A missing field deserializes as [`Value::Null`] — matching upstream
+/// serde's treatment of absent keys for `Option<T>` fields (they
+/// become `None`); any non-nullable type still fails with the named
+/// missing-field error.
 #[doc(hidden)]
 pub fn __field<T: Deserialize>(value: &Value, strukt: &str, field: &str) -> Result<T, Error> {
-    let v = value
-        .get(field)
-        .ok_or_else(|| Error::msg(format!("{strukt}: missing field `{field}`")))?;
-    T::from_value(v)
+    match value.get(field) {
+        Some(v) => T::from_value(v),
+        None => T::from_value(&Value::Null)
+            .map_err(|_| Error::msg(format!("{strukt}: missing field `{field}`"))),
+    }
 }
 
 /// Derive-macro helper: fetches and deserializes a tuple element.
