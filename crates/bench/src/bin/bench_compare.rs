@@ -51,6 +51,9 @@ struct ScenarioResult {
     /// `None` (pre-disaggregation reports) or zero both mean "not a
     /// latency-gated scenario".
     ttft_p99_ms: Option<f64>,
+    /// Parallel-over-sequential wall-clock ratio for scenarios timing
+    /// both cluster step modes; `None` elsewhere (and in old reports).
+    speedup_vs_sequential: Option<f64>,
 }
 
 impl ScenarioResult {
@@ -237,6 +240,30 @@ fn main() -> ExitCode {
                 cur.cache_hit_rate,
                 hit_rate_tolerance * 100.0
             ));
+        }
+        // Scenarios that time both cluster step modes must keep the
+        // parallel path ahead of the sequential reference. The ratio is
+        // same-process and same-machine, so it needs no normalization —
+        // but it is noisy on loaded runners, so the gate only fires
+        // when the advantage is *gone*, not merely reduced.
+        if base.speedup_vs_sequential.unwrap_or(0.0) > 1.0 {
+            match cur.speedup_vs_sequential {
+                Some(speedup) if speedup < 1.0 => failures.push(format!(
+                    "{}: parallel stepping lost its advantage (speedup {:.2}x, baseline {:.2}x)",
+                    base.scenario,
+                    speedup,
+                    base.speedup_vs_sequential.unwrap_or(0.0)
+                )),
+                Some(speedup) => println!(
+                    "{:<32} parallel speedup {speedup:.2}x (baseline {:.2}x)",
+                    base.scenario,
+                    base.speedup_vs_sequential.unwrap_or(0.0)
+                ),
+                None => failures.push(format!(
+                    "{}: baseline gates parallel speedup but the current report omits it",
+                    base.scenario
+                )),
+            }
         }
         if base.ttft_p99_ms() > 0.0
             && cur.ttft_p99_ms() > base.ttft_p99_ms() * (1.0 + latency_tolerance)

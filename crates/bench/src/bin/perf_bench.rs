@@ -24,7 +24,7 @@
 
 use papi_core::{
     ClusterEngine, ClusterSpec, DecodingSimulator, DesignKind, ServingEngine, SessionTuning,
-    SystemConfig,
+    StepMode, SystemConfig,
 };
 use papi_llm::ModelPreset;
 use papi_workload::{
@@ -43,6 +43,9 @@ struct ScenarioResult {
     iterations: u64,
     cache_hit_rate: f64,
     ttft_p99_ms: f64,
+    /// Parallel-over-sequential wall-clock ratio, for scenarios that
+    /// time both cluster step modes (`null` elsewhere).
+    speedup_vs_sequential: Option<f64>,
 }
 
 #[derive(Debug, Serialize)]
@@ -89,6 +92,7 @@ fn time_scenario(name: &str, run: impl Fn() -> ScenarioOutputs) -> ScenarioResul
         iterations: outputs.iterations,
         cache_hit_rate: outputs.cache_hit_rate,
         ttft_p99_ms: outputs.ttft_p99_ms,
+        speedup_vs_sequential: None,
     }
 }
 
@@ -122,7 +126,16 @@ fn main() {
             let report = ServingEngine::new(SystemConfig::build(DesignKind::Papi, model.config()))
                 .with_max_batch(32)
                 .run(&workload);
-            ScenarioOutputs::plain(report.tokens, report.iterations)
+            ScenarioOutputs {
+                tokens: report.tokens,
+                iterations: report.iterations,
+                cache_hit_rate: 0.0,
+                ttft_p99_ms: report
+                    .ttft_summary()
+                    .expect("non-empty episode")
+                    .p99
+                    .as_millis(),
+            }
         }));
     }
 
@@ -147,7 +160,11 @@ fn main() {
             tokens: report.tokens,
             iterations: report.iterations,
             cache_hit_rate: report.kv.hit_rate(),
-            ttft_p99_ms: 0.0,
+            ttft_p99_ms: report
+                .ttft_summary()
+                .expect("non-empty episode")
+                .p99
+                .as_millis(),
         }
     }));
 
@@ -179,7 +196,11 @@ fn main() {
             tokens: report.tokens(),
             iterations: report.replicas.iter().map(|r| r.iterations).sum(),
             cache_hit_rate: report.cache_hit_rate(),
-            ttft_p99_ms: 0.0,
+            ttft_p99_ms: report
+                .ttft_summary()
+                .expect("non-empty episode")
+                .p99
+                .as_millis(),
         }
     }));
 
@@ -222,6 +243,66 @@ fn main() {
                 .as_millis(),
         }
     }));
+
+    // 64-replica fleet under bursty multi-turn chat with
+    // prefix-affinity routing: the parallel-stepping showcase. Times
+    // both step modes (best-of-3 each), asserts their reports are
+    // bit-for-bit identical, and gates the parallel path's wall-clock
+    // advantage through `speedup_vs_sequential`.
+    scenarios.push({
+        let workload = ServingWorkload::new(
+            ConversationDataset::multi_turn(DatasetKind::GeneralQa, 512, 4),
+            ArrivalProcess::Bursty {
+                burst_size: 8,
+                interval_sec: 1.0,
+            },
+            2048,
+        )
+        .with_seed(42);
+        let spec = ClusterSpec::new(DesignKind::PimOnlyPapi, model.config(), 1, 64)
+            .with_routing(PolicySpec::prefix_affinity())
+            .with_tuning(
+                SessionTuning::default()
+                    .with_max_batch(8)
+                    .with_kv_block_size(16)
+                    .with_prefix_sharing(true),
+            );
+        let run_mode = |mode: StepMode| {
+            let engine =
+                ClusterEngine::new(spec.clone().with_step_mode(mode)).expect("valid fleet");
+            let start = Instant::now();
+            let report = engine.run(&workload);
+            (start.elapsed().as_secs_f64(), report)
+        };
+        // Warm both paths, then interleave timed runs so machine-load
+        // drift hits both modes equally.
+        let (_, seq_report) = run_mode(StepMode::Sequential);
+        let (_, par_report) = run_mode(StepMode::Parallel);
+        assert_eq!(
+            serde_json::to_string(&seq_report).expect("report serializes"),
+            serde_json::to_string(&par_report).expect("report serializes"),
+            "parallel fleet stepping diverged from the sequential reference"
+        );
+        let (mut seq_best, mut par_best) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..3 {
+            seq_best = seq_best.min(run_mode(StepMode::Sequential).0);
+            par_best = par_best.min(run_mode(StepMode::Parallel).0);
+        }
+        ScenarioResult {
+            scenario: "cluster_fleet_64".to_owned(),
+            wall_ms: par_best * 1e3,
+            tokens: par_report.tokens(),
+            tokens_per_sec: par_report.tokens() as f64 / par_best.max(1e-12),
+            iterations: par_report.replicas.iter().map(|r| r.iterations).sum(),
+            cache_hit_rate: par_report.cache_hit_rate(),
+            ttft_p99_ms: par_report
+                .ttft_summary()
+                .expect("non-empty episode")
+                .p99
+                .as_millis(),
+            speedup_vs_sequential: Some(seq_best / par_best),
+        }
+    });
 
     let report = PerfReport {
         schema: "papi-perf-bench/1".to_owned(),

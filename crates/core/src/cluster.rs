@@ -37,7 +37,8 @@
 
 use crate::config::{DesignKind, SystemConfig};
 use crate::metrics::{LatencySummary, RequestRecord, ServingReport};
-use crate::serving::{PrefillHandoff, ServingEngine, SessionTuning};
+use crate::pricer::SharedIterationCache;
+use crate::serving::{PrefillHandoff, ServingEngine, ServingSession, SessionTuning};
 use crate::slo::SloSpec;
 use papi_interconnect::{
     ClusterTopology, LinkSpec, MigrationCost, MigrationPricing, TopologyError,
@@ -48,8 +49,38 @@ use papi_workload::{
     MigrationContext, MigrationPolicy, MigrationSpec, PolicySpec, ReplicaRole, ReplicaSnapshot,
     RouteContext, RoutePolicy, Router, ServingWorkload,
 };
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
+
+/// How [`ClusterEngine::run_with_policies`] advances replicas between
+/// control-plane events.
+///
+/// Both modes produce **bit-for-bit identical** [`ClusterReport`]s —
+/// `Parallel` is a pure wall-clock optimization, pinned against
+/// `Sequential` by `tests/parallel_equality.rs` and the golden
+/// fingerprints in `tests/routing_equality.rs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum StepMode {
+    /// The reference event loop: one global scan per simulator step,
+    /// always advancing the minimum-clock replica. Simple, obviously
+    /// correct, and linearly slow in fleet size — kept as the escape
+    /// hatch and as the equality oracle for `Parallel`.
+    Sequential,
+    /// Window-at-a-time: between consecutive global events (an arrival
+    /// being routed, or a migration delivery) every replica with
+    /// pending work below the event horizon steps to the horizon
+    /// independently — fanned out via rayon — because replicas only
+    /// interact *at* events. Prefill-role replicas still advance one
+    /// step at a time under a tightening bound (each export they emit
+    /// can schedule a delivery earlier than the horizon, capping how
+    /// far anyone may step), which preserves the sequential path's
+    /// event order exactly. Replica snapshots are dirty-tracked and
+    /// iteration pricing is memoized fleet-wide per design.
+    #[default]
+    Parallel,
+}
 
 /// The shape of a PAPI fleet: one design sharded `tp_degree`-way per
 /// group, `dp_replicas` groups behind the router.
@@ -92,6 +123,9 @@ pub struct ClusterSpec {
     /// What link prices the KV-migration transfers (the inter-node
     /// fabric by default; `Free` is the zero-cost ablation).
     pub migration_pricing: MigrationPricing,
+    /// How replicas advance between control-plane events. Both modes
+    /// produce identical reports; `Parallel` (the default) is faster.
+    pub step_mode: StepMode,
 }
 
 impl ClusterSpec {
@@ -117,6 +151,7 @@ impl ClusterSpec {
             decode_design: None,
             migration: MigrationSpec::default(),
             migration_pricing: MigrationPricing::default(),
+            step_mode: StepMode::default(),
         }
     }
 
@@ -151,6 +186,13 @@ impl ClusterSpec {
     /// Overrides how KV-migration transfers are priced.
     pub fn with_migration_pricing(mut self, pricing: MigrationPricing) -> Self {
         self.migration_pricing = pricing;
+        self
+    }
+
+    /// Selects how replicas advance between control-plane events
+    /// ([`StepMode::Parallel`] by default).
+    pub fn with_step_mode(mut self, step_mode: StepMode) -> Self {
+        self.step_mode = step_mode;
         self
     }
 
@@ -391,16 +433,26 @@ impl ClusterEngine {
         policy: &mut dyn RoutePolicy,
         migration: &mut dyn MigrationPolicy,
     ) -> ClusterReport {
-        let roles = self.roles();
-        let mut sessions: Vec<_> = self
-            .replicas
+        match self.spec.step_mode {
+            StepMode::Sequential => self.run_sequential(workload, policy, migration),
+            StepMode::Parallel => self.run_parallel(workload, policy, migration),
+        }
+    }
+
+    /// Opens one session per replica: replica 0 keeps the workload's
+    /// acceptance stream (a 1-replica cluster is bit-identical to the
+    /// single engine), later replicas decorrelate by index, and
+    /// prefill-role replicas export their completed prompts.
+    fn open_sessions(
+        &self,
+        workload: &ServingWorkload,
+        roles: &[ReplicaRole],
+    ) -> Vec<ServingSession<'_>> {
+        self.replicas
             .iter()
             .enumerate()
             .map(|(idx, engine)| {
                 let mut session = engine.open_session(workload);
-                // Replica 0 keeps the workload's acceptance stream (a
-                // 1-replica cluster is bit-identical to the single
-                // engine); later replicas decorrelate by index.
                 if idx > 0 {
                     session
                         .reseed(workload.seed ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
@@ -410,7 +462,19 @@ impl ClusterEngine {
                 }
                 session
             })
-            .collect();
+            .collect()
+    }
+
+    /// The [`StepMode::Sequential`] reference loop: one global
+    /// minimum-clock scan per simulator step.
+    fn run_sequential(
+        &self,
+        workload: &ServingWorkload,
+        policy: &mut dyn RoutePolicy,
+        migration: &mut dyn MigrationPolicy,
+    ) -> ClusterReport {
+        let roles = self.roles();
+        let mut sessions = self.open_sessions(workload, &roles);
         let arrivals = workload.requests();
         let mut next_arrival = 0usize;
         let mut in_flight: Vec<InFlightMigration> = Vec::new();
@@ -424,7 +488,8 @@ impl ClusterEngine {
 
         // Stamp each replica's snapshot with its configured role, so
         // policies can honor the disaggregation contract.
-        let observe = |sessions: &[crate::serving::ServingSession<'_>]| -> Vec<ReplicaSnapshot> {
+        let observe = |sessions: &[ServingSession<'_>]| -> Vec<ReplicaSnapshot> {
+            papi_perf::phase!("snapshot");
             sessions
                 .iter()
                 .zip(&roles)
@@ -487,12 +552,15 @@ impl ClusterEngine {
                 Some(pos) => {
                     let migrated = in_flight.remove(pos);
                     let snapshots = observe(&sessions);
-                    let target = migration.place(&MigrationContext {
-                        request: &migrated.handoff.request,
-                        kv_tokens: migrated.handoff.kv.tokens,
-                        source: migrated.source,
-                        replicas: &snapshots,
-                    });
+                    let target = {
+                        papi_perf::phase!("migrate");
+                        migration.place(&MigrationContext {
+                            request: &migrated.handoff.request,
+                            kv_tokens: migrated.handoff.kv.tokens,
+                            source: migrated.source,
+                            replicas: &snapshots,
+                        })
+                    };
                     assert!(
                         target < sessions.len(),
                         "migration policy {} picked replica {target} in a {}-replica fleet",
@@ -515,10 +583,13 @@ impl ClusterEngine {
                         let request = arrivals[next_arrival].clone();
                         next_arrival += 1;
                         let snapshots = observe(&sessions);
-                        let target = policy.route(&RouteContext {
-                            request: &request,
-                            replicas: &snapshots,
-                        });
+                        let target = {
+                            papi_perf::phase!("route");
+                            policy.route(&RouteContext {
+                                request: &request,
+                                replicas: &snapshots,
+                            })
+                        };
                         assert!(
                             target < sessions.len(),
                             "routing policy {} picked replica {target} in a {}-replica fleet",
@@ -540,16 +611,265 @@ impl ClusterEngine {
         }
         debug_assert!(in_flight.is_empty(), "a migration was never delivered");
         stats.latency = LatencySummary::from_times(&transfer_times);
+        self.finish_report(policy.label(), decisions, roles, stats, sessions)
+    }
 
+    /// The [`StepMode::Parallel`] window-at-a-time loop.
+    ///
+    /// Why this is bit-identical to [`run_sequential`](Self::run_sequential):
+    /// replicas interact only *at* global events (a routed arrival, a
+    /// delivered migration) — between events each session's trajectory
+    /// is a function of its own state alone. The sequential loop steps
+    /// the minimum-clock session and re-derives the horizon after every
+    /// step because a fresh prefill export can schedule a delivery
+    /// earlier than the event it was heading for; unrolling that rule,
+    /// a step with pre-step clock `c` executes exactly when `c` is
+    /// below `min(horizon, deliveries of exports from steps with
+    /// pre-step clock < c)`. Only prefill-role sessions export, and a
+    /// delivery always lands strictly after the clock of the step that
+    /// exported it, so: exporters are advanced first, one step at a
+    /// time under that tightening bound (exactly the sequential order
+    /// among themselves — non-exporter steps never affect them); the
+    /// bound is then final, and every other session can run freely to
+    /// it — any interleaving gives the same per-session result, so
+    /// they fan out in parallel. Exports are priced and queued in the
+    /// same order the sequential loop would queue them, preserving
+    /// delivery tie-breaks; snapshots at events are served from a
+    /// dirty-tracked cache (a session not stepped or pushed since the
+    /// last event snapshots identically), and iteration pricing is
+    /// memoized fleet-wide per replica design (a pure function of the
+    /// memo key — see [`SharedIterationCache`]).
+    fn run_parallel(
+        &self,
+        workload: &ServingWorkload,
+        policy: &mut dyn RoutePolicy,
+        migration: &mut dyn MigrationPolicy,
+    ) -> ClusterReport {
+        let roles = self.roles();
+        let mut sessions = self.open_sessions(workload, &roles);
+        let mut caches: HashMap<DesignKind, Arc<SharedIterationCache>> = HashMap::new();
+        for (idx, session) in sessions.iter_mut().enumerate() {
+            let cache = caches.entry(self.spec.design_for(roles[idx])).or_default();
+            session.install_pricer_cache(Arc::clone(cache));
+        }
+        let exporters: Vec<usize> = roles
+            .iter()
+            .enumerate()
+            .filter(|(_, &role)| role == ReplicaRole::Prefill)
+            .map(|(idx, _)| idx)
+            .collect();
+
+        let arrivals = workload.requests();
+        let mut next_arrival = 0usize;
+        let mut in_flight: Vec<InFlightMigration> = Vec::new();
+        let mut decisions = 0u64;
+        let mut stats = MigrationReport {
+            policy: migration.label(),
+            pricing: self.spec.migration_pricing.label(),
+            ..MigrationReport::default()
+        };
+        let mut transfer_times: Vec<Time> = Vec::new();
+
+        // Dirty-tracked snapshot cache: an event re-snapshots only the
+        // replicas that stepped or were pushed to since the last one,
+        // not the whole fleet.
+        let mut snaps: Vec<ReplicaSnapshot> = sessions
+            .iter()
+            .zip(&roles)
+            .map(|(s, &role)| {
+                let mut snapshot = s.snapshot();
+                snapshot.role = role;
+                snapshot
+            })
+            .collect();
+        let mut dirty = vec![false; sessions.len()];
+
+        loop {
+            // The next global event, exactly as the sequential loop
+            // derives it (delivery first on an exact tie).
+            let arrival_t = arrivals.get(next_arrival).map(|r| r.arrival_s);
+            let delivery = in_flight
+                .iter()
+                .enumerate()
+                .min_by(|(ia, a), (ib, b)| a.deliver_s.total_cmp(&b.deliver_s).then(ia.cmp(ib)))
+                .map(|(i, m)| (i, m.deliver_s));
+            let (horizon, deliver_now) = match (arrival_t, delivery) {
+                (Some(at), Some((di, dt))) => {
+                    if dt <= at {
+                        (Some(dt), Some(di))
+                    } else {
+                        (Some(at), None)
+                    }
+                }
+                (Some(at), None) => (Some(at), None),
+                (None, Some((di, dt))) => (Some(dt), Some(di)),
+                (None, None) => (None, None),
+            };
+            let h = horizon.unwrap_or(f64::INFINITY);
+            let mut advanced = false;
+
+            // Exporters advance one step at a time under the
+            // tightening bound: each export can schedule a delivery
+            // earlier than the window's event, capping how far anyone
+            // may step afterwards.
+            if !exporters.is_empty() {
+                loop {
+                    let bound = in_flight.iter().map(|m| m.deliver_s).fold(h, f64::min);
+                    let Some(idx) = exporters
+                        .iter()
+                        .copied()
+                        .filter(|&i| sessions[i].has_pending_work() && sessions[i].clock() < bound)
+                        .min_by(|&a, &b| sessions[a].clock().total_cmp(&sessions[b].clock()))
+                    else {
+                        break;
+                    };
+                    sessions[idx].step();
+                    dirty[idx] = true;
+                    advanced = true;
+                    for handoff in sessions[idx].drain_egress() {
+                        let cost = self.price_migration(idx, &handoff);
+                        in_flight.push(InFlightMigration {
+                            deliver_s: handoff.ready_s + cost.time.value(),
+                            source: idx,
+                            handoff,
+                            cost,
+                        });
+                    }
+                }
+            }
+
+            // The bound is now final for this window: the remaining
+            // sessions cannot move it, so each one steps to it
+            // independently — in parallel, no per-step global scan.
+            let bound = in_flight.iter().map(|m| m.deliver_s).fold(h, f64::min);
+            let mut runnable: Vec<&mut ServingSession<'_>> = Vec::new();
+            for (idx, session) in sessions.iter_mut().enumerate() {
+                if roles[idx] != ReplicaRole::Prefill
+                    && session.has_pending_work()
+                    && session.clock() < bound
+                {
+                    dirty[idx] = true;
+                    runnable.push(session);
+                }
+            }
+            if !runnable.is_empty() {
+                advanced = true;
+                let _: Vec<()> = runnable
+                    .into_par_iter()
+                    .map(|session| session.run_until(bound))
+                    .collect();
+            }
+            if advanced {
+                // Fresh exports may have scheduled an earlier event —
+                // re-derive the horizon before handling one.
+                continue;
+            }
+
+            match deliver_now {
+                Some(pos) => {
+                    let migrated = in_flight.remove(pos);
+                    refresh_snapshots(&sessions, &roles, &mut snaps, &mut dirty);
+                    let target = {
+                        papi_perf::phase!("migrate");
+                        migration.place(&MigrationContext {
+                            request: &migrated.handoff.request,
+                            kv_tokens: migrated.handoff.kv.tokens,
+                            source: migrated.source,
+                            replicas: &snaps,
+                        })
+                    };
+                    assert!(
+                        target < sessions.len(),
+                        "migration policy {} picked replica {target} in a {}-replica fleet",
+                        migration.label(),
+                        sessions.len()
+                    );
+                    assert!(
+                        roles[target].can_decode(),
+                        "migration policy {} placed a sequence on prefill-only replica {target}",
+                        migration.label()
+                    );
+                    stats.migrations += 1;
+                    stats.bytes += migrated.cost.bytes.value();
+                    stats.energy += migrated.cost.energy;
+                    transfer_times.push(migrated.cost.time);
+                    sessions[target].push_migrated(migrated.handoff, migrated.deliver_s);
+                    dirty[target] = true;
+                }
+                None => match next_arrival < arrivals.len() {
+                    true => {
+                        let request = arrivals[next_arrival].clone();
+                        next_arrival += 1;
+                        refresh_snapshots(&sessions, &roles, &mut snaps, &mut dirty);
+                        let target = {
+                            papi_perf::phase!("route");
+                            policy.route(&RouteContext {
+                                request: &request,
+                                replicas: &snaps,
+                            })
+                        };
+                        assert!(
+                            target < sessions.len(),
+                            "routing policy {} picked replica {target} in a {}-replica fleet",
+                            policy.label(),
+                            sessions.len()
+                        );
+                        assert!(
+                            roles[target].accepts_arrivals(),
+                            "routing policy {} sent an arrival to decode-only replica {target}",
+                            policy.label()
+                        );
+                        decisions += 1;
+                        sessions[target].push(request);
+                        dirty[target] = true;
+                    }
+                    // No event, nothing steppable: the episode is done.
+                    false => break,
+                },
+            }
+        }
+        debug_assert!(in_flight.is_empty(), "a migration was never delivered");
+        stats.latency = LatencySummary::from_times(&transfer_times);
+        self.finish_report(policy.label(), decisions, roles, stats, sessions)
+    }
+
+    fn finish_report(
+        &self,
+        routing: String,
+        decisions: u64,
+        roles: Vec<ReplicaRole>,
+        migration: MigrationReport,
+        sessions: Vec<ServingSession<'_>>,
+    ) -> ClusterReport {
         ClusterReport {
             design: self.replicas[0].config().design.label().to_owned(),
             model: self.spec.model.name.clone(),
             tp_degree: self.spec.tp_degree,
-            routing: policy.label(),
+            routing,
             routing_decisions: decisions,
             roles,
-            migration: stats,
+            migration,
             replicas: sessions.into_iter().map(|s| s.into_report()).collect(),
+        }
+    }
+}
+
+/// Refreshes the dirty entries of the cluster's snapshot cache (and
+/// re-stamps their roles). Clean entries are untouched — a session that
+/// neither stepped nor received a push snapshots identically.
+fn refresh_snapshots(
+    sessions: &[ServingSession<'_>],
+    roles: &[ReplicaRole],
+    snaps: &mut [ReplicaSnapshot],
+    dirty: &mut [bool],
+) {
+    papi_perf::phase!("snapshot");
+    for (idx, flag) in dirty.iter_mut().enumerate() {
+        if *flag {
+            let mut snapshot = sessions[idx].snapshot();
+            snapshot.role = roles[idx];
+            snaps[idx] = snapshot;
+            *flag = false;
         }
     }
 }

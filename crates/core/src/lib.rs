@@ -67,7 +67,7 @@ pub mod slo;
 pub use admission::{
     AdmissionCandidate, AdmissionPolicy, AdmissionSpec, AdmissionView, BlockGranular, Fcfs,
 };
-pub use cluster::{ClusterEngine, ClusterReport, ClusterSpec, MigrationReport};
+pub use cluster::{ClusterEngine, ClusterReport, ClusterSpec, MigrationReport, StepMode};
 pub use config::{DesignKind, SchedulerKind, SystemConfig, TpGroup};
 pub use engine::DecodingSimulator;
 pub use metrics::{

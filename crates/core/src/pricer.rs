@@ -23,6 +23,67 @@ use papi_sched::Placement;
 use papi_types::{Bytes, Energy, Time};
 use papi_workload::IterationRecord;
 use std::collections::HashMap;
+use std::hash::BuildHasherDefault;
+use std::sync::{Arc, Mutex};
+
+/// Multiply-rotate hasher (Fx-style) for the pricing memos. Their keys
+/// are a handful of machine words, where the default SipHash's keyed
+/// setup costs more than the whole cache probe — and the memo lookup
+/// sits on the per-iteration hot path of fleet simulation.
+#[derive(Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const FX_SEED: u64 = 0x517c_c1b7_2722_0a95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl std::hash::Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.add(byte as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+type FxMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
 
 /// FC-kernel latency of the whole model (all layers) on a PIM pool at
 /// the given token count (`RLP × TLP`). Shared by the pricer and the
@@ -92,13 +153,127 @@ pub fn fc_cost_on_pu(
     (time * model.layers as f64, energy * model.layers as f64)
 }
 
+/// The memo key a whole decoding iteration prices under: FC placement,
+/// the batch shape `(rlp, tlp)`, and the per-request KV context length
+/// the attention kernels see. [`IterationCost`] is a pure function of
+/// these four (given a fixed [`SystemConfig`]) — the iteration's
+/// `new_tokens` passes through to the cost verbatim and prices nothing.
+pub type IterationKey = (Placement, u64, u64, u64);
+
+/// A full-iteration cost memo shareable across sessions of identical
+/// hardware — the fleet-scale analogue of the per-session FC memo.
+///
+/// A data-parallel fleet serves near-identical traffic on cloned
+/// replicas, so the `(placement, batch shape, kv length)` tuples one
+/// replica prices constantly recur on its siblings. The cluster engine
+/// installs one shared cache per distinct replica design (via
+/// [`crate::serving::ServingSession::install_pricer_cache`]) so each
+/// distinct iteration shape is priced once fleet-wide. Hits return the
+/// memoized cost bit for bit — pricing is a pure function of the key —
+/// so sharing can never change a report.
+/// The memo is two-level. Lookups land first in a fixed-size
+/// direct-mapped lane of write-once slots — a probe there is one hash,
+/// one slot read, and one key compare, with no lock — and fall back to
+/// a mutex-guarded map that absorbs hash collisions. Slots are
+/// [`OnceLock`](std::sync::OnceLock)s: the first session to price a
+/// shape publishes it, racing writers compute the same pure function
+/// and the loser's value is identical, so which write wins can never
+/// change a report.
+#[derive(Debug)]
+pub struct SharedIterationCache {
+    lane: Box<[std::sync::OnceLock<(IterationKey, IterationCost)>]>,
+    overflow: Mutex<FxMap<IterationKey, IterationCost>>,
+    entries: std::sync::atomic::AtomicUsize,
+}
+
+/// Direct-mapped lane size. Fleet episodes measure in the low
+/// thousands of distinct iteration shapes; 2^16 slots keep the
+/// collision (overflow) rate negligible at ~7 MiB per distinct design.
+const LANE_SLOTS: usize = 1 << 16;
+
+fn lane_index(key: &IterationKey) -> usize {
+    use std::hash::{Hash, Hasher};
+    let mut hasher = FxHasher::default();
+    key.hash(&mut hasher);
+    hasher.finish() as usize & (LANE_SLOTS - 1)
+}
+
+impl Default for SharedIterationCache {
+    fn default() -> Self {
+        Self {
+            lane: (0..LANE_SLOTS)
+                .map(|_| std::sync::OnceLock::new())
+                .collect(),
+            overflow: Mutex::new(FxMap::default()),
+            entries: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+}
+
+impl SharedIterationCache {
+    /// An empty shared memo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Distinct iteration shapes priced so far.
+    pub fn len(&self) -> usize {
+        self.entries.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Whether no iteration has been priced yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The memoized cost of `key`, if some session already priced it.
+    fn get(&self, key: &IterationKey) -> Option<IterationCost> {
+        match self.lane[lane_index(key)].get() {
+            Some((slot_key, cost)) if slot_key == key => Some(*cost),
+            // An occupied slot holding a different key means a hash
+            // collision: the latecomer lives in the overflow map.
+            Some(_) => self
+                .overflow
+                .lock()
+                .expect("pricer cache poisoned")
+                .get(key)
+                .copied(),
+            None => None,
+        }
+    }
+
+    /// Publishes `cost` for `key`. First writer wins the direct-mapped
+    /// slot; a key whose slot another shape already claimed goes to the
+    /// overflow map.
+    fn insert(&self, key: IterationKey, cost: IterationCost) {
+        let slot = &self.lane[lane_index(&key)];
+        if slot.set((key, cost)).is_err() {
+            let (slot_key, _) = slot.get().expect("occupied slot holds a value");
+            if *slot_key != key {
+                self.overflow
+                    .lock()
+                    .expect("pricer cache poisoned")
+                    .insert(key, cost);
+            } else {
+                // Lost a publish race for the same key: the winner's
+                // value is bit-identical, nothing to do.
+                return;
+            }
+        }
+        self.entries
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
 /// Stateful per-decode pricer: wraps a system configuration plus the
 /// FC-cost memo (FC cost depends only on `(placement, tokens)`, so the
-/// decaying-RLP iterations of a decode hit the cache constantly).
+/// decaying-RLP iterations of a decode hit the cache constantly) and,
+/// optionally, a fleet-shared full-iteration memo.
 #[derive(Debug, Clone)]
 pub struct IterationPricer<'a> {
     config: &'a SystemConfig,
-    fc_cache: HashMap<(Placement, u64), (Time, Energy)>,
+    fc_cache: FxMap<(Placement, u64), (Time, Energy)>,
+    shared: Option<Arc<SharedIterationCache>>,
 }
 
 impl<'a> IterationPricer<'a> {
@@ -106,8 +281,17 @@ impl<'a> IterationPricer<'a> {
     pub fn new(config: &'a SystemConfig) -> Self {
         Self {
             config,
-            fc_cache: HashMap::new(),
+            fc_cache: FxMap::default(),
+            shared: None,
         }
+    }
+
+    /// Installs a fleet-shared full-iteration memo. The caller is
+    /// responsible for sharing a cache only between pricers of
+    /// identical [`SystemConfig`]s — the key does not re-encode the
+    /// hardware.
+    pub fn set_shared_cache(&mut self, cache: Arc<SharedIterationCache>) {
+        self.shared = Some(cache);
     }
 
     /// The priced system.
@@ -122,6 +306,27 @@ impl<'a> IterationPricer<'a> {
     /// Panics if `placement` names a device pool the design does not
     /// have (a scheduler bug, not a workload condition).
     pub fn price_iteration(&mut self, placement: Placement, it: &IterationRecord) -> IterationCost {
+        papi_perf::phase!("price");
+        let Some(shared) = self.shared.as_deref() else {
+            return self.compute_iteration(placement, it);
+        };
+        let kv_per_request = it.total_kv_len.div_ceil(it.rlp).max(1);
+        let key: IterationKey = (placement, it.rlp, it.tlp, kv_per_request);
+        if let Some(hit) = shared.get(&key) {
+            return IterationCost {
+                new_tokens: it.new_tokens,
+                ..hit
+            };
+        }
+        let cost = self.compute_iteration(placement, it);
+        self.shared
+            .as_deref()
+            .expect("shared cache checked above")
+            .insert(key, cost);
+        cost
+    }
+
+    fn compute_iteration(&mut self, placement: Placement, it: &IterationRecord) -> IterationCost {
         let model = &self.config.model;
         let tokens = it.tokens_in_flight();
 
@@ -286,5 +491,110 @@ mod tests {
         let config = SystemConfig::a100_attacc(ModelPreset::Llama65B.config());
         let mut pricer = IterationPricer::new(&config);
         let _ = pricer.price_iteration(Placement::FcPim, &record(4, 1, 128));
+    }
+
+    #[test]
+    fn shared_cache_hit_is_bit_identical_to_cold_pricing() {
+        let config = SystemConfig::pim_only_papi(ModelPreset::Llama65B.config());
+        let cache = Arc::new(SharedIterationCache::new());
+        // Session A warms the cache; session B must read A's entries
+        // and price every shape exactly as a cache-less pricer would.
+        let mut warmer = IterationPricer::new(&config);
+        warmer.set_shared_cache(Arc::clone(&cache));
+        let mut reader = IterationPricer::new(&config);
+        reader.set_shared_cache(Arc::clone(&cache));
+        let mut cold = IterationPricer::new(&config);
+        for rlp in 1..=8u64 {
+            for kv in [64u64, 511, 512, 700, 2048] {
+                let it = record(rlp, 1, kv);
+                let warmed = warmer.price_iteration(Placement::FcPim, &it);
+                let hit = reader.price_iteration(Placement::FcPim, &it);
+                let fresh = cold.price_iteration(Placement::FcPim, &it);
+                assert_eq!(warmed, fresh, "rlp={rlp} kv={kv}: first pricing drifted");
+                assert_eq!(hit, fresh, "rlp={rlp} kv={kv}: cache hit drifted");
+            }
+        }
+        assert_eq!(cache.len(), 8 * 5, "one entry per distinct shape");
+    }
+
+    #[test]
+    fn shared_cache_hit_patches_new_tokens_from_the_live_record() {
+        // `new_tokens` is pass-through accounting, not a cost input: two
+        // iterations with the same (placement, rlp, tlp, kv/request) key
+        // but different token counts share a memo entry, and a hit must
+        // report the *current* record's tokens, not the warmer's.
+        let config = SystemConfig::pim_only_papi(ModelPreset::Llama65B.config());
+        let cache = Arc::new(SharedIterationCache::new());
+        let mut pricer = IterationPricer::new(&config);
+        pricer.set_shared_cache(Arc::clone(&cache));
+        let mut warm = record(4, 2, 512);
+        warm.new_tokens = 8;
+        let warmed = pricer.price_iteration(Placement::FcPim, &warm);
+        assert_eq!(warmed.new_tokens, 8);
+        let mut reuse = warm;
+        reuse.new_tokens = 5;
+        reuse.finished = 3;
+        let hit = pricer.price_iteration(Placement::FcPim, &reuse);
+        assert_eq!(cache.len(), 1, "both records share one memo entry");
+        assert_eq!(hit.new_tokens, 5, "hit must carry the live record's tokens");
+        assert_eq!(
+            IterationCost {
+                new_tokens: hit.new_tokens,
+                ..warmed
+            },
+            hit,
+            "everything but the token count comes from the memo"
+        );
+    }
+
+    #[test]
+    fn shared_cache_counts_distinct_shapes_once() {
+        let config = SystemConfig::pim_only_papi(ModelPreset::Llama65B.config());
+        let cache = Arc::new(SharedIterationCache::new());
+        assert!(cache.is_empty());
+        let mut pricer = IterationPricer::new(&config);
+        pricer.set_shared_cache(Arc::clone(&cache));
+        let it = record(2, 1, 256);
+        pricer.price_iteration(Placement::FcPim, &it);
+        pricer.price_iteration(Placement::FcPim, &it);
+        pricer.price_iteration(Placement::FcPim, &it);
+        assert_eq!(cache.len(), 1, "re-pricing a shape must not recount it");
+        pricer.price_iteration(Placement::FcPim, &record(3, 1, 256));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn shared_cache_survives_lane_collisions() {
+        // Find two keys that hash to the same direct-mapped slot, insert
+        // both, and check each reads back its own cost: the latecomer
+        // must live in (and be found via) the overflow map, never alias
+        // the slot winner's value.
+        let config = SystemConfig::pim_only_papi(ModelPreset::Llama65B.config());
+        let cache = Arc::new(SharedIterationCache::new());
+        let mut pricer = IterationPricer::new(&config);
+        pricer.set_shared_cache(Arc::clone(&cache));
+        let mut slots: FxMap<usize, u64> = FxMap::default();
+        let (kv_a, kv_b) = (1u64..)
+            .find_map(|kv| {
+                let key: IterationKey = (Placement::FcPim, 1, 1, kv);
+                slots.insert(lane_index(&key), kv).map(|first| (first, kv))
+            })
+            .expect("2^16 slots collide within a few hundred keys");
+        let cost_a = pricer.price_iteration(Placement::FcPim, &record(1, 1, kv_a));
+        let cost_b = pricer.price_iteration(Placement::FcPim, &record(1, 1, kv_b));
+        assert_eq!(cache.len(), 2, "the collision victim still counts");
+        assert_ne!(
+            cost_a.attn_time, cost_b.attn_time,
+            "distinct KV lengths must price differently (attention is KV-linear)"
+        );
+        // Hits after the collision: each key returns its own cost.
+        assert_eq!(
+            pricer.price_iteration(Placement::FcPim, &record(1, 1, kv_a)),
+            cost_a
+        );
+        assert_eq!(
+            pricer.price_iteration(Placement::FcPim, &record(1, 1, kv_b)),
+            cost_b
+        );
     }
 }

@@ -38,7 +38,7 @@ use crate::admission::{AdmissionCandidate, AdmissionPolicy, AdmissionSpec, Admis
 use crate::config::SystemConfig;
 use crate::metrics::{PhaseBreakdown, RequestRecord, ServingReport};
 use crate::prefill::{prefill_cost_for, PromptStats};
-use crate::pricer::IterationPricer;
+use crate::pricer::{IterationPricer, SharedIterationCache};
 use papi_kv::{KvBlockPool, KvCacheStats, KvPoolStats, KvSeq, KvSeqExport, PrefixTree};
 use papi_sched::{FcScheduler, Placement};
 use papi_types::{Energy, Time};
@@ -406,6 +406,7 @@ impl ServingEngine {
             next_arrival: 0,
             queue: VecDeque::new(),
             live: Vec::new(),
+            scratch_idx: Vec::new(),
             phases: PhaseBreakdown::default(),
             energy: Energy::ZERO,
             prefill_time: Time::ZERO,
@@ -512,6 +513,10 @@ pub struct ServingSession<'a> {
     next_arrival: usize, // index into arrival-sorted `requests`
     queue: VecDeque<usize>,
     live: Vec<usize>,
+    /// Reused index scratch for the per-step decode batch: stepping is
+    /// the fleet simulator's hot loop, and a fresh heap allocation per
+    /// iteration is measurable at 64-replica scale.
+    scratch_idx: Vec<usize>,
     phases: PhaseBreakdown,
     energy: Energy,
     prefill_time: Time,
@@ -688,6 +693,16 @@ impl ServingSession<'_> {
         self.rng = StdRng::seed_from_u64(seed.wrapping_mul(0x5851_f42d_4c95_7f2d));
     }
 
+    /// Installs a fleet-shared full-iteration pricing memo (see
+    /// [`SharedIterationCache`]): identical iteration shapes priced by
+    /// *any* session sharing the cache are computed once. The caller
+    /// must share a cache only between sessions of identical
+    /// [`SystemConfig`]s — the cluster engine keeps one per distinct
+    /// replica design.
+    pub fn install_pricer_cache(&mut self, cache: Arc<SharedIterationCache>) {
+        self.pricer.set_shared_cache(cache);
+    }
+
     fn evictable_blocks(&self) -> u64 {
         self.prefix_tree
             .as_ref()
@@ -743,26 +758,39 @@ impl ServingSession<'_> {
         // cached prefix counts — those blocks are resident). With
         // monolithic prefill nothing is ever mid-prefill here, so this
         // reduces to the scalar engine's `total_kv_len + new_tokens`.
-        let written_prefilling: u64 = self
-            .live
-            .iter()
-            .filter(|&&i| self.requests[i].state == RequestState::Prefilling)
-            .map(|&i| self.prefilled[i])
-            .sum();
-        let resident = self.kv_tokens - self.prefilling_kv_tokens + written_prefilling;
+        let resident = if self.prefilling_kv_tokens == 0 {
+            // Nothing mid-prefill (always true between monolithic
+            // steps): every resident token is a decoded context's.
+            self.kv_tokens
+        } else {
+            let written_prefilling: u64 = self
+                .live
+                .iter()
+                .filter(|&&i| self.requests[i].state == RequestState::Prefilling)
+                .map(|&i| self.prefilled[i])
+                .sum();
+            self.kv_tokens - self.prefilling_kv_tokens + written_prefilling
+        };
         self.peak_kv_tokens = self.peak_kv_tokens.max(resident);
         let in_use = self.pool.blocks_in_use();
         self.kv_stats.peak_blocks_in_use = self.kv_stats.peak_blocks_in_use.max(in_use);
-        if self.pool.block_size() > 1 && in_use > 0 {
-            let slack: u64 = self
-                .live
-                .iter()
-                .filter_map(|&i| self.seqs[i].as_ref())
-                .map(|seq| seq.slack(self.pool.block_size()))
-                .sum();
-            let fraction = slack as f64 / (in_use * self.pool.block_size()) as f64;
-            if fraction > self.kv_stats.peak_fragmentation {
-                self.kv_stats.peak_fragmentation = fraction;
+        let block_size = self.pool.block_size();
+        if block_size > 1 && in_use > 0 {
+            // Per-sequence slack tops out at `block_size - 1`; when even
+            // that bound cannot beat the recorded peak, skip the scan.
+            let bound =
+                (self.live.len() as u64 * (block_size - 1)) as f64 / (in_use * block_size) as f64;
+            if bound > self.kv_stats.peak_fragmentation {
+                let slack: u64 = self
+                    .live
+                    .iter()
+                    .filter_map(|&i| self.seqs[i].as_ref())
+                    .map(|seq| seq.slack(block_size))
+                    .sum();
+                let fraction = slack as f64 / (in_use * block_size) as f64;
+                if fraction > self.kv_stats.peak_fragmentation {
+                    self.kv_stats.peak_fragmentation = fraction;
+                }
             }
         }
     }
@@ -777,6 +805,7 @@ impl ServingSession<'_> {
     /// pool, or if the episode exceeds the engine's iteration safety
     /// valve.
     pub fn step(&mut self) -> SessionStatus {
+        papi_perf::phase!("step");
         if !self.has_pending_work() {
             return SessionStatus::Idle;
         }
@@ -795,9 +824,11 @@ impl ServingSession<'_> {
         //     single-request capacity assert), the admission policy the
         //     decision. An empty batch always admits, so no policy can
         //     stall the episode. ---
-        // One footprint list per step, extended as candidates join, so
-        // the per-candidate policy call allocates nothing.
-        let mut live_kv = self.live_kv();
+        // One footprint list per step, built lazily on the first policy
+        // consult (the steady-state decode step admits nobody and must
+        // not allocate) and extended as candidates join, so the
+        // per-candidate policy call allocates nothing.
+        let mut live_kv: Option<Vec<u64>> = None;
         while (self.live.len() as u64) < self.engine.tuning.max_batch {
             let Some(&candidate) = self.queue.front() else {
                 break;
@@ -816,6 +847,10 @@ impl ServingSession<'_> {
             // never fail even if the cached prefix turns out to be
             // pinned.
             if !self.live.is_empty() {
+                if live_kv.is_none() {
+                    live_kv = Some(self.live_kv());
+                }
+                let footprints = live_kv.as_deref().expect("footprints just materialized");
                 let admission = AdmissionCandidate {
                     id: self.requests[candidate].request.id,
                     prefill_tokens: prefill_len,
@@ -824,13 +859,15 @@ impl ServingSession<'_> {
                 if !self
                     .engine
                     .admission
-                    .admit(&admission, &self.admission_view(&live_kv))
+                    .admit(&admission, &self.admission_view(footprints))
                 {
                     break;
                 }
             }
             self.queue.pop_front();
-            live_kv.push(self.requests[candidate].kv_len());
+            if let Some(kv) = live_kv.as_mut() {
+                kv.push(self.requests[candidate].kv_len());
+            }
 
             // Fork the cached prefix, if sharing is on and one exists.
             // A migrated (prefill-paid) sequence skips the cache: its
@@ -906,12 +943,21 @@ impl ServingSession<'_> {
         //     remaining first, interleaved with decode) ---
         let mut wave = PromptStats::default();
         let mut budget = self.engine.tuning.prefill_chunk.unwrap_or(u64::MAX);
-        let mut pending: Vec<usize> = self
+        // Steady-state decode steps have nothing mid-prefill; the scan
+        // below is a handful of state reads and skips the list build.
+        let any_prefilling = self
             .live
             .iter()
-            .copied()
-            .filter(|&i| self.requests[i].state == RequestState::Prefilling)
-            .collect();
+            .any(|&i| self.requests[i].state == RequestState::Prefilling);
+        let mut pending: Vec<usize> = if any_prefilling {
+            self.live
+                .iter()
+                .copied()
+                .filter(|&i| self.requests[i].state == RequestState::Prefilling)
+                .collect()
+        } else {
+            Vec::new()
+        };
         if self.engine.tuning.prefill_chunk.is_some() {
             pending.sort_by_key(|&i| (self.requests[i].prefill_len() - self.prefilled[i], i));
         }
@@ -1039,12 +1085,14 @@ impl ServingSession<'_> {
         }
 
         // --- one decoding iteration over the decode-ready batch ---
-        let decoding: Vec<usize> = self
-            .live
-            .iter()
-            .copied()
-            .filter(|&i| self.requests[i].state == RequestState::Decoding)
-            .collect();
+        let mut decoding = std::mem::take(&mut self.scratch_idx);
+        decoding.clear();
+        decoding.extend(
+            self.live
+                .iter()
+                .copied()
+                .filter(|&i| self.requests[i].state == RequestState::Decoding),
+        );
         if decoding.is_empty() {
             // A pure prefill step (chunked prefill still working
             // through the admitted prompts, or a prefill-role step
@@ -1055,17 +1103,83 @@ impl ServingSession<'_> {
                 wave.tokens > 0 || exported_now > 0,
                 "a step must advance prefill, export, or decode"
             );
+            self.scratch_idx = decoding;
             self.track_kv_peaks();
             return SessionStatus::Advanced;
         }
-        let rlp = decoding.len() as u64;
-        let tlp = self.tlp_policy.length_at(rlp, self.speculation.length);
         let total_kv_len = self.kv_tokens - self.prefilling_kv_tokens;
         let max_kv_len = decoding
             .iter()
             .map(|&i| self.requests[i].kv_len())
             .max()
             .unwrap_or(1);
+        self.decode_round(decoding, total_kv_len, max_kv_len);
+        SessionStatus::Advanced
+    }
+
+    /// Runs this session forward until its clock reaches `bound` or it
+    /// runs out of work. Exactly equivalent to calling
+    /// [`step`](Self::step) in a loop while
+    /// [`has_pending_work`](Self::has_pending_work) holds and the clock
+    /// is below `bound`, but steady-state decode steps — no pending
+    /// arrivals, an empty admission queue, nothing mid-prefill — take a
+    /// fast path that skips the ingest/admission/prefill machinery the
+    /// full step would discover to be no-ops. The parallel cluster loop
+    /// uses this to burst replicas between control-plane events.
+    pub fn run_until(&mut self, bound: f64) {
+        while self.has_pending_work() && self.clock < bound {
+            // Anything that could feed the batch this step — an
+            // un-ingested arrival, a queued request, a mid-prefill
+            // prompt, or prefill-export duty — takes the full step.
+            let steady = self.next_arrival == self.requests.len()
+                && self.queue.is_empty()
+                && self.prefilling_kv_tokens == 0
+                && !self.export_prefills;
+            if !steady || !self.fast_decode_step() {
+                self.step();
+            }
+        }
+    }
+
+    /// The steady-state decode step: every live request is decoding and
+    /// nothing can join the batch, so the step is guard + decode round.
+    /// Returns `false` without side effects when this iteration's KV
+    /// growth would overflow the pool — the caller falls back to
+    /// [`step`](Self::step), which owns eviction and preemption.
+    fn fast_decode_step(&mut self) -> bool {
+        // `has_pending_work` plus drained arrivals/queue means the
+        // remaining work is all live — and with nothing mid-prefill,
+        // all decoding.
+        debug_assert!(!self.live.is_empty());
+        let rlp = self.live.len() as u64;
+        let tlp = self.tlp_policy.length_at(rlp, self.speculation.length);
+        let mut growth = 0u64;
+        let mut max_kv_len = 0u64;
+        for pos in 0..self.live.len() {
+            let i = self.live[pos];
+            let kv = self.requests[i].kv_len();
+            growth += self.pool.growth_blocks(kv, tlp);
+            max_kv_len = max_kv_len.max(kv);
+        }
+        if self.pool.blocks_in_use() + growth > self.pool.total_blocks() {
+            return false;
+        }
+        papi_perf::phase!("step");
+        let mut decoding = std::mem::take(&mut self.scratch_idx);
+        decoding.clear();
+        decoding.extend_from_slice(&self.live);
+        let total_kv_len = self.kv_tokens;
+        self.decode_round(decoding, total_kv_len, max_kv_len);
+        true
+    }
+
+    /// One decoding iteration over `decoding` (which the caller
+    /// guarantees fits the pool): sample acceptance, bank tokens, price
+    /// the batch, advance the clock, retire finishers. Takes the scratch
+    /// index buffer by value and hands it back to `self.scratch_idx`.
+    fn decode_round(&mut self, decoding: Vec<usize>, total_kv_len: u64, max_kv_len: u64) {
+        let rlp = decoding.len() as u64;
+        let tlp = self.tlp_policy.length_at(rlp, self.speculation.length);
         self.peak_rlp = self.peak_rlp.max(rlp);
 
         let placement = self.scheduler.decide(rlp, tlp);
@@ -1148,6 +1262,7 @@ impl ServingSession<'_> {
             });
         }
         self.live.retain(|i| !finishers.contains(i));
+        self.scratch_idx = decoding;
 
         self.iterations += 1;
         assert!(
@@ -1155,7 +1270,6 @@ impl ServingSession<'_> {
             "serving episode exceeded {} iterations — runaway workload?",
             self.engine.max_iterations
         );
-        SessionStatus::Advanced
     }
 
     fn ingest(&mut self) {

@@ -42,7 +42,11 @@ pub struct SchedulerStats {
 /// Attention placement is not part of the trait: in every system the
 /// paper evaluates, attention runs on whatever memory-side device holds
 /// the KV cache.
-pub trait FcScheduler {
+///
+/// `Send` is a supertrait so boxed schedulers can live inside serving
+/// sessions that fan out across threads (the cluster engine's parallel
+/// step mode).
+pub trait FcScheduler: Send {
     /// Decides the placement for an iteration at `(rlp, tlp)`.
     fn decide(&mut self, rlp: u64, tlp: u64) -> Placement;
 
@@ -181,8 +185,8 @@ impl FcScheduler for StaticScheduler {
 /// measure how much of the oracle's win the α-threshold captures.
 pub struct OracleScheduler<F, G>
 where
-    F: FnMut(u64) -> Time,
-    G: FnMut(u64) -> Time,
+    F: FnMut(u64) -> Time + Send,
+    G: FnMut(u64) -> Time + Send,
 {
     pim_latency: F,
     pu_latency: G,
@@ -192,8 +196,8 @@ where
 
 impl<F, G> OracleScheduler<F, G>
 where
-    F: FnMut(u64) -> Time,
-    G: FnMut(u64) -> Time,
+    F: FnMut(u64) -> Time + Send,
+    G: FnMut(u64) -> Time + Send,
 {
     /// Creates the oracle from latency callbacks taking the token count
     /// `RLP × TLP`.
@@ -209,8 +213,8 @@ where
 
 impl<F, G> core::fmt::Debug for OracleScheduler<F, G>
 where
-    F: FnMut(u64) -> Time,
-    G: FnMut(u64) -> Time,
+    F: FnMut(u64) -> Time + Send,
+    G: FnMut(u64) -> Time + Send,
 {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("OracleScheduler")
@@ -221,8 +225,8 @@ where
 
 impl<F, G> FcScheduler for OracleScheduler<F, G>
 where
-    F: FnMut(u64) -> Time,
-    G: FnMut(u64) -> Time,
+    F: FnMut(u64) -> Time + Send,
+    G: FnMut(u64) -> Time + Send,
 {
     fn decide(&mut self, rlp: u64, tlp: u64) -> Placement {
         let tokens = rlp * tlp;

@@ -1,0 +1,163 @@
+//! Equivalence pin for the parallel fleet event loop:
+//! [`StepMode::Parallel`] must reproduce the sequential reference
+//! loop's `ClusterReport` bit for bit, across fleet shapes the
+//! built-in policies can produce — colocated and disaggregated roles,
+//! every migration pricing, prefix-affinity routing, paged KV.
+//!
+//! The parallel loop only ever reorders *wall-clock* execution: the
+//! simulated event order (arrivals, migration deliveries, per-replica
+//! iteration boundaries) is derived from the same horizon arithmetic
+//! the sequential loop uses, so every report field — including RNG
+//! consumption order — must come out identical. Any divergence is a
+//! correctness bug in the windowing, not noise.
+
+use papi::core::{ClusterEngine, ClusterReport, ClusterSpec, DesignKind, SessionTuning, StepMode};
+use papi::interconnect::MigrationPricing;
+use papi::llm::ModelPreset;
+use papi::workload::{
+    ArrivalProcess, ConversationDataset, DatasetKind, PolicySpec, ReplicaRole, ServingWorkload,
+};
+use proptest::prelude::*;
+
+/// FNV-1a over every replica's per-request records, placements, RLP
+/// series, makespan, and energy (field order fixed; floats hashed by
+/// bit pattern) — the same fingerprint `tests/routing_equality.rs`
+/// pins goldens with.
+fn fingerprint(report: &ClusterReport) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for replica in &report.replicas {
+        mix(replica.records.len() as u64);
+        for r in &replica.records {
+            mix(r.id);
+            mix(r.arrival.value().to_bits());
+            mix(r.admitted.value().to_bits());
+            mix(r.first_token.value().to_bits());
+            mix(r.finished.value().to_bits());
+            mix(r.prompt_tokens);
+            mix(r.output_tokens);
+            mix(r.preemptions);
+        }
+        for p in &replica.placements {
+            mix(*p as u64);
+        }
+        for r in &replica.rlp_series {
+            mix(*r);
+        }
+        mix(replica.makespan.value().to_bits());
+        mix(replica.energy.value().to_bits());
+    }
+    h
+}
+
+/// Runs `spec` under both step modes and asserts the reports match —
+/// first by fingerprint (the focused diagnostic), then byte for byte
+/// over the serialized report (the exhaustive check).
+fn assert_modes_agree(spec: ClusterSpec, workload: &ServingWorkload, label: &str) {
+    let run = |mode: StepMode| {
+        ClusterEngine::new(spec.clone().with_step_mode(mode))
+            .expect("valid fleet")
+            .run(workload)
+    };
+    let sequential = run(StepMode::Sequential);
+    let parallel = run(StepMode::Parallel);
+    assert_eq!(
+        fingerprint(&sequential),
+        fingerprint(&parallel),
+        "{label}: parallel stepping diverged from the sequential reference"
+    );
+    assert_eq!(
+        serde_json::to_string(&sequential).expect("report serializes"),
+        serde_json::to_string(&parallel).expect("report serializes"),
+        "{label}: reports fingerprint-equal but serialize differently"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random fleets: replica counts 1–16, random prefill/decode/
+    /// colocated role mixes, every migration pricing, both plain and
+    /// bursty multi-turn traffic.
+    #[test]
+    fn parallel_matches_sequential(
+        seed in 0u64..1_000_000,
+        dp in 1usize..17,
+        prefill_share in 0usize..3,
+        pricing_pick in 0usize..2,
+        bursty in proptest::bool::ANY,
+    ) {
+        // A fleet needs at least one decode-capable replica; cap the
+        // prefill pool below the fleet size.
+        let prefill = prefill_share.min(dp.saturating_sub(1));
+        let roles: Vec<ReplicaRole> = (0..dp)
+            .map(|i| {
+                if i < prefill {
+                    ReplicaRole::Prefill
+                } else {
+                    ReplicaRole::Decode
+                }
+            })
+            .collect();
+        let disaggregated = prefill > 0;
+        let pricing = match pricing_pick {
+            0 => MigrationPricing::Fabric,
+            _ => MigrationPricing::Free,
+        };
+        let workload = if bursty {
+            ServingWorkload::new(
+                ConversationDataset::multi_turn(DatasetKind::GeneralQa, 256, 2),
+                ArrivalProcess::Bursty { burst_size: 4, interval_sec: 1.0 },
+                32,
+            )
+            .with_seed(seed)
+        } else {
+            ServingWorkload::poisson(DatasetKind::GeneralQa, 12.0, 32).with_seed(seed)
+        };
+        let mut spec =
+            ClusterSpec::new(DesignKind::PimOnlyPapi, ModelPreset::Llama65B.config(), 1, dp)
+                .with_tuning(SessionTuning::default().with_max_batch(8));
+        if disaggregated {
+            spec = spec.with_roles(roles).with_migration_pricing(pricing);
+        }
+        assert_modes_agree(
+            spec,
+            &workload,
+            &format!("dp={dp} prefill={prefill} pricing={pricing_pick} bursty={bursty}"),
+        );
+    }
+}
+
+/// The paged, prefix-shared, affinity-routed shape the
+/// `cluster_fleet_64` perf scenario uses (shrunk to a 16-replica fleet
+/// so the suite stays fast): the configuration where the parallel
+/// loop's fast decode path does nearly all the stepping.
+#[test]
+fn parallel_matches_sequential_prefix_affinity_fleet() {
+    let workload = ServingWorkload::new(
+        ConversationDataset::multi_turn(DatasetKind::GeneralQa, 512, 4),
+        ArrivalProcess::Bursty {
+            burst_size: 8,
+            interval_sec: 1.0,
+        },
+        256,
+    )
+    .with_seed(42);
+    let spec = ClusterSpec::new(
+        DesignKind::PimOnlyPapi,
+        ModelPreset::Llama65B.config(),
+        1,
+        16,
+    )
+    .with_routing(PolicySpec::prefix_affinity())
+    .with_tuning(
+        SessionTuning::default()
+            .with_max_batch(8)
+            .with_kv_block_size(16)
+            .with_prefix_sharing(true),
+    );
+    assert_modes_agree(spec, &workload, "prefix-affinity fleet");
+}

@@ -10,7 +10,7 @@
 //! whole simulator run) a static partition is the right tool anyway.
 
 use std::num::NonZeroUsize;
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 /// The rayon-style glob import: `use rayon::prelude::*;`.
 pub mod prelude {
@@ -174,10 +174,7 @@ where
 /// preserving input order.
 fn parallel_map<T: Send, R: Send>(items: Vec<T>, f: &(impl Fn(T) -> R + Sync)) -> Vec<R> {
     let n = items.len();
-    let threads = std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(n.max(1));
+    let threads = thread_budget().min(n.max(1));
     if threads <= 1 {
         return items.into_iter().map(f).collect();
     }
@@ -211,6 +208,18 @@ fn parallel_map<T: Send, R: Send>(items: Vec<T>, f: &(impl Fn(T) -> R + Sync)) -
     let mut parts = gathered.into_inner().expect("parallel_map worker panicked");
     parts.sort_by_key(|(offset, _)| *offset);
     parts.into_iter().flat_map(|(_, part)| part).collect()
+}
+
+/// Worker budget, resolved once: `available_parallelism` costs a
+/// syscall, and fine-grained callers invoke `parallel_map` thousands of
+/// times per run.
+fn thread_budget() -> usize {
+    static BUDGET: OnceLock<usize> = OnceLock::new();
+    *BUDGET.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
 }
 
 #[cfg(test)]
