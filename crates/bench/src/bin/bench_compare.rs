@@ -27,6 +27,11 @@
 //!   simulated latency is deterministic and machine-independent, so
 //!   growth is a modeled-performance regression, not noise. Tune with
 //!   `--latency-tolerance <fraction>`;
+//! - **SLO goodput**: for scenarios whose baseline reports a goodput
+//!   (`goodput_rps > 0`, e.g. `long_context_offload`), a current
+//!   goodput more than the goodput tolerance (default 15 %) *below*
+//!   baseline fails — the tiered-KV scenario exists to hold that
+//!   number up. Tune with `--goodput-tolerance <fraction>`;
 //! - **coverage**: a baseline scenario missing from the current report
 //!   fails; new scenarios are reported but pass.
 //!
@@ -51,6 +56,9 @@ struct ScenarioResult {
     /// `None` (pre-disaggregation reports) or zero both mean "not a
     /// latency-gated scenario".
     ttft_p99_ms: Option<f64>,
+    /// `None` (pre-tiered-KV reports) or zero both mean "not a
+    /// goodput-gated scenario".
+    goodput_rps: Option<f64>,
     /// Parallel-over-sequential wall-clock ratio for scenarios timing
     /// both cluster step modes; `None` elsewhere (and in old reports).
     speedup_vs_sequential: Option<f64>,
@@ -59,6 +67,10 @@ struct ScenarioResult {
 impl ScenarioResult {
     fn ttft_p99_ms(&self) -> f64 {
         self.ttft_p99_ms.unwrap_or(0.0)
+    }
+
+    fn goodput_rps(&self) -> f64 {
+        self.goodput_rps.unwrap_or(0.0)
     }
 }
 
@@ -71,6 +83,10 @@ const DEFAULT_HIT_RATE_TOLERANCE: f64 = 0.15;
 /// Same rationale for simulated tail latency (`--latency-tolerance`
 /// overrides; it gates growth *above* baseline).
 const DEFAULT_LATENCY_TOLERANCE: f64 = 0.15;
+
+/// Same rationale for SLO goodput (`--goodput-tolerance` overrides; it
+/// gates decay *below* baseline).
+const DEFAULT_GOODPUT_TOLERANCE: f64 = 0.15;
 
 #[derive(Debug, Deserialize)]
 struct PerfReport {
@@ -158,10 +174,16 @@ fn main() -> ExitCode {
             Ok(tolerance) => tolerance,
             Err(code) => return code,
         };
+    let goodput_tolerance =
+        match parse_fraction_flag(&mut args, "--goodput-tolerance", DEFAULT_GOODPUT_TOLERANCE) {
+            Ok(tolerance) => tolerance,
+            Err(code) => return code,
+        };
     let (Some(baseline_path), Some(current_path)) = (args.first(), args.get(1)) else {
         eprintln!(
             "usage: bench_compare [--normalize] [--hit-rate-tolerance <f>] \
-             [--latency-tolerance <f>] <baseline.json> <current.json> [tolerance]"
+             [--latency-tolerance <f>] [--goodput-tolerance <f>] \
+             <baseline.json> <current.json> [tolerance]"
         );
         return ExitCode::from(2);
     };
@@ -264,6 +286,19 @@ fn main() -> ExitCode {
                     base.scenario
                 )),
             }
+        }
+        if base.goodput_rps() > 0.0
+            && cur.goodput_rps() < base.goodput_rps() * (1.0 - goodput_tolerance)
+        {
+            failures.push(format!(
+                "{}: SLO goodput regressed {:.1}% (baseline {:.4} req/s, current {:.4} req/s); \
+                 gate allows {:.0}%",
+                base.scenario,
+                (1.0 - cur.goodput_rps() / base.goodput_rps()) * 100.0,
+                base.goodput_rps(),
+                cur.goodput_rps(),
+                goodput_tolerance * 100.0
+            ));
         }
         if base.ttft_p99_ms() > 0.0
             && cur.ttft_p99_ms() > base.ttft_p99_ms() * (1.0 + latency_tolerance)

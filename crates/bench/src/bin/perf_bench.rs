@@ -15,16 +15,18 @@
 //!
 //! `tokens_per_sec` is simulated output tokens per wall-clock second of
 //! simulation — the harness's throughput figure of merit.
-//! `cache_hit_rate` and `ttft_p99_ms` are deterministic simulation
-//! *outputs* (the prefix cache's token hit rate, and the episode's
-//! 99th-percentile simulated time-to-first-token; zero for scenarios
-//! where they don't apply), gated like `tokens`/`iterations` —
-//! `ttft_p99_ms` within `bench_compare`'s latency tolerance. Run with
+//! `cache_hit_rate`, `ttft_p99_ms`, and `goodput_rps` are
+//! deterministic simulation *outputs* (the prefix cache's token hit
+//! rate, the episode's 99th-percentile simulated time-to-first-token,
+//! and the scenario's SLO goodput; zero for scenarios where they don't
+//! apply), gated like `tokens`/`iterations` — `ttft_p99_ms` within
+//! `bench_compare`'s latency tolerance and `goodput_rps` within its
+//! goodput tolerance. Run with
 //! `cargo run --release -p papi-bench --bin perf_bench`.
 
 use papi_core::{
-    ClusterEngine, ClusterSpec, DecodingSimulator, DesignKind, ServingEngine, SessionTuning,
-    StepMode, SystemConfig,
+    ClusterEngine, ClusterSpec, DecodingSimulator, DesignKind, KvTierSpec, ServingEngine,
+    SessionTuning, SloSpec, StepMode, SystemConfig,
 };
 use papi_llm::ModelPreset;
 use papi_workload::{
@@ -43,6 +45,10 @@ struct ScenarioResult {
     iterations: u64,
     cache_hit_rate: f64,
     ttft_p99_ms: f64,
+    /// SLO goodput (requests meeting the scenario's SLO per simulated
+    /// second) for scenarios that declare one; zero elsewhere. A
+    /// deterministic simulation output, gated by `bench_compare`.
+    goodput_rps: f64,
     /// Parallel-over-sequential wall-clock ratio, for scenarios that
     /// time both cluster step modes (`null` elsewhere).
     speedup_vs_sequential: Option<f64>,
@@ -60,6 +66,7 @@ struct ScenarioOutputs {
     iterations: u64,
     cache_hit_rate: f64,
     ttft_p99_ms: f64,
+    goodput_rps: f64,
 }
 
 impl ScenarioOutputs {
@@ -69,6 +76,7 @@ impl ScenarioOutputs {
             iterations,
             cache_hit_rate: 0.0,
             ttft_p99_ms: 0.0,
+            goodput_rps: 0.0,
         }
     }
 }
@@ -92,6 +100,7 @@ fn time_scenario(name: &str, run: impl Fn() -> ScenarioOutputs) -> ScenarioResul
         iterations: outputs.iterations,
         cache_hit_rate: outputs.cache_hit_rate,
         ttft_p99_ms: outputs.ttft_p99_ms,
+        goodput_rps: outputs.goodput_rps,
         speedup_vs_sequential: None,
     }
 }
@@ -135,6 +144,7 @@ fn main() {
                     .expect("non-empty episode")
                     .p99
                     .as_millis(),
+                goodput_rps: 0.0,
             }
         }));
     }
@@ -165,6 +175,44 @@ fn main() {
                 .expect("non-empty episode")
                 .p99
                 .as_millis(),
+            goodput_rps: 0.0,
+        }
+    }));
+
+    // Spill-to-host KV offload under long-context thrash: the capacity
+    // tier keeps evicted conversation contexts and fetches them back at
+    // DIMM pricing instead of re-prefilling. Exercises the tier's
+    // spill/fetch path end to end and gates the two outputs the feature
+    // exists for — SLO goodput and the fetch-priced p99 TTFT.
+    scenarios.push(time_scenario("long_context_offload", || {
+        let workload = ServingWorkload::poisson(
+            ConversationDataset::multi_turn(DatasetKind::LongContext, 4096, 3),
+            1.0,
+            120,
+        )
+        .with_seed(23);
+        let report = ServingEngine::new(SystemConfig::build(
+            DesignKind::PimOnlyPapi,
+            ModelPreset::Gpt3_175B.config(),
+        ))
+        .with_max_batch(16)
+        .with_kv_block_size(16)
+        .with_prefix_sharing(true)
+        .with_kv_tier(KvTierSpec::new(60_000))
+        .run(&workload);
+        // The saturation-scale SLO that separates fetch from recompute
+        // on this workload (see `tests/tiered_kv.rs`).
+        let slo = SloSpec::interactive(600_000.0, 400.0);
+        ScenarioOutputs {
+            tokens: report.tokens,
+            iterations: report.iterations,
+            cache_hit_rate: report.kv.hit_rate(),
+            ttft_p99_ms: report
+                .ttft_summary()
+                .expect("non-empty episode")
+                .p99
+                .as_millis(),
+            goodput_rps: report.goodput(&slo),
         }
     }));
 
@@ -201,6 +249,7 @@ fn main() {
                 .expect("non-empty episode")
                 .p99
                 .as_millis(),
+            goodput_rps: 0.0,
         }
     }));
 
@@ -241,6 +290,7 @@ fn main() {
                 .expect("non-empty episode")
                 .p99
                 .as_millis(),
+            goodput_rps: 0.0,
         }
     }));
 
@@ -300,6 +350,7 @@ fn main() {
                 .expect("non-empty episode")
                 .p99
                 .as_millis(),
+            goodput_rps: 0.0,
             speedup_vs_sequential: Some(seq_best / par_best),
         }
     });

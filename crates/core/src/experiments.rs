@@ -9,9 +9,10 @@ use crate::cluster::{ClusterEngine, ClusterSpec};
 use crate::config::{DesignKind, SystemConfig};
 use crate::engine::DecodingSimulator;
 use crate::metrics::ExecutionReport;
-use crate::serving::{ServingEngine, SessionTuning};
+use crate::serving::{KvTierSpec, ServingEngine, SessionTuning};
 use crate::slo::SloSpec;
 use papi_gpu::{GpuEnergyModel, GpuSpec, MultiGpu};
+use papi_interconnect::TierPricing;
 use papi_llm::{ModelPreset, RooflinePoint};
 use papi_pim::power::power_draw;
 use papi_pim::{PimConfig, PimDevice, PimEnergyBreakdown, PimEnergyModel};
@@ -691,6 +692,136 @@ impl PrefixCacheSweep {
 }
 
 // ---------------------------------------------------------------------
+// Tiered-KV sweeps (beyond the paper: spill-to-host offload, after L3)
+// ---------------------------------------------------------------------
+
+/// One tier configuration's row of a [`TieredKvSweep`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TieredKvRow {
+    /// Configuration label: `"evict"` for the tierless baseline, or
+    /// `"tier:{budget}@{pricing}"` for a tiered point.
+    pub mode: String,
+    /// The tier's block budget (zero for the baseline).
+    pub tier_budget_blocks: u64,
+    /// Requests served.
+    pub requests: u64,
+    /// Requests completed within the SLO, per second.
+    pub goodput_rps: f64,
+    /// Fraction of requests meeting the SLO.
+    pub slo_attainment: f64,
+    /// Median time-to-first-token, ms.
+    pub ttft_p50_ms: f64,
+    /// 99th-percentile time-to-first-token, ms (priced fetches land
+    /// here).
+    pub ttft_p99_ms: f64,
+    /// Fraction of prefill demand served from cache (tier fetches
+    /// included).
+    pub cache_hit_rate: f64,
+    /// Prefix-cache evictions (each becomes a spill candidate).
+    pub prefix_evictions: u64,
+    /// Evicted prefixes the tier kept.
+    pub tier_spills: u64,
+    /// Spilled prefixes fetched back on reuse.
+    pub tier_fetches: u64,
+    /// Total priced fetch transfer time, ms.
+    pub tier_fetch_time_ms: f64,
+    /// KV-pressure preemption events.
+    pub preemptions: u64,
+}
+
+/// A tiered-KV sweep: one thrashing conversation workload served with
+/// plain eviction and then with a KV capacity tier at each budget in
+/// [`tier_budgets`](Self::tier_budgets) — same hot pool, same
+/// admission headroom, so any gap is purely what surviving an eviction
+/// is worth at the configured transfer pricing.
+#[derive(Debug, Clone)]
+pub struct TieredKvSweep {
+    /// Model served.
+    pub model: ModelPreset,
+    /// Design serving it.
+    pub design: DesignKind,
+    /// Prefix-structured request population (long contexts thrash
+    /// best).
+    pub conversations: ConversationDataset,
+    /// Offered load, requests per second.
+    pub rate_per_sec: f64,
+    /// Requests per point.
+    pub num_requests: usize,
+    /// Batch cap (scheduler window) for every engine.
+    pub max_batch: u64,
+    /// Admission-planning fraction of the KV pool.
+    pub kv_headroom: f64,
+    /// Tokens per block (hot pool and tier).
+    pub block_size: u64,
+    /// Tier block budgets swept (the tierless baseline is always run
+    /// first).
+    pub tier_budgets: Vec<u64>,
+    /// Transfer pricing at the tier boundary.
+    pub pricing: TierPricing,
+    /// Latency objective goodput is scored against.
+    pub slo: SloSpec,
+    /// Seed shared by every point.
+    pub seed: u64,
+}
+
+impl TieredKvSweep {
+    fn engine(&self, tier: Option<KvTierSpec>) -> ServingEngine {
+        let mut engine = ServingEngine::new(SystemConfig::build(self.design, self.model.config()))
+            .with_max_batch(self.max_batch)
+            .with_kv_headroom(self.kv_headroom)
+            .with_kv_block_size(self.block_size)
+            .with_prefix_sharing(true);
+        if let Some(spec) = tier {
+            engine = engine.with_kv_tier(spec);
+        }
+        engine
+    }
+
+    /// Serves the baseline and every tier budget, one row each.
+    ///
+    /// Points are independent simulator runs and fan out across cores;
+    /// results are deterministic, baseline first, then budgets in the
+    /// given order.
+    pub fn run(&self) -> Vec<TieredKvRow> {
+        let points: Vec<Option<u64>> = std::iter::once(None)
+            .chain(self.tier_budgets.iter().copied().map(Some))
+            .collect();
+        points
+            .par_iter()
+            .map(|&budget| {
+                let workload = ServingWorkload::poisson(
+                    self.conversations,
+                    self.rate_per_sec,
+                    self.num_requests,
+                )
+                .with_seed(self.seed);
+                let tier = budget.map(|b| KvTierSpec::new(b).with_pricing(self.pricing.clone()));
+                let report = self.engine(tier).run(&workload);
+                let ttft = report.ttft_summary().expect("non-empty episode");
+                TieredKvRow {
+                    mode: match budget {
+                        None => "evict".to_owned(),
+                        Some(b) => format!("tier:{b}@{}", self.pricing.label()),
+                    },
+                    tier_budget_blocks: budget.unwrap_or(0),
+                    requests: report.records.len() as u64,
+                    goodput_rps: report.goodput(&self.slo),
+                    slo_attainment: report.slo_attainment(&self.slo),
+                    ttft_p50_ms: ttft.p50.as_millis(),
+                    ttft_p99_ms: ttft.p99.as_millis(),
+                    cache_hit_rate: report.kv.hit_rate(),
+                    prefix_evictions: report.kv.prefix_evictions,
+                    tier_spills: report.kv.tier_spills,
+                    tier_fetches: report.kv.tier_fetches,
+                    tier_fetch_time_ms: report.kv.tier_fetch_time_s * 1e3,
+                    preemptions: report.preemptions,
+                }
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------
 // Cluster sweeps (beyond the paper: the fleet regime)
 // ---------------------------------------------------------------------
 
@@ -1308,6 +1439,41 @@ mod tests {
             "prefix caching should win goodput at equal DRAM: {} vs {}",
             paged.goodput_rps,
             scalar.goodput_rps
+        );
+    }
+
+    #[test]
+    fn tiered_kv_sweep_rows_are_ordered_and_tier_points_spill() {
+        let rows = TieredKvSweep {
+            model: ModelPreset::Gpt3_175B,
+            design: DesignKind::PimOnlyPapi,
+            conversations: ConversationDataset::multi_turn(DatasetKind::LongContext, 4096, 3),
+            rate_per_sec: 1.0,
+            num_requests: 120,
+            max_batch: 16,
+            kv_headroom: crate::serving::DEFAULT_KV_HEADROOM,
+            block_size: 16,
+            tier_budgets: vec![60_000],
+            pricing: TierPricing::default(),
+            slo: SloSpec::interactive(600_000.0, 400.0),
+            seed: 23,
+        }
+        .run();
+        assert_eq!(rows.len(), 2);
+        let evict = &rows[0];
+        let tiered = &rows[1];
+        assert_eq!(evict.mode, "evict");
+        assert_eq!(evict.tier_budget_blocks, 0);
+        assert_eq!(evict.tier_spills, 0);
+        assert_eq!(tiered.mode, "tier:60000@host-dimm");
+        assert!(tiered.tier_spills > 0, "the tier point should spill");
+        assert!(tiered.tier_fetches > 0, "the tier point should fetch");
+        assert!(tiered.tier_fetch_time_ms > 0.0);
+        assert!(
+            tiered.cache_hit_rate > evict.cache_hit_rate,
+            "fetches should lift the hit rate: {} vs {}",
+            tiered.cache_hit_rate,
+            evict.cache_hit_rate
         );
     }
 

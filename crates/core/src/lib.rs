@@ -76,5 +76,7 @@ pub use metrics::{
 pub use papi_kv::KvCacheStats;
 pub use prefill::{prefill_cost, prefill_cost_for, PrefillCost, PromptStats};
 pub use pricer::IterationPricer;
-pub use serving::{PrefillHandoff, ServingEngine, ServingSession, SessionStatus, SessionTuning};
+pub use serving::{
+    KvTierSpec, PrefillHandoff, ServingEngine, ServingSession, SessionStatus, SessionTuning,
+};
 pub use slo::SloSpec;

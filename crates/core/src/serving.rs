@@ -17,7 +17,7 @@
 //! three opt-in extensions ride on the paging:
 //!
 //! - **prefix sharing** ([`ServingEngine::with_prefix_sharing`]):
-//!   requests carrying a [`PrefixHint`](papi_kv::PrefixHint) fork
+//!   requests carrying a [`PrefixHint`] fork
 //!   cached full blocks of earlier contexts (shared system prompts,
 //!   conversation history) instead of re-prefilling them — saving both
 //!   prefill work and physical capacity;
@@ -39,9 +39,13 @@ use crate::config::SystemConfig;
 use crate::metrics::{PhaseBreakdown, RequestRecord, ServingReport};
 use crate::prefill::{prefill_cost_for, PromptStats};
 use crate::pricer::{IterationPricer, SharedIterationCache};
-use papi_kv::{KvBlockPool, KvCacheStats, KvPoolStats, KvSeq, KvSeqExport, PrefixTree};
+use papi_interconnect::TierPricing;
+use papi_kv::{
+    FetchCandidate, FetchPolicy, FetchSpec, KvBlockPool, KvCacheStats, KvPoolStats, KvSeq,
+    KvSeqExport, KvTier, PrefixHint, PrefixTree, SpillCandidate, SpillPolicy, SpillSpec,
+};
 use papi_sched::{FcScheduler, Placement};
-use papi_types::{Energy, Time};
+use papi_types::{Bytes, Energy, Time};
 use papi_workload::{
     IterationRecord, ReplicaSnapshot, RequestState, ServingRequest, ServingWorkload,
     SpeculativeConfig, TlpPolicy,
@@ -81,6 +85,9 @@ pub struct SessionTuning {
     /// Which built-in admission policy arbitrates batch entry and
     /// preemption.
     pub admission: AdmissionSpec,
+    /// KV capacity tier below the attention pool (`None` — the default
+    /// — keeps plain eviction). Requires `prefix_sharing`.
+    pub kv_tier: Option<KvTierSpec>,
 }
 
 impl Default for SessionTuning {
@@ -92,7 +99,76 @@ impl Default for SessionTuning {
             prefix_sharing: false,
             prefill_chunk: None,
             admission: AdmissionSpec::BlockGranular,
+            kv_tier: None,
         }
+    }
+}
+
+/// Declarative configuration of the KV capacity tier: the host-DRAM /
+/// DIMM-PIM pool cold prefixes spill into instead of being evicted
+/// outright (L3's DIMM tier, PIM-AI's DIMM devices), and are fetched
+/// back from — at a priced transfer — when a request re-lands on them.
+///
+/// The tier shares the hot pool's block size so budgets compare
+/// directly; its traffic is shaped by the [`SpillSpec`]/[`FetchSpec`]
+/// policy seams and priced by [`TierPricing`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KvTierSpec {
+    /// The tier's block budget (same block size as the hot pool).
+    pub budget_blocks: u64,
+    /// Which evicted prefixes are worth keeping.
+    pub spill: SpillSpec,
+    /// Which re-landed prefixes are worth the fetch transfer.
+    pub fetch: FetchSpec,
+    /// What crossing the tier boundary costs.
+    pub pricing: TierPricing,
+}
+
+impl KvTierSpec {
+    /// A tier of `budget_blocks` blocks with the default policies
+    /// (spill everything, fetch everything) over the default
+    /// host-DIMM pricing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget_blocks` is zero.
+    #[track_caller]
+    pub fn new(budget_blocks: u64) -> Self {
+        assert!(budget_blocks > 0, "tier budget must be positive");
+        Self {
+            budget_blocks,
+            spill: SpillSpec::default(),
+            fetch: FetchSpec::default(),
+            pricing: TierPricing::default(),
+        }
+    }
+
+    /// Selects a built-in spill policy.
+    pub fn with_spill(mut self, spill: SpillSpec) -> Self {
+        self.spill = spill;
+        self
+    }
+
+    /// Selects a built-in fetch policy.
+    pub fn with_fetch(mut self, fetch: FetchSpec) -> Self {
+        self.fetch = fetch;
+        self
+    }
+
+    /// Selects the tier-boundary pricing.
+    pub fn with_pricing(mut self, pricing: TierPricing) -> Self {
+        self.pricing = pricing;
+        self
+    }
+
+    /// Range-checks a spec that arrived through serde.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget_blocks` is zero.
+    #[track_caller]
+    pub fn validate(&self) {
+        assert!(self.budget_blocks > 0, "tier budget must be positive");
     }
 }
 
@@ -165,6 +241,15 @@ impl SessionTuning {
         self
     }
 
+    /// Configures the KV capacity tier (spill-to-host offload instead
+    /// of eviction). The tier rides the prefix cache, so
+    /// `prefix_sharing` must also be on by the time the tuning is
+    /// validated.
+    pub fn with_kv_tier(mut self, tier: KvTierSpec) -> Self {
+        self.kv_tier = Some(tier);
+        self
+    }
+
     /// Re-checks every range invariant the builders enforce — the
     /// guard for tunings that arrived through serde (which bypasses
     /// the builder asserts) rather than the `with_*` methods.
@@ -187,6 +272,13 @@ impl SessionTuning {
         assert!(self.kv_block_size > 0, "kv block size must be positive");
         if let Some(chunk) = self.prefill_chunk {
             assert!(chunk > 0, "prefill chunk must be positive");
+        }
+        if let Some(tier) = &self.kv_tier {
+            tier.validate();
+            assert!(
+                self.prefix_sharing,
+                "the KV capacity tier rides the prefix cache: enable prefix_sharing"
+            );
         }
     }
 }
@@ -277,7 +369,7 @@ impl ServingEngine {
     }
 
     /// Enables copy-on-write prefix sharing: requests whose
-    /// [`PrefixHint`](papi_kv::PrefixHint)s name a cached context fork
+    /// [`PrefixHint`]s name a cached context fork
     /// its full blocks instead of re-prefilling them, and completed
     /// contexts are published back into the cache.
     pub fn with_prefix_sharing(mut self, enabled: bool) -> Self {
@@ -304,6 +396,18 @@ impl ServingEngine {
     pub fn with_admission(mut self, admission: AdmissionSpec) -> Self {
         self.tuning.admission = admission;
         self.admission = admission.build();
+        self
+    }
+
+    /// Configures the KV capacity tier: under pool pressure cold
+    /// prefixes *spill* into a host-DRAM/DIMM-PIM pool instead of
+    /// being evicted, and are fetched back — at a
+    /// [`TierPricing`]-priced transfer whose latency lands in TTFT —
+    /// when a later request re-lands on them. Requires
+    /// [`with_prefix_sharing`](Self::with_prefix_sharing) (validated
+    /// at session open).
+    pub fn with_kv_tier(mut self, tier: KvTierSpec) -> Self {
+        self.tuning.kv_tier = Some(tier);
         self
     }
 
@@ -358,6 +462,7 @@ impl ServingEngine {
     /// Panics if the model does not fit the design's weight pool, or if
     /// the attention pool cannot hold even one KV block.
     pub fn open_session(&self, workload: &ServingWorkload) -> ServingSession<'_> {
+        self.tuning.validate();
         if let Err(msg) = self.config.validate_capacity(0.0) {
             panic!("{msg}");
         }
@@ -375,6 +480,13 @@ impl ServingEngine {
             self.tuning.kv_block_size
         );
         let pool = KvBlockPool::new(self.tuning.kv_block_size, total_blocks);
+        let tier = self.tuning.kv_tier.as_ref().map(|spec| TierState {
+            tier: KvTier::new(self.tuning.kv_block_size, spec.budget_blocks),
+            spill: spec.spill.build(),
+            fetch: spec.fetch.build(),
+            pricing: spec.pricing.clone(),
+            block_bytes: self.config.model.kv_bytes_per_token() * self.tuning.kv_block_size as f64,
+        });
         ServingSession {
             engine: self,
             speculation: workload.speculation,
@@ -384,8 +496,10 @@ impl ServingEngine {
             kv_stats: KvCacheStats {
                 block_size: self.tuning.kv_block_size,
                 total_blocks,
+                tier_budget_blocks: tier.as_ref().map_or(0, |t| t.tier.budget_blocks()),
                 ..Default::default()
             },
+            tier,
             pool,
             scheduler: self.config.scheduler.build(),
             pricer: IterationPricer::new(&self.config),
@@ -458,6 +572,20 @@ pub enum SessionStatus {
     Idle,
 }
 
+/// The capacity tier's runtime state: the tier itself, the built
+/// policy objects, and the pricing (with the per-block payload size
+/// precomputed from the model's KV geometry).
+#[derive(Debug)]
+struct TierState {
+    tier: KvTier,
+    spill: Box<dyn SpillPolicy>,
+    fetch: Box<dyn FetchPolicy>,
+    pricing: TierPricing,
+    /// Bytes one KV block carries across the tier boundary:
+    /// `kv_bytes_per_token × block_size`.
+    block_bytes: Bytes,
+}
+
 /// One serving engine's in-flight state, steppable round by round.
 ///
 /// [`ServingEngine::run`] is `open_session` + push everything + step to
@@ -472,6 +600,10 @@ pub struct ServingSession<'a> {
     admit_budget_blocks: u64,
     pool: KvBlockPool,
     prefix_tree: Option<PrefixTree>,
+    /// The KV capacity tier, `Some` when the tuning configures one:
+    /// prefix-cache eviction spills here, admission fork-misses probe
+    /// here before re-prefilling.
+    tier: Option<TierState>,
     kv_stats: KvCacheStats,
     scheduler: Box<dyn FcScheduler>,
     pricer: IterationPricer<'a>,
@@ -682,6 +814,8 @@ impl ServingSession<'_> {
             kv_evictable_blocks: self.evictable_blocks(),
             kv_budget_blocks: self.admit_budget_blocks,
             kv_block_size: self.pool.block_size(),
+            kv_tier_blocks_in_use: self.tier.as_ref().map_or(0, |t| t.tier.blocks_in_use()),
+            kv_tier_budget_blocks: self.tier.as_ref().map_or(0, |t| t.tier.budget_blocks()),
         }
     }
 
@@ -709,6 +843,104 @@ impl ServingSession<'_> {
             .map_or(0, |tree| tree.evictable_blocks(&self.pool))
     }
 
+    /// Evicts the coldest cached prefix — spilling it into the
+    /// capacity tier (when one is configured and its policy agrees)
+    /// instead of forgetting it. Returns the blocks that became free,
+    /// or `None` when there is no cache or nothing left to evict.
+    fn relieve_prefix_cache(&mut self) -> Option<u64> {
+        let tree = self.prefix_tree.as_mut()?;
+        let evicted = tree.evict_lru_entry(&mut self.pool)?;
+        self.kv_stats.prefix_evictions += 1;
+        if let Some(state) = self.tier.as_mut() {
+            let candidate = SpillCandidate {
+                key: evicted.key,
+                tokens: evicted.tokens,
+                blocks: evicted.blocks,
+            };
+            if evicted.tokens > 0 && state.spill.should_spill(&candidate) {
+                let outcome = state.tier.spill(evicted.key, evicted.tokens);
+                if outcome.accepted {
+                    self.kv_stats.tier_spills += 1;
+                    self.kv_stats.tier_spilled_tokens += evicted.tokens;
+                }
+                self.kv_stats.tier_evictions += outcome.evicted_entries;
+                self.kv_stats.tier_peak_blocks = self
+                    .kv_stats
+                    .tier_peak_blocks
+                    .max(state.tier.blocks_in_use());
+            }
+        }
+        Some(evicted.freed)
+    }
+
+    /// On a prefix-cache fork miss, tries to restore the key's spilled
+    /// context from the capacity tier: re-materializes the usable
+    /// (block-aligned) overlap in the hot pool, republishes it into
+    /// the prefix cache so successor turns fork it for free, and
+    /// prices the transfer *on the serving critical path* — its
+    /// latency lands in the admitted request's TTFT (via the session
+    /// clock and prefill time), its energy in the report. Returns
+    /// `None` when there is no tier, no entry, no usable overlap, the
+    /// fetch policy declines, or the hot pool cannot make room — the
+    /// caller then re-prefills, exactly as without a tier.
+    fn try_tier_fetch(&mut self, hint: PrefixHint) -> Option<KvSeq> {
+        let block_size = self.pool.block_size();
+        let state = self.tier.as_mut()?;
+        let tier_tokens = state.tier.peek(hint.key)?;
+        let usable = tier_tokens.min(hint.reuse_tokens / block_size * block_size);
+        if usable == 0 {
+            return None;
+        }
+        let candidate = FetchCandidate {
+            key: hint.key,
+            tier_tokens,
+            reuse_tokens: hint.reuse_tokens,
+            usable_tokens: usable,
+        };
+        if !state.fetch.should_fetch(&candidate) {
+            return None;
+        }
+        // Make room in the hot pool, evicting (and spilling) colder
+        // prefixes; if it stays too tight, skip the fetch and
+        // re-prefill instead.
+        let needed = self.pool.blocks_for(usable);
+        while self.pool.free_blocks() < needed {
+            if self.relieve_prefix_cache().is_none() {
+                break;
+            }
+        }
+        if self.pool.free_blocks() < needed {
+            return None;
+        }
+        // The relief above may itself have spilled into the tier and
+        // LRU-dropped the very entry being fetched — re-check.
+        let state = self.tier.as_mut().expect("tier presence checked above");
+        let fetched = state.tier.fetch(hint.key)?;
+        let usable = usable.min(fetched);
+        let mut seq = self.pool.new_seq();
+        assert!(
+            self.pool.append(&mut seq, usable),
+            "tier fetch allocation failed despite the room check"
+        );
+        if let Some(tree) = self.prefix_tree.as_mut() {
+            if tree.publish(hint.key, seq.blocks(), usable, &mut self.pool) {
+                self.kv_stats.prefix_insertions += 1;
+            }
+        }
+        let state = self.tier.as_ref().expect("tier presence checked above");
+        let cost = state
+            .pricing
+            .cost(self.pool.blocks_for(usable), state.block_bytes);
+        self.clock += cost.time.value();
+        self.prefill_time += cost.time;
+        self.energy += cost.energy;
+        self.kv_stats.tier_fetches += 1;
+        self.kv_stats.tier_fetched_tokens += usable;
+        self.kv_stats.tier_fetch_time_s += cost.time.value();
+        self.kv_stats.tier_fetch_energy_j += cost.energy.value();
+        Some(seq)
+    }
+
     /// Blocks committed to live work: in use minus what prefix-cache
     /// eviction could reclaim on demand.
     fn committed_blocks(&self) -> u64 {
@@ -729,7 +961,7 @@ impl ServingSession<'_> {
     }
 
     /// Publishes request `idx`'s context (its shareable leading tokens,
-    /// per its [`PrefixHint`](papi_kv::PrefixHint)) into the prefix
+    /// per its [`PrefixHint`]) into the prefix
     /// cache before the session lets go of `seq` — at completion, or at
     /// prefill export, so successor turns fork it either way.
     fn publish_context(&mut self, idx: usize, seq: &KvSeq) {
@@ -869,39 +1101,44 @@ impl ServingSession<'_> {
                 kv.push(self.requests[candidate].kv_len());
             }
 
-            // Fork the cached prefix, if sharing is on and one exists.
-            // A migrated (prefill-paid) sequence skips the cache: its
-            // context arrives whole over the fabric and is
-            // re-materialized as private blocks.
+            // Fork the cached prefix, if sharing is on and one exists
+            // — falling back to a (priced) capacity-tier fetch on a
+            // miss when a tier is configured. A migrated
+            // (prefill-paid) sequence skips the cache: its context
+            // arrives whole over the fabric and is re-materialized as
+            // private blocks.
             let premigrated = self.premigrated[candidate];
             let hint = self.requests[candidate].request.prefix;
-            let mut seq = match (&mut self.prefix_tree, hint) {
-                (Some(tree), Some(h)) if premigrated.is_none() && h.reuse_tokens > 0 => {
-                    self.kv_stats.prefix_lookups += 1;
-                    match tree.fork(h.key, h.reuse_tokens, &mut self.pool) {
-                        Some(forked) => {
-                            self.kv_stats.prefix_hits += 1;
-                            self.kv_stats.cached_prompt_tokens += forked.tokens();
-                            forked
-                        }
-                        None => self.pool.new_seq(),
-                    }
+            let shareable = premigrated.is_none()
+                && self.prefix_tree.is_some()
+                && hint.is_some_and(|h| h.reuse_tokens > 0);
+            let mut fork: Option<KvSeq> = None;
+            if shareable {
+                let h = hint.expect("shareable implies a hint");
+                self.kv_stats.prefix_lookups += 1;
+                fork = self
+                    .prefix_tree
+                    .as_mut()
+                    .expect("shareable implies a tree")
+                    .fork(h.key, h.reuse_tokens, &mut self.pool);
+                if fork.is_none() {
+                    fork = self.try_tier_fetch(h);
                 }
-                _ => self.pool.new_seq(),
-            };
+                if let Some(forked) = &fork {
+                    self.kv_stats.prefix_hits += 1;
+                    self.kv_stats.cached_prompt_tokens += forked.tokens();
+                }
+            }
+            let mut seq = fork.unwrap_or_else(|| self.pool.new_seq());
             // Reserve capacity for the whole (uncached) prompt now,
             // evicting cold prefixes if the free list runs short; the
             // prefill *work* is metered separately below.
             let suffix = prefill_len - seq.tokens();
             let growth = self.pool.growth_blocks(seq.tokens(), suffix);
             while self.pool.free_blocks() < growth {
-                let Some(tree) = self.prefix_tree.as_mut() else {
-                    break;
-                };
-                if tree.evict_lru(&mut self.pool).is_none() {
+                if self.relieve_prefix_cache().is_none() {
                     break;
                 }
-                self.kv_stats.prefix_evictions += 1;
             }
             match premigrated {
                 Some(export) => {
@@ -1046,11 +1283,8 @@ impl ServingSession<'_> {
             if self.pool.blocks_in_use() + growth <= self.pool.total_blocks() {
                 break;
             }
-            if let Some(tree) = self.prefix_tree.as_mut() {
-                if tree.evict_lru(&mut self.pool).is_some() {
-                    self.kv_stats.prefix_evictions += 1;
-                    continue;
-                }
+            if self.relieve_prefix_cache().is_some() {
+                continue;
             }
             let live_kv = self.live_kv();
             let Some(victim_pos) = self

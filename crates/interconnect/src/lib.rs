@@ -19,6 +19,11 @@
 //! data-parallel, with TP all-reduce, KV-shard, and prefill→decode KV
 //! migration traffic as dedicated [`Route`] classes (migration priced
 //! declaratively through [`MigrationPricing`]).
+//!
+//! Below the attention pool, [`TierPricing`] prices the node-local KV
+//! *capacity tier* (host DIMMs per L3, CXL memory): what spilling a
+//! cold prefix out of the pool — and fetching it back on reuse — costs
+//! in latency, bandwidth, and energy.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -26,9 +31,11 @@
 mod cluster;
 mod link;
 mod migration;
+mod tier;
 mod topology;
 
 pub use cluster::ClusterTopology;
 pub use link::LinkSpec;
 pub use migration::{MigrationCost, MigrationPricing};
+pub use tier::{TierCost, TierPricing};
 pub use topology::{Route, SystemTopology, TopologyError};

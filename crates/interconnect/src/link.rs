@@ -67,6 +67,20 @@ impl LinkSpec {
         }
     }
 
+    /// One DDR5-4800 DIMM channel — the memory-class link a host-DRAM
+    /// KV capacity tier sits behind (L3's DIMM-PIM tier and PIM-AI's
+    /// DIMM devices both live here): 38.4 GB/s per channel, sub-µs
+    /// access, DRAM-cheap energy per byte, a socket's worth of DIMMs.
+    pub fn ddr5_dimm() -> Self {
+        Self {
+            name: "DDR5-DIMM".to_owned(),
+            bandwidth: Bandwidth::from_gb_per_sec(38.4),
+            latency: Time::from_micros(0.15),
+            pj_per_byte: 5.0,
+            max_devices: 16,
+        }
+    }
+
     /// InfiniBand NDR (400 Gb/s) — the default *inter-node* fabric of a
     /// PAPI cluster: 50 GB/s per direction, ~2 µs end-to-end RDMA
     /// latency through one switch hop, switch-scale fan-out. The paper

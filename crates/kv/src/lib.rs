@@ -22,17 +22,54 @@
 //!   later requests carrying the same key fork those blocks instead of
 //!   re-prefilling, and an LRU eviction path returns cold prefixes to
 //!   the pool under pressure.
+//! - [`KvTier`] — a host-DRAM / DIMM-PIM *capacity tier* below the
+//!   pool. When configured, eviction becomes a spill: the cold prefix's
+//!   hot blocks are freed but the tier remembers its logical length, so
+//!   a request that re-lands on the key can fetch it back (at a
+//!   transfer cost the serving layer prices) instead of re-prefilling.
+//!   The [`SpillPolicy`]/[`FetchPolicy`] seams decide the traffic.
 //!
 //! Degenerate configuration — `block_size == 1` with no prefix tree —
 //! reproduces scalar token counting exactly (one block per token, no
 //! internal fragmentation, no sharing), which is how the serving
 //! engine's pre-paging behaviour stays equality-pinned.
+//!
+//! # Example: pool → sequence → export/import round-trip
+//!
+//! The [`KvSeqExport`] seam is how KV state crosses boundaries —
+//! prefill→decode migration, and the capacity tier's spill/fetch path.
+//! An export releases the source blocks and keeps only the logical
+//! record; an import re-materializes it at the destination's block
+//! granularity:
+//!
+//! ```
+//! use papi_kv::KvBlockPool;
+//!
+//! let mut prefill = KvBlockPool::new(16, 64);
+//! let mut seq = prefill.new_seq();
+//! assert!(prefill.append(&mut seq, 40)); // 3 blocks at size 16
+//! assert_eq!(prefill.blocks_in_use(), 3);
+//!
+//! let export = prefill.export_seq(seq); // frees the source blocks
+//! assert_eq!(prefill.blocks_in_use(), 0);
+//! assert_eq!(export.tokens, 40);
+//!
+//! let mut decode = KvBlockPool::new(8, 64); // different granularity
+//! let imported = decode.import_seq(export).expect("room at the dest");
+//! assert_eq!(imported.tokens(), 40);
+//! assert_eq!(decode.blocks_in_use(), 5); // reblocked at size 8
+//! ```
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod pool;
 pub mod prefix;
+pub mod tier;
 
 pub use pool::{BlockId, KvBlockPool, KvPoolStats, KvSeq, KvSeqExport};
-pub use prefix::{KvCacheStats, PrefixHint, PrefixTree};
+pub use prefix::{EvictedPrefix, KvCacheStats, PrefixHint, PrefixTree};
+pub use tier::{
+    FetchAll, FetchCandidate, FetchMinTokens, FetchPolicy, FetchSpec, KvTier, SpillAll,
+    SpillCandidate, SpillMinBlocks, SpillOutcome, SpillPolicy, SpillSpec, TierStats,
+};

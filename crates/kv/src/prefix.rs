@@ -44,6 +44,22 @@ struct PrefixNode {
     hits: u64,
 }
 
+/// What [`PrefixTree::evict_lru_entry`] removed — enough identity for
+/// the caller to spill the prefix to a capacity tier instead of losing
+/// it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictedPrefix {
+    /// The evicted entry's cache key.
+    pub key: u64,
+    /// Logical tokens the entry cached (full blocks × block size).
+    pub tokens: u64,
+    /// Blocks the entry held references on.
+    pub blocks: u64,
+    /// Blocks that actually became free (blocks still held by live
+    /// sequences stay allocated).
+    pub freed: u64,
+}
+
 /// Serving-visible prefix-cache and paging counters, accumulated by the
 /// engine and embedded in its report.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -73,6 +89,28 @@ pub struct KvCacheStats {
     /// Worst observed internal fragmentation: allocated-but-unwritten
     /// token slots as a fraction of allocated slots.
     pub peak_fragmentation: f64,
+    /// Capacity-tier block budget (zero: no tier configured).
+    pub tier_budget_blocks: u64,
+    /// Largest number of tier blocks ever simultaneously occupied.
+    pub tier_peak_blocks: u64,
+    /// Evicted prefixes recorded into the capacity tier instead of
+    /// discarded.
+    pub tier_spills: u64,
+    /// Tokens those spills preserved.
+    pub tier_spilled_tokens: u64,
+    /// Spilled prefixes fetched back into the hot pool on reuse.
+    pub tier_fetches: u64,
+    /// Tokens those fetches restored (served from the tier instead of
+    /// re-prefilled).
+    pub tier_fetched_tokens: u64,
+    /// Spilled prefixes the tier itself dropped (LRU) under its own
+    /// budget pressure — true data loss.
+    pub tier_evictions: u64,
+    /// Total fetch transfer time, in seconds (each fetch's latency also
+    /// lands in the admitted request's TTFT).
+    pub tier_fetch_time_s: f64,
+    /// Total fetch transfer energy, in joules.
+    pub tier_fetch_energy_j: f64,
 }
 
 impl KvCacheStats {
@@ -200,6 +238,13 @@ impl PrefixTree {
     /// still held by live sequences stay allocated), or `None` when the
     /// cache is empty.
     pub fn evict_lru(&mut self, pool: &mut KvBlockPool) -> Option<u64> {
+        self.evict_lru_entry(pool).map(|e| e.freed)
+    }
+
+    /// Like [`evict_lru`](Self::evict_lru), but also reports *what* was
+    /// evicted — the identity a capacity tier needs to remember the
+    /// prefix instead of forgetting it.
+    pub fn evict_lru_entry(&mut self, pool: &mut KvBlockPool) -> Option<EvictedPrefix> {
         // Ties break on the key so eviction order is deterministic.
         let victim = self
             .nodes
@@ -210,7 +255,13 @@ impl PrefixTree {
         for &b in &node.blocks {
             pool.untrack(b);
         }
-        Some(pool.release_blocks(&node.blocks))
+        let blocks = node.blocks.len() as u64;
+        Some(EvictedPrefix {
+            key: victim,
+            tokens: blocks * pool.block_size(),
+            blocks,
+            freed: pool.release_blocks(&node.blocks),
+        })
     }
 
     /// Releases every cached entry back to the pool.

@@ -7,7 +7,7 @@
 //! operation the pool's counters are re-derived from the sequences'
 //! block lists and compared against the pool's own bookkeeping.
 
-use papi_kv::{BlockId, KvBlockPool, KvSeq};
+use papi_kv::{BlockId, KvBlockPool, KvSeq, KvTier};
 use proptest::prelude::*;
 use std::collections::HashMap;
 
@@ -113,12 +113,126 @@ fn run_ops(block_size: u64, total_blocks: u64, ops: &[(u8, u64)]) {
     assert_eq!(pool.free_blocks(), pool.total_blocks());
 }
 
+/// Mirrors the tier against a model map, tolerating the tier's own LRU
+/// drops (whose victims the model discovers by peeking): every
+/// surviving entry matches the model's token count, occupancy is
+/// exactly the sum over survivors, and nothing lives in both tiers —
+/// a spilled context holds zero pool blocks by construction (spill
+/// crosses through an export), which `check_against_model` already
+/// proves for the pool side.
+fn sync_tier_model(tier: &KvTier, model: &mut HashMap<u64, u64>) {
+    model.retain(|&key, &mut tokens| match tier.peek(key) {
+        Some(held) => {
+            assert_eq!(held, tokens, "tier entry {key} drifted from the model");
+            true
+        }
+        None => false, // LRU-dropped under tier budget pressure
+    });
+    assert_eq!(tier.len(), model.len(), "tier holds entries the model lost");
+    let expected: u64 = model.values().map(|&t| tier.blocks_for(t)).sum();
+    assert_eq!(tier.blocks_in_use(), expected, "tier occupancy drifted");
+    assert!(tier.blocks_in_use() <= tier.budget_blocks());
+}
+
+/// Arbitrary spill/fetch traffic between a hot pool and a capacity
+/// tier: pool invariants hold throughout (re-derived from live
+/// sequences), tier occupancy always equals the modeled survivor set,
+/// and a context is never resident in both tiers at once.
+fn run_tier_ops(block_size: u64, total_blocks: u64, budget_blocks: u64, ops: &[(u8, u64)]) {
+    let mut pool = KvBlockPool::new(block_size, total_blocks);
+    let mut tier = KvTier::new(block_size, budget_blocks);
+    let mut seqs: Vec<KvSeq> = Vec::new();
+    let mut model: HashMap<u64, u64> = HashMap::new();
+    for &(op, arg) in ops {
+        match op {
+            // Open a fresh sequence and append up to `arg` tokens (a
+            // full pool refuses and leaves the sequence empty).
+            0 => {
+                let mut seq = pool.new_seq();
+                let _ = pool.append(&mut seq, arg % 100);
+                seqs.push(seq);
+            }
+            // Release a sequence.
+            1 if !seqs.is_empty() => {
+                let idx = arg as usize % seqs.len();
+                pool.release_seq(seqs.swap_remove(idx));
+            }
+            // Spill a live sequence: export it (the pool frees its
+            // blocks — the context now holds *nothing* hot) and record
+            // it in the tier under a small key space so re-spills and
+            // extend-in-place both happen.
+            2 if !seqs.is_empty() => {
+                let idx = arg as usize % seqs.len();
+                let seq = seqs.swap_remove(idx);
+                let tokens = seq.tokens();
+                let export = pool.export_seq(seq);
+                assert_eq!(export.tokens, tokens);
+                let key = arg % 6;
+                let prior = model.get(&key).copied().unwrap_or(0);
+                let outcome = tier.spill(key, tokens);
+                if outcome.accepted {
+                    model.insert(key, tokens.max(prior));
+                } else {
+                    // Rejected: the whole record exceeds the budget,
+                    // and the tier must be untouched.
+                    assert!(tier.blocks_for(tokens.max(prior)) > tier.budget_blocks());
+                    assert_eq!(outcome.evicted_entries, 0);
+                }
+            }
+            // Fetch a spilled context back: the tier frees its record
+            // first (one tier at a time), then the pool
+            // re-materializes it if there is room — the serving layer
+            // guarantees room before fetching; here a failed append
+            // just drops the context.
+            3 => {
+                let key = arg % 6;
+                if let Some(tokens) = tier.fetch(key) {
+                    assert_eq!(model.remove(&key), Some(tokens));
+                    let mut seq = pool.new_seq();
+                    if pool.append(&mut seq, tokens) {
+                        seqs.push(seq);
+                    } else {
+                        pool.release_seq(seq);
+                    }
+                }
+            }
+            _ => {}
+        }
+        check_against_model(&pool, &seqs);
+        sync_tier_model(&tier, &mut model);
+    }
+    // Draining both tiers returns everything to pristine.
+    for seq in seqs.drain(..) {
+        pool.release_seq(seq);
+    }
+    let keys: Vec<u64> = model.keys().copied().collect();
+    for key in keys {
+        assert!(tier.fetch(key).is_some());
+    }
+    assert_eq!(pool.blocks_in_use(), 0);
+    assert_eq!(tier.blocks_in_use(), 0);
+    assert!(tier.is_empty());
+}
+
 proptest! {
     #[test]
     fn paged_pool_never_leaks_or_double_frees(
         ops in proptest::collection::vec((0u8..5, 0u64..64), 1..120),
     ) {
         run_ops(16, 48, &ops);
+    }
+
+    /// Spill/fetch traffic across the hot pool and the capacity tier
+    /// conserves occupancy on both sides: tier blocks always equal the
+    /// surviving records' footprint, pool refcounts stay derived from
+    /// live holders, and no context is ever resident in both at once.
+    #[test]
+    fn tier_spill_fetch_conserves_occupancy_across_tiers(
+        ops in proptest::collection::vec((0u8..4, 0u64..64), 1..120),
+    ) {
+        // Tier budget of 24 blocks at block 16 — small enough that
+        // LRU drops and whole-record rejections both fire.
+        run_tier_ops(16, 48, 24, &ops);
     }
 
     #[test]

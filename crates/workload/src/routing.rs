@@ -139,6 +139,11 @@ pub struct ReplicaSnapshot {
     pub kv_budget_blocks: u64,
     /// Tokens per block of the replica's pool.
     pub kv_block_size: u64,
+    /// Blocks occupied in the replica's KV capacity tier (spilled cold
+    /// prefixes). Zero when no tier is configured.
+    pub kv_tier_blocks_in_use: u64,
+    /// The capacity tier's block budget (zero: no tier).
+    pub kv_tier_budget_blocks: u64,
 }
 
 impl ReplicaSnapshot {
@@ -1011,6 +1016,8 @@ mod tests {
             kv_evictable_blocks: 0,
             kv_budget_blocks: budget,
             kv_block_size: 1,
+            kv_tier_blocks_in_use: 0,
+            kv_tier_budget_blocks: 0,
         }
     }
 
@@ -1109,6 +1116,8 @@ mod tests {
             kv_evictable_blocks: 0,
             kv_budget_blocks: 62, // 992 tokens of budget
             kv_block_size: 16,
+            kv_tier_blocks_in_use: 0,
+            kv_tier_budget_blocks: 0,
         };
         assert_eq!(paged.blocks_for(1), 1);
         assert_eq!(paged.blocks_for(17), 2);

@@ -17,6 +17,11 @@
 //! - [`sched`] — the PAPI dynamic scheduler and static baselines
 //! - [`core`] — the heterogeneous system simulator and paper experiments
 //!
+//! `docs/ARCHITECTURE.md` in the repository maps the whole workspace:
+//! the dependency graph over these crates (plus `papi-perf` and
+//! `papi-bench`, which this facade does not re-export), the pluggable
+//! trait seams, and the life of a request through the serving stack.
+//!
 //! # Quickstart
 //!
 //! ```

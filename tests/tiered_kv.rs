@@ -1,0 +1,232 @@
+//! The tiered-KV equality pin and behavior contract.
+//!
+//! The capacity tier (PR 7) reroutes the engine's eviction path
+//! through `relieve_prefix_cache` and probes the tier at admission
+//! fork-misses. With the tier *off* (the default), every one of those
+//! changes must be invisible: this file pins a saturated long-context
+//! scenario — 58 prefix evictions, pool at 100% — to the exact
+//! fingerprints the pre-tier engine produced, and then checks the
+//! tier-on behavior the feature exists for: spills instead of
+//! discards, priced fetches that land in TTFT, materially higher SLO
+//! goodput under thrash.
+
+use papi::core::{
+    DesignKind, KvTierSpec, ServingEngine, ServingReport, SessionTuning, SloSpec, SystemConfig,
+};
+use papi::interconnect::TierPricing;
+use papi::llm::ModelPreset;
+use papi::workload::{ConversationDataset, DatasetKind, ServingWorkload};
+
+/// FNV-1a over every schedule-determining field of the report — the
+/// same mix as `tests/paged_equality.rs`, so the two pins fail the
+/// same way on drift.
+fn fingerprint(report: &ServingReport) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for r in &report.records {
+        mix(r.id);
+        mix(r.arrival.value().to_bits());
+        mix(r.admitted.value().to_bits());
+        mix(r.first_token.value().to_bits());
+        mix(r.finished.value().to_bits());
+        mix(r.prompt_tokens);
+        mix(r.output_tokens);
+        mix(r.preemptions);
+    }
+    for p in &report.placements {
+        mix(*p as u64);
+    }
+    for r in &report.rlp_series {
+        mix(*r);
+    }
+    h
+}
+
+/// A long-context multi-turn workload that saturates the PIM-only
+/// pool: conversations resend ~4k-token contexts over 3 turns faster
+/// than the cache can hold them, so the prefix cache thrashes (58 LRU
+/// evictions at PR 6 HEAD).
+fn thrashing_workload() -> ServingWorkload {
+    ServingWorkload::poisson(
+        ConversationDataset::multi_turn(DatasetKind::LongContext, 4096, 3),
+        1.0,
+        120,
+    )
+    .with_seed(23)
+}
+
+fn engine() -> ServingEngine {
+    ServingEngine::new(SystemConfig::build(
+        DesignKind::PimOnlyPapi,
+        ModelPreset::Gpt3_175B.config(),
+    ))
+    .with_max_batch(16)
+    .with_kv_block_size(16)
+    .with_prefix_sharing(true)
+}
+
+struct Golden {
+    makespan_bits: u64,
+    energy_bits: u64,
+    prefill_bits: u64,
+    iterations: u64,
+    tokens: u64,
+    preemptions: u64,
+    peak_rlp: u64,
+    peak_kv_tokens: u64,
+    fingerprint: u64,
+}
+
+/// Captured at PR 6 HEAD (`adb9013`), before the tier existed.
+const TIER_OFF_GOLDEN: Golden = Golden {
+    makespan_bits: 0x409274384afd44c3,
+    energy_bits: 0x4123aa42ac3a0148,
+    prefill_bits: 0x4091c55f218460bc,
+    iterations: 1499,
+    tokens: 19753,
+    preemptions: 0,
+    peak_rlp: 16,
+    peak_kv_tokens: 143830,
+    fingerprint: 0x0c68159526a36a65,
+};
+
+fn assert_matches_golden(report: &ServingReport, golden: &Golden) {
+    assert_eq!(report.makespan.value().to_bits(), golden.makespan_bits);
+    assert_eq!(report.energy.value().to_bits(), golden.energy_bits);
+    assert_eq!(report.prefill_time.value().to_bits(), golden.prefill_bits);
+    assert_eq!(report.iterations, golden.iterations);
+    assert_eq!(report.tokens, golden.tokens);
+    assert_eq!(report.preemptions, golden.preemptions);
+    assert_eq!(report.peak_rlp, golden.peak_rlp);
+    assert_eq!(report.peak_kv_tokens, golden.peak_kv_tokens);
+    assert_eq!(fingerprint(report), golden.fingerprint);
+}
+
+#[test]
+fn tier_off_reproduces_the_pre_tier_engine_bit_for_bit() {
+    let report = engine().run(&thrashing_workload());
+    // The pin only guards the eviction rewrite if eviction actually
+    // ran: the scenario must genuinely thrash.
+    assert!(
+        report.kv.prefix_evictions > 0,
+        "pin scenario stopped exercising eviction ({} evictions)",
+        report.kv.prefix_evictions
+    );
+    assert_eq!(report.kv.total_blocks, report.kv.peak_blocks_in_use);
+    assert_matches_golden(&report, &TIER_OFF_GOLDEN);
+    // And the tier counters stay identically zero.
+    assert_eq!(report.kv.tier_budget_blocks, 0);
+    assert_eq!(report.kv.tier_spills, 0);
+    assert_eq!(report.kv.tier_fetches, 0);
+    assert_eq!(report.kv.tier_fetch_time_s, 0.0);
+}
+
+#[test]
+fn explicit_none_tier_is_the_default() {
+    let tuning = SessionTuning::new()
+        .with_max_batch(16)
+        .with_kv_block_size(16)
+        .with_prefix_sharing(true);
+    assert_eq!(tuning.kv_tier, None);
+    let report = ServingEngine::new(SystemConfig::build(
+        DesignKind::PimOnlyPapi,
+        ModelPreset::Gpt3_175B.config(),
+    ))
+    .with_tuning(tuning)
+    .run(&thrashing_workload());
+    assert_matches_golden(&report, &TIER_OFF_GOLDEN);
+}
+
+#[test]
+fn spill_to_tier_beats_eviction_under_thrash() {
+    let workload = thrashing_workload();
+    let evict = engine().run(&workload);
+    let tiered = engine()
+        .with_kv_tier(KvTierSpec::new(60_000))
+        .run(&workload);
+
+    // The tier kept the evicted prefixes and served them back.
+    assert!(tiered.kv.tier_spills > 0, "no spills under thrash");
+    assert!(tiered.kv.tier_fetches > 0, "no fetches under thrash");
+    assert!(tiered.kv.tier_fetched_tokens > 0);
+    assert!(tiered.kv.tier_fetch_time_s > 0.0, "fetches must be priced");
+    assert!(tiered.kv.tier_fetch_energy_j > 0.0);
+    assert!(tiered.kv.tier_peak_blocks > 0);
+    assert!(tiered.kv.tier_peak_blocks <= tiered.kv.tier_budget_blocks);
+
+    // Fetched tokens count as cache hits, so hit rate and prefill
+    // work both improve materially.
+    assert!(
+        tiered.kv.hit_rate() > evict.kv.hit_rate() + 0.2,
+        "tier hit rate {:.3} should clear evict {:.3} by a wide margin",
+        tiered.kv.hit_rate(),
+        evict.kv.hit_rate()
+    );
+    assert!(tiered.kv.prefilled_tokens < evict.kv.prefilled_tokens);
+    assert!(tiered.makespan.value() < evict.makespan.value());
+
+    // And the headline: materially higher SLO goodput from the same
+    // hot pool.
+    let slo = SloSpec::interactive(600_000.0, 400.0);
+    assert!(
+        tiered.goodput(&slo) > 2.0 * evict.goodput(&slo),
+        "tier goodput {:.4} should dwarf evict {:.4}",
+        tiered.goodput(&slo),
+        evict.goodput(&slo)
+    );
+}
+
+#[test]
+fn fetch_pricing_lands_in_ttft() {
+    let workload = thrashing_workload();
+    let priced = engine()
+        .with_kv_tier(KvTierSpec::new(60_000))
+        .run(&workload);
+    let free = engine()
+        .with_kv_tier(KvTierSpec::new(60_000).with_pricing(TierPricing::Free))
+        .run(&workload);
+    // Same tier geometry: both serve the same fetch traffic, but only
+    // the priced run pays for it — on the critical path.
+    assert_eq!(priced.kv.tier_fetches, free.kv.tier_fetches);
+    assert_eq!(priced.kv.tier_fetched_tokens, free.kv.tier_fetched_tokens);
+    assert_eq!(free.kv.tier_fetch_time_s, 0.0);
+    assert!(priced.kv.tier_fetch_time_s > 0.0);
+    let priced_p99 = priced.ttft_summary().expect("non-empty").p99;
+    let free_p99 = free.ttft_summary().expect("non-empty").p99;
+    assert!(
+        priced_p99.value() > free_p99.value(),
+        "priced fetches must show up in TTFT p99 ({priced_p99} vs {free_p99})"
+    );
+    // The priced transfer time is part of prefill time, hence TTFT.
+    assert!(priced.prefill_time.value() > free.prefill_time.value());
+}
+
+#[test]
+fn tier_occupancy_reaches_the_replica_snapshot() {
+    let workload = thrashing_workload();
+    let tiered_engine = engine().with_kv_tier(KvTierSpec::new(60_000));
+    let mut session = tiered_engine.open_session(&workload);
+    for request in workload.requests() {
+        session.push(request);
+    }
+    let fresh = session.snapshot();
+    assert_eq!(fresh.kv_tier_budget_blocks, 60_000);
+    assert_eq!(fresh.kv_tier_blocks_in_use, 0);
+    let mut peak = 0;
+    while session.step() == papi::core::SessionStatus::Advanced {
+        peak = peak.max(session.snapshot().kv_tier_blocks_in_use);
+    }
+    assert!(peak > 0, "spills never showed up in the snapshot");
+    assert!(peak <= 60_000);
+}
+
+#[test]
+#[should_panic(expected = "prefix_sharing")]
+fn tier_without_prefix_sharing_is_rejected() {
+    SessionTuning::new()
+        .with_kv_tier(KvTierSpec::new(1_000))
+        .validate();
+}
