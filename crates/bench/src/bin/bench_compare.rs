@@ -27,6 +27,11 @@
 //!   simulated latency is deterministic and machine-independent, so
 //!   growth is a modeled-performance regression, not noise. Tune with
 //!   `--latency-tolerance <fraction>`;
+//! - **tier fetch time**: for scenarios whose baseline reports time
+//!   re-materializing KV from capacity tiers (`tier_fetch_time_s > 0`,
+//!   e.g. `long_context_offload` and `fleet_prefix_sharing`), growth
+//!   beyond the latency tolerance fails — fetch seconds are simulated
+//!   and deterministic, so growth is modeled regression;
 //! - **SLO goodput**: for scenarios whose baseline reports a goodput
 //!   (`goodput_rps > 0`, e.g. `long_context_offload`), a current
 //!   goodput more than the goodput tolerance (default 15 %) *below*
@@ -59,6 +64,10 @@ struct ScenarioResult {
     /// `None` (pre-tiered-KV reports) or zero both mean "not a
     /// goodput-gated scenario".
     goodput_rps: Option<f64>,
+    /// Simulated seconds re-materializing KV from capacity tiers
+    /// (local DIMM + remote fabric); `None` (pre-shared-tier reports)
+    /// or zero both mean "not a tier-gated scenario".
+    tier_fetch_time_s: Option<f64>,
     /// Parallel-over-sequential wall-clock ratio for scenarios timing
     /// both cluster step modes; `None` elsewhere (and in old reports).
     speedup_vs_sequential: Option<f64>,
@@ -71,6 +80,10 @@ impl ScenarioResult {
 
     fn goodput_rps(&self) -> f64 {
         self.goodput_rps.unwrap_or(0.0)
+    }
+
+    fn tier_fetch_time_s(&self) -> f64 {
+        self.tier_fetch_time_s.unwrap_or(0.0)
     }
 }
 
@@ -298,6 +311,23 @@ fn main() -> ExitCode {
                 base.goodput_rps(),
                 cur.goodput_rps(),
                 goodput_tolerance * 100.0
+            ));
+        }
+        // Tier fetch time is deterministic like simulated latency and
+        // gates the same direction: growth means the scenario is
+        // spending more simulated time re-materializing KV than the
+        // baseline did.
+        if base.tier_fetch_time_s() > 0.0
+            && cur.tier_fetch_time_s() > base.tier_fetch_time_s() * (1.0 + latency_tolerance)
+        {
+            failures.push(format!(
+                "{}: tier fetch time regressed {:.1}% (baseline {:.2} s, current {:.2} s); \
+                 gate allows {:.0}%",
+                base.scenario,
+                (cur.tier_fetch_time_s() / base.tier_fetch_time_s() - 1.0) * 100.0,
+                base.tier_fetch_time_s(),
+                cur.tier_fetch_time_s(),
+                latency_tolerance * 100.0
             ));
         }
         if base.ttft_p99_ms() > 0.0

@@ -15,18 +15,20 @@
 //!
 //! `tokens_per_sec` is simulated output tokens per wall-clock second of
 //! simulation — the harness's throughput figure of merit.
-//! `cache_hit_rate`, `ttft_p99_ms`, and `goodput_rps` are
-//! deterministic simulation *outputs* (the prefix cache's token hit
-//! rate, the episode's 99th-percentile simulated time-to-first-token,
-//! and the scenario's SLO goodput; zero for scenarios where they don't
-//! apply), gated like `tokens`/`iterations` — `ttft_p99_ms` within
-//! `bench_compare`'s latency tolerance and `goodput_rps` within its
-//! goodput tolerance. Run with
+//! `cache_hit_rate`, `ttft_p99_ms`, `goodput_rps`, and
+//! `tier_fetch_time_s` are deterministic simulation *outputs* (the
+//! prefix cache's token hit rate, the episode's 99th-percentile
+//! simulated time-to-first-token, the scenario's SLO goodput, and the
+//! simulated seconds spent re-materializing KV from capacity tiers;
+//! zero/null for scenarios where they don't apply), gated like
+//! `tokens`/`iterations` — `ttft_p99_ms` and `tier_fetch_time_s`
+//! within `bench_compare`'s latency tolerance and `goodput_rps` within
+//! its goodput tolerance. Run with
 //! `cargo run --release -p papi-bench --bin perf_bench`.
 
 use papi_core::{
     ClusterEngine, ClusterSpec, DecodingSimulator, DesignKind, KvTierSpec, ServingEngine,
-    SessionTuning, SloSpec, StepMode, SystemConfig,
+    SessionTuning, SharedTierSpec, SloSpec, StepMode, SystemConfig,
 };
 use papi_llm::ModelPreset;
 use papi_workload::{
@@ -49,6 +51,12 @@ struct ScenarioResult {
     /// second) for scenarios that declare one; zero elsewhere. A
     /// deterministic simulation output, gated by `bench_compare`.
     goodput_rps: f64,
+    /// Total simulated seconds spent re-materializing KV from a
+    /// capacity tier — local DIMM fetches plus remote fabric fetches —
+    /// for scenarios that exercise one (`null` elsewhere). A
+    /// deterministic simulation output, gated by `bench_compare`
+    /// against growth like `ttft_p99_ms`.
+    tier_fetch_time_s: Option<f64>,
     /// Parallel-over-sequential wall-clock ratio, for scenarios that
     /// time both cluster step modes (`null` elsewhere).
     speedup_vs_sequential: Option<f64>,
@@ -67,6 +75,7 @@ struct ScenarioOutputs {
     cache_hit_rate: f64,
     ttft_p99_ms: f64,
     goodput_rps: f64,
+    tier_fetch_time_s: Option<f64>,
 }
 
 impl ScenarioOutputs {
@@ -77,6 +86,7 @@ impl ScenarioOutputs {
             cache_hit_rate: 0.0,
             ttft_p99_ms: 0.0,
             goodput_rps: 0.0,
+            tier_fetch_time_s: None,
         }
     }
 }
@@ -101,6 +111,7 @@ fn time_scenario(name: &str, run: impl Fn() -> ScenarioOutputs) -> ScenarioResul
         cache_hit_rate: outputs.cache_hit_rate,
         ttft_p99_ms: outputs.ttft_p99_ms,
         goodput_rps: outputs.goodput_rps,
+        tier_fetch_time_s: outputs.tier_fetch_time_s,
         speedup_vs_sequential: None,
     }
 }
@@ -145,6 +156,7 @@ fn main() {
                     .p99
                     .as_millis(),
                 goodput_rps: 0.0,
+                tier_fetch_time_s: None,
             }
         }));
     }
@@ -176,6 +188,7 @@ fn main() {
                 .p99
                 .as_millis(),
             goodput_rps: 0.0,
+            tier_fetch_time_s: None,
         }
     }));
 
@@ -213,6 +226,62 @@ fn main() {
                 .p99
                 .as_millis(),
             goodput_rps: report.goodput(&slo),
+            tier_fetch_time_s: Some(report.kv.tier_fetch_time_s),
+        }
+    }));
+
+    // Fleet-wide prefix sharing: a 2-replica fleet whose spilled
+    // contexts are registered in one global directory, with
+    // shared-tier-affinity routing relaxing stickiness whenever the
+    // fabric can recover the prefix. Exercises the directory
+    // publish/fetch path, the control-plane sync ticks, and the
+    // remote-fetch pricing — and gates the fleet hit rate, the SLO
+    // goodput, and the total tier fetch time (DIMM + fabric) the
+    // feature trades against re-prefill.
+    scenarios.push(time_scenario("fleet_prefix_sharing", || {
+        let workload = ServingWorkload::poisson(
+            ConversationDataset::multi_turn(DatasetKind::LongContext, 8192, 12),
+            0.15,
+            120,
+        )
+        .with_seed(23);
+        let report = ClusterEngine::new(
+            ClusterSpec::new(
+                DesignKind::PimOnlyPapi,
+                ModelPreset::Gpt3_175B.config(),
+                1,
+                2,
+            )
+            .with_routing(PolicySpec::shared_tier_affinity())
+            .with_tuning(
+                SessionTuning::default()
+                    .with_max_batch(16)
+                    .with_kv_block_size(16)
+                    .with_prefix_sharing(true)
+                    .with_kv_tier(KvTierSpec::new(60_000)),
+            )
+            .with_shared_tier(SharedTierSpec::new()),
+        )
+        .expect("valid fleet")
+        .run(&workload);
+        let slo = SloSpec::interactive(600_000.0, 400.0);
+        ScenarioOutputs {
+            tokens: report.tokens(),
+            iterations: report.replicas.iter().map(|r| r.iterations).sum(),
+            cache_hit_rate: report.cache_hit_rate(),
+            ttft_p99_ms: report
+                .ttft_summary()
+                .expect("non-empty episode")
+                .p99
+                .as_millis(),
+            goodput_rps: report.goodput(&slo),
+            tier_fetch_time_s: Some(
+                report
+                    .replicas
+                    .iter()
+                    .map(|r| r.kv.tier_fetch_time_s + r.kv.remote_fetch_time_s)
+                    .sum(),
+            ),
         }
     }));
 
@@ -250,6 +319,7 @@ fn main() {
                 .p99
                 .as_millis(),
             goodput_rps: 0.0,
+            tier_fetch_time_s: None,
         }
     }));
 
@@ -291,6 +361,7 @@ fn main() {
                 .p99
                 .as_millis(),
             goodput_rps: 0.0,
+            tier_fetch_time_s: None,
         }
     }));
 
@@ -351,6 +422,7 @@ fn main() {
                 .p99
                 .as_millis(),
             goodput_rps: 0.0,
+            tier_fetch_time_s: None,
             speedup_vs_sequential: Some(seq_best / par_best),
         }
     });

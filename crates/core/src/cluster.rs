@@ -41,8 +41,9 @@ use crate::pricer::SharedIterationCache;
 use crate::serving::{PrefillHandoff, ServingEngine, ServingSession, SessionTuning};
 use crate::slo::SloSpec;
 use papi_interconnect::{
-    ClusterTopology, LinkSpec, MigrationCost, MigrationPricing, TopologyError,
+    ClusterTopology, LinkSpec, MigrationCost, MigrationPricing, TierPricing, TopologyError,
 };
+use papi_kv::{FetchSpec, GlobalKvTier};
 use papi_llm::ModelConfig;
 use papi_types::{Energy, Time};
 use papi_workload::{
@@ -126,6 +127,14 @@ pub struct ClusterSpec {
     /// How replicas advance between control-plane events. Both modes
     /// produce identical reports; `Parallel` (the default) is faster.
     pub step_mode: StepMode,
+    /// The fleet-shared prefix tier: one directory registering every
+    /// replica's spilled records, so a conversation that re-lands on
+    /// the *wrong* replica re-materializes its context from the owning
+    /// replica over the fabric instead of re-prefilling from scratch.
+    /// `None` (the default) keeps each replica's capacity tier
+    /// private. Requires `tuning.kv_tier` — the directory registers
+    /// *spilled* records.
+    pub shared_tier: Option<SharedTierSpec>,
 }
 
 impl ClusterSpec {
@@ -152,7 +161,14 @@ impl ClusterSpec {
             migration: MigrationSpec::default(),
             migration_pricing: MigrationPricing::default(),
             step_mode: StepMode::default(),
+            shared_tier: None,
         }
+    }
+
+    /// Enables the fleet-shared prefix tier.
+    pub fn with_shared_tier(mut self, shared_tier: SharedTierSpec) -> Self {
+        self.shared_tier = Some(shared_tier);
+        self
     }
 
     /// Assigns per-replica roles (the disaggregation axis). The vector
@@ -260,6 +276,144 @@ impl ClusterSpec {
     }
 }
 
+/// Declarative configuration of the fleet-shared prefix tier: one
+/// directory over the inter-node fabric registering every replica's
+/// spilled records ([`GlobalKvTier`]), consulted on fork-misses that
+/// also miss the local capacity tier.
+///
+/// Coherence is free because records are immutable logical token
+/// counts (first-writer-wins, extend-only, never invalidated); what
+/// the fleet pays is the *fabric*: each cross-replica
+/// re-materialization is priced as
+/// [`Route::KvFetch`](papi_interconnect::Route) traffic — transfer
+/// time lands in the fetching request's TTFT, wire energy in the
+/// replica's energy, and both are attributed fleet-wide in the
+/// report's [`GlobalTierReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SharedTierSpec {
+    /// Which directory-resident prefixes are worth the fabric fetch.
+    pub fetch: FetchSpec,
+    /// What a cross-replica fetch costs. `None` (the default) prices
+    /// over the cluster's inter-node fabric;
+    /// `Some(TierPricing::Free)` is the zero-cost ablation isolating
+    /// the sharing benefit from the wire.
+    pub pricing: Option<TierPricing>,
+    /// Control-plane gossip period (seconds of simulated time): the
+    /// fleet merges spill registrations and refreshes every replica's
+    /// directory view at each tick, in addition to every arrival and
+    /// migration-delivery barrier. Both [`StepMode`]s observe the
+    /// same tick schedule, so parallel stays bit-identical to
+    /// sequential.
+    pub sync_s: f64,
+}
+
+impl SharedTierSpec {
+    /// Default control-plane gossip period: 50 ms of simulated time —
+    /// far below the eviction→reuse gaps that make sharing pay, far
+    /// above per-iteration granularity.
+    pub const DEFAULT_SYNC_S: f64 = 0.05;
+
+    /// The default shared tier: fetch everything, priced over the
+    /// cluster's inter-node fabric, gossiping every
+    /// [`DEFAULT_SYNC_S`](Self::DEFAULT_SYNC_S) simulated seconds.
+    pub fn new() -> Self {
+        Self {
+            fetch: FetchSpec::default(),
+            pricing: None,
+            sync_s: Self::DEFAULT_SYNC_S,
+        }
+    }
+
+    /// Selects which resident prefixes are worth fetching.
+    pub fn with_fetch(mut self, fetch: FetchSpec) -> Self {
+        self.fetch = fetch;
+        self
+    }
+
+    /// Overrides the fabric pricing (e.g. [`TierPricing::Free`] for
+    /// the ablation).
+    pub fn with_pricing(mut self, pricing: TierPricing) -> Self {
+        self.pricing = Some(pricing);
+        self
+    }
+
+    /// Overrides the control-plane gossip period (seconds).
+    pub fn with_sync_interval(mut self, sync_s: f64) -> Self {
+        self.sync_s = sync_s;
+        self
+    }
+}
+
+impl Default for SharedTierSpec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The shared tier's control-plane state during one episode: the
+/// authoritative fleet directory, the frozen [`Arc`] view sessions
+/// read between barriers, and the fleet-level fetch accounting.
+#[derive(Debug)]
+struct SharedTierControl {
+    directory: GlobalKvTier,
+    view: Arc<GlobalKvTier>,
+    pricing: String,
+    sync_s: f64,
+    fetches: u64,
+    fetched_tokens: u64,
+    bytes: f64,
+    energy: Energy,
+    latencies: Vec<Time>,
+}
+
+impl SharedTierControl {
+    /// The control-plane barrier: drains every session's publish and
+    /// fetch egress in replica-index order (the same deterministic
+    /// discipline as handoff harvesting — both step modes reach each
+    /// barrier with identical per-session egress, so merging in a
+    /// fixed order keeps them bit-for-bit equal), merges registrations
+    /// into the fleet directory, and — only if the directory changed —
+    /// freezes a new view into every session.
+    fn harvest(&mut self, sessions: &mut [ServingSession<'_>]) {
+        let mut changed = false;
+        for (idx, session) in sessions.iter_mut().enumerate() {
+            for (key, tokens) in session.drain_global_publishes() {
+                changed |= self.directory.publish(key, idx, tokens).changed();
+            }
+            for fetch in session.drain_global_fetches() {
+                self.fetches += 1;
+                self.fetched_tokens += fetch.tokens;
+                self.bytes += fetch.cost.bytes.value();
+                self.energy += fetch.cost.energy;
+                self.latencies.push(fetch.cost.time);
+            }
+        }
+        if changed {
+            self.view = Arc::new(self.directory.clone());
+            for session in sessions.iter_mut() {
+                session.install_global_view(Arc::clone(&self.view));
+            }
+        }
+    }
+
+    fn into_report(self) -> GlobalTierReport {
+        let stats = self.directory.stats();
+        GlobalTierReport {
+            pricing: self.pricing,
+            entries: stats.entries,
+            resident_tokens: stats.tokens,
+            resident_blocks: stats.blocks,
+            publishes: self.directory.publishes(),
+            extensions: self.directory.extensions(),
+            fetches: self.fetches,
+            fetched_tokens: self.fetched_tokens,
+            bytes: self.bytes,
+            energy: self.energy,
+            latency: LatencySummary::from_times(&self.latencies),
+        }
+    }
+}
+
 /// The cluster simulator: N replica engines (one per replica — roles
 /// may give them heterogeneous hardware) plus the router and the
 /// migration machinery.
@@ -277,9 +431,12 @@ impl ClusterEngine {
     ///
     /// Returns [`TopologyError`] if the fleet shape is degenerate,
     /// exceeds the inter-node fabric's fan-out, carries a role vector
-    /// whose length disagrees with `dp_replicas`, or disaggregates
+    /// whose length disagrees with `dp_replicas`, disaggregates
     /// without at least one prefill-capable *and* one decode-capable
-    /// replica (arrivals or migrations would have nowhere to go).
+    /// replica (arrivals or migrations would have nowhere to go), or
+    /// enables a shared tier without a private `tuning.kv_tier` (the
+    /// directory registers spilled records — nothing would ever be
+    /// published).
     pub fn new(spec: ClusterSpec) -> Result<Self, TopologyError> {
         if !spec.roles.is_empty() && spec.roles.len() != spec.dp_replicas {
             return Err(TopologyError::new(format!(
@@ -297,6 +454,18 @@ impl ClusterEngine {
             if !spec.roles.iter().any(ReplicaRole::can_decode) {
                 return Err(TopologyError::new(
                     "no decode-capable replica: every migration would be unplaceable",
+                ));
+            }
+        }
+        if let Some(shared) = &spec.shared_tier {
+            if spec.tuning.kv_tier.is_none() {
+                return Err(TopologyError::new(
+                    "a fleet-shared tier registers spilled records: configure tuning.kv_tier first",
+                ));
+            }
+            if !shared.sync_s.is_finite() || shared.sync_s <= 0.0 {
+                return Err(TopologyError::new(
+                    "the shared tier's control-plane sync interval must be positive and finite",
                 ));
             }
         }
@@ -465,6 +634,34 @@ impl ClusterEngine {
             .collect()
     }
 
+    /// Enables the fleet-shared tier on every session (when the spec
+    /// asks for one) and returns its control-plane state. Pricing
+    /// resolves to [`TierPricing::Link`] over the cluster's inter-node
+    /// fabric unless overridden.
+    fn open_shared_tier(&self, sessions: &mut [ServingSession<'_>]) -> Option<SharedTierControl> {
+        let spec = self.spec.shared_tier.as_ref()?;
+        let pricing = spec
+            .pricing
+            .clone()
+            .unwrap_or_else(|| TierPricing::Link(self.spec.inter_node.clone()));
+        let directory = GlobalKvTier::new(self.spec.tuning.kv_block_size);
+        let view = Arc::new(directory.clone());
+        for (idx, session) in sessions.iter_mut().enumerate() {
+            session.enable_global_tier(idx, &spec.fetch, pricing.clone(), Arc::clone(&view));
+        }
+        Some(SharedTierControl {
+            directory,
+            view,
+            pricing: pricing.label(),
+            sync_s: spec.sync_s,
+            fetches: 0,
+            fetched_tokens: 0,
+            bytes: 0.0,
+            energy: Energy::ZERO,
+            latencies: Vec::new(),
+        })
+    }
+
     /// The [`StepMode::Sequential`] reference loop: one global
     /// minimum-clock scan per simulator step.
     fn run_sequential(
@@ -475,6 +672,8 @@ impl ClusterEngine {
     ) -> ClusterReport {
         let roles = self.roles();
         let mut sessions = self.open_sessions(workload, &roles);
+        let mut shared = self.open_shared_tier(&mut sessions);
+        let mut next_sync = shared.as_ref().map_or(f64::INFINITY, |c| c.sync_s);
         let arrivals = workload.requests();
         let mut next_arrival = 0usize;
         let mut in_flight: Vec<InFlightMigration> = Vec::new();
@@ -523,6 +722,20 @@ impl ClusterEngine {
                 (None, Some((di, dt))) => (Some(dt), Some(di)),
                 (None, None) => (None, None),
             };
+            // Shared-tier fleets also close the window at the next
+            // control-plane gossip tick, so spill registrations become
+            // fleet-visible mid-episode — not only at arrival and
+            // delivery events (under load, most spills and reuses
+            // happen long after the last arrival). A tick-bounded
+            // window delivers nothing: its barrier exists purely to
+            // merge the directory.
+            let sync_window = sessions.iter().any(|s| s.has_pending_work())
+                && horizon.is_none_or(|t| next_sync < t);
+            let (horizon, deliver_now) = if sync_window {
+                (Some(next_sync), None)
+            } else {
+                (horizon, deliver_now)
+            };
 
             // Advance the fleet toward the event one step at a time,
             // harvesting any handoffs each step exports — a fresh
@@ -546,6 +759,27 @@ impl ClusterEngine {
                     });
                 }
                 continue;
+            }
+
+            // Control-plane barrier: no session can advance below the
+            // horizon. Merge the fleet directory here, in replica
+            // order — the parallel loop reaches the same barriers with
+            // the same per-session egress.
+            if let Some(control) = shared.as_mut() {
+                control.harvest(&mut sessions);
+                if sync_window {
+                    // Everyone still running has reached the tick;
+                    // latch the next one past the slowest of them.
+                    let min_clock = sessions
+                        .iter()
+                        .filter(|s| s.has_pending_work())
+                        .map(|s| s.clock())
+                        .fold(f64::INFINITY, f64::min);
+                    if min_clock.is_finite() {
+                        next_sync = next_sync_tick(min_clock, control.sync_s);
+                    }
+                    continue;
+                }
             }
 
             match deliver_now {
@@ -585,10 +819,12 @@ impl ClusterEngine {
                         let snapshots = observe(&sessions);
                         let target = {
                             papi_perf::phase!("route");
-                            policy.route(&RouteContext {
-                                request: &request,
-                                replicas: &snapshots,
-                            })
+                            let ctx = RouteContext::new(&request, &snapshots);
+                            let ctx = match shared.as_ref() {
+                                Some(control) => ctx.with_shared_prefixes(&control.directory),
+                                None => ctx,
+                            };
+                            policy.route(&ctx)
                         };
                         assert!(
                             target < sessions.len(),
@@ -611,7 +847,15 @@ impl ClusterEngine {
         }
         debug_assert!(in_flight.is_empty(), "a migration was never delivered");
         stats.latency = LatencySummary::from_times(&transfer_times);
-        self.finish_report(policy.label(), decisions, roles, stats, sessions)
+        let global_tier = shared.map(SharedTierControl::into_report);
+        self.finish_report(
+            policy.label(),
+            decisions,
+            roles,
+            stats,
+            global_tier,
+            sessions,
+        )
     }
 
     /// The [`StepMode::Parallel`] window-at-a-time loop.
@@ -647,6 +891,8 @@ impl ClusterEngine {
     ) -> ClusterReport {
         let roles = self.roles();
         let mut sessions = self.open_sessions(workload, &roles);
+        let mut shared = self.open_shared_tier(&mut sessions);
+        let mut next_sync = shared.as_ref().map_or(f64::INFINITY, |c| c.sync_s);
         let mut caches: HashMap<DesignKind, Arc<SharedIterationCache>> = HashMap::new();
         for (idx, session) in sessions.iter_mut().enumerate() {
             let cache = caches.entry(self.spec.design_for(roles[idx])).or_default();
@@ -704,6 +950,15 @@ impl ClusterEngine {
                 (Some(at), None) => (Some(at), None),
                 (None, Some((di, dt))) => (Some(dt), Some(di)),
                 (None, None) => (None, None),
+            };
+            // Shared-tier gossip ticks bound the window exactly as in
+            // the sequential loop (same latch, same schedule).
+            let sync_window = sessions.iter().any(|s| s.has_pending_work())
+                && horizon.is_none_or(|t| next_sync < t);
+            let (horizon, deliver_now) = if sync_window {
+                (Some(next_sync), None)
+            } else {
+                (horizon, deliver_now)
             };
             let h = horizon.unwrap_or(f64::INFINITY);
             let mut advanced = false;
@@ -765,6 +1020,24 @@ impl ClusterEngine {
                 continue;
             }
 
+            // Control-plane barrier — the same point the sequential
+            // loop harvests at (no session can advance below the
+            // horizon), with identical per-session egress contents.
+            if let Some(control) = shared.as_mut() {
+                control.harvest(&mut sessions);
+                if sync_window {
+                    let min_clock = sessions
+                        .iter()
+                        .filter(|s| s.has_pending_work())
+                        .map(|s| s.clock())
+                        .fold(f64::INFINITY, f64::min);
+                    if min_clock.is_finite() {
+                        next_sync = next_sync_tick(min_clock, control.sync_s);
+                    }
+                    continue;
+                }
+            }
+
             match deliver_now {
                 Some(pos) => {
                     let migrated = in_flight.remove(pos);
@@ -803,10 +1076,12 @@ impl ClusterEngine {
                         refresh_snapshots(&sessions, &roles, &mut snaps, &mut dirty);
                         let target = {
                             papi_perf::phase!("route");
-                            policy.route(&RouteContext {
-                                request: &request,
-                                replicas: &snaps,
-                            })
+                            let ctx = RouteContext::new(&request, &snaps);
+                            let ctx = match shared.as_ref() {
+                                Some(control) => ctx.with_shared_prefixes(&control.directory),
+                                None => ctx,
+                            };
+                            policy.route(&ctx)
                         };
                         assert!(
                             target < sessions.len(),
@@ -830,7 +1105,15 @@ impl ClusterEngine {
         }
         debug_assert!(in_flight.is_empty(), "a migration was never delivered");
         stats.latency = LatencySummary::from_times(&transfer_times);
-        self.finish_report(policy.label(), decisions, roles, stats, sessions)
+        let global_tier = shared.map(SharedTierControl::into_report);
+        self.finish_report(
+            policy.label(),
+            decisions,
+            roles,
+            stats,
+            global_tier,
+            sessions,
+        )
     }
 
     fn finish_report(
@@ -839,6 +1122,7 @@ impl ClusterEngine {
         decisions: u64,
         roles: Vec<ReplicaRole>,
         migration: MigrationReport,
+        global_tier: Option<GlobalTierReport>,
         sessions: Vec<ServingSession<'_>>,
     ) -> ClusterReport {
         ClusterReport {
@@ -849,8 +1133,21 @@ impl ClusterEngine {
             routing_decisions: decisions,
             roles,
             migration,
+            global_tier,
             replicas: sessions.into_iter().map(|s| s.into_report()).collect(),
         }
+    }
+}
+
+/// The first control-plane gossip tick strictly after `clock` on the
+/// `sync`-second grid (with a strict-progress guard against the grid
+/// point rounding down onto `clock` itself).
+fn next_sync_tick(clock: f64, sync: f64) -> f64 {
+    let tick = (clock / sync).floor() * sync + sync;
+    if tick > clock {
+        tick
+    } else {
+        clock + sync
     }
 }
 
@@ -906,6 +1203,41 @@ pub struct MigrationReport {
     pub latency: Option<LatencySummary>,
 }
 
+/// Fleet-wide accounting of the shared prefix tier: directory
+/// occupancy at episode end plus cross-replica fetch traffic. The
+/// fetch time and energy are *already inside* the fetching replicas'
+/// reports (TTFT and session energy) — this report attributes the
+/// fabric traffic; it is not an extra charge, and
+/// [`ClusterReport::energy`] must not add `energy` again.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct GlobalTierReport {
+    /// Label of the pricing remote fetches crossed (the inter-node
+    /// fabric unless overridden; `"free"` for the ablation).
+    pub pricing: String,
+    /// Prefixes registered in the directory at episode end.
+    pub entries: u64,
+    /// Logical tokens those entries cover.
+    pub resident_tokens: u64,
+    /// Blocks those tokens occupy (hot-pool block size).
+    pub resident_blocks: u64,
+    /// First-time registrations over the episode.
+    pub publishes: u64,
+    /// Records grown by a longer re-spill.
+    pub extensions: u64,
+    /// Cross-replica re-materializations.
+    pub fetches: u64,
+    /// Logical tokens restored across the fabric.
+    pub fetched_tokens: u64,
+    /// Total fetched payload in bytes.
+    pub bytes: f64,
+    /// Total wire energy of the fetches (already counted in replica
+    /// energy — attribution only).
+    pub energy: Energy,
+    /// Per-fetch transfer-latency percentiles; `None` when nothing
+    /// was fetched.
+    pub latency: Option<LatencySummary>,
+}
+
 /// The outcome of one episode across the fleet: per-replica
 /// [`ServingReport`]s plus fleet-wide aggregation.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -926,6 +1258,8 @@ pub struct ClusterReport {
     /// KV-migration accounting (zeros for a fleet that never
     /// migrated).
     pub migration: MigrationReport,
+    /// Shared-tier accounting; `None` for a private-tier fleet.
+    pub global_tier: Option<GlobalTierReport>,
     /// One report per data-parallel replica (some may be empty if the
     /// router starved them, and prefill-role replicas record nothing —
     /// their requests complete on the decode side).
@@ -944,6 +1278,10 @@ impl ClusterReport {
     }
 
     /// Total energy across the fleet, migration wire energy included.
+    /// Shared-tier fetch energy is *not* added here: each fetch
+    /// already charged its fetching replica's session energy —
+    /// [`GlobalTierReport::energy`] is attribution, not a separate
+    /// pool.
     pub fn energy(&self) -> Energy {
         self.replicas
             .iter()
@@ -1047,7 +1385,7 @@ impl ClusterReport {
 mod tests {
     use super::*;
     use papi_llm::ModelPreset;
-    use papi_workload::DatasetKind;
+    use papi_workload::{ConversationDataset, DatasetKind};
 
     fn workload(rate: f64, n: usize) -> ServingWorkload {
         ServingWorkload::poisson(DatasetKind::GeneralQa, rate, n).with_seed(17)
@@ -1185,6 +1523,7 @@ mod tests {
             routing_decisions: 0,
             roles: vec![],
             migration: MigrationReport::default(),
+            global_tier: None,
             replicas: vec![],
         };
         assert_eq!(report.requests(), 0);
@@ -1383,5 +1722,101 @@ mod tests {
                 .with_prefix_sharing(true)
                 .with_prefill_chunk(256)
         );
+    }
+
+    /// A multi-turn long-context workload that thrashes each replica's
+    /// hot pool (the `tiered_kv.rs` scenario scaled to a 2-replica
+    /// fleet: double the rate so each replica sees the single-engine
+    /// pressure).
+    fn shared_tier_workload() -> ServingWorkload {
+        ServingWorkload::poisson(
+            ConversationDataset::multi_turn(DatasetKind::LongContext, 4096, 3),
+            4.0,
+            153,
+        )
+        .with_seed(23)
+    }
+
+    fn shared_tier_spec(shared: SharedTierSpec) -> ClusterSpec {
+        ClusterSpec::new(
+            DesignKind::PimOnlyPapi,
+            ModelPreset::Gpt3_175B.config(),
+            1,
+            2,
+        )
+        .with_routing(PolicySpec::RoundRobin)
+        .with_tuning(
+            SessionTuning::default()
+                .with_max_batch(16)
+                .with_kv_block_size(16)
+                .with_prefix_sharing(true)
+                .with_kv_tier(crate::KvTierSpec::new(60_000)),
+        )
+        .with_shared_tier(shared)
+    }
+
+    /// The shared tier registers spilled records, so enabling it
+    /// without a private capacity tier is a configuration error.
+    #[test]
+    fn shared_tier_requires_a_private_tier() {
+        let spec = ClusterSpec::new(
+            DesignKind::PimOnlyPapi,
+            ModelPreset::Llama65B.config(),
+            1,
+            2,
+        )
+        .with_shared_tier(SharedTierSpec::new());
+        let err = ClusterEngine::new(spec).unwrap_err();
+        assert!(err.to_string().contains("kv_tier"), "{err}");
+    }
+
+    /// Round-robin scatters a conversation's turns across replicas, so
+    /// a pressured fleet publishes spilled prefixes into the directory
+    /// and re-materializes them across the fabric — with the wire
+    /// traffic priced and attributed.
+    #[test]
+    fn shared_tier_publishes_and_fetches_across_replicas() {
+        let report = ClusterEngine::new(shared_tier_spec(SharedTierSpec::new()))
+            .unwrap()
+            .run(&shared_tier_workload());
+        let tier = report.global_tier.as_ref().expect("shared tier was on");
+        assert!(tier.publishes > 0, "no prefixes registered: {tier:?}");
+        assert!(tier.entries > 0);
+        assert!(tier.resident_tokens > 0);
+        assert!(tier.fetches > 0, "no cross-replica fetches: {tier:?}");
+        assert!(tier.fetched_tokens > 0);
+        assert!(tier.bytes > 0.0, "fetches must move priced bytes");
+        assert!(tier.energy.value() > 0.0);
+        let latency = tier.latency.as_ref().expect("fetches were priced");
+        assert!(latency.p50.value() > 0.0);
+        assert_eq!(tier.pricing, "InfiniBand-NDR", "defaults to inter-node");
+        // The per-replica reports carry the same traffic: fleet
+        // attribution is a sum, not a second charge.
+        let remote_fetches: u64 = report.replicas.iter().map(|r| r.kv.remote_fetches).sum();
+        let remote_tokens: u64 = report
+            .replicas
+            .iter()
+            .map(|r| r.kv.remote_fetched_tokens)
+            .sum();
+        assert_eq!(remote_fetches, tier.fetches);
+        assert_eq!(remote_tokens, tier.fetched_tokens);
+    }
+
+    /// The `TierPricing::Free` ablation: fetches still count (the
+    /// sharing happens) but cross the fabric for free — zero bytes,
+    /// zero wire time, zero energy.
+    #[test]
+    fn free_shared_tier_is_counted_but_unpriced() {
+        let report = ClusterEngine::new(shared_tier_spec(
+            SharedTierSpec::new().with_pricing(TierPricing::Free),
+        ))
+        .unwrap()
+        .run(&shared_tier_workload());
+        let tier = report.global_tier.as_ref().expect("shared tier was on");
+        assert_eq!(tier.pricing, "free");
+        assert!(tier.fetches > 0, "ablation must still share: {tier:?}");
+        assert_eq!(tier.bytes, 0.0);
+        assert_eq!(tier.energy, Energy::ZERO);
+        assert_eq!(tier.latency.as_ref().unwrap().max.value(), 0.0);
     }
 }

@@ -5,7 +5,7 @@
 //! paper plots. EXPERIMENTS.md records the paper-vs-measured comparison
 //! for each.
 
-use crate::cluster::{ClusterEngine, ClusterSpec};
+use crate::cluster::{ClusterEngine, ClusterSpec, SharedTierSpec};
 use crate::config::{DesignKind, SystemConfig};
 use crate::engine::DecodingSimulator;
 use crate::metrics::ExecutionReport;
@@ -1067,6 +1067,168 @@ impl RoutingSweep {
 }
 
 // ---------------------------------------------------------------------
+// Fleet-wide prefix sharing (beyond the paper: global KV tier)
+// ---------------------------------------------------------------------
+
+/// One `(routing policy, shared-tier config, rate)` point of a
+/// [`GlobalPrefixSweep`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GlobalPrefixRow {
+    /// Routing policy label.
+    pub routing: String,
+    /// Shared-tier configuration: `"off"` for a private-tier fleet,
+    /// otherwise the fabric pricing label (`"InfiniBand-NDR"`,
+    /// `"free"`, …).
+    pub shared_tier: String,
+    /// Offered load, requests per second.
+    pub rate_per_sec: f64,
+    /// Requests served fleet-wide.
+    pub requests: u64,
+    /// Fleet-wide prefix hit rate (fraction of prefill demand served
+    /// from cache, local tier, or remote fetch).
+    pub cache_hit_rate: f64,
+    /// Requests completed within the SLO, per second of fleet makespan.
+    pub goodput_rps: f64,
+    /// Fraction of requests meeting the SLO.
+    pub slo_attainment: f64,
+    /// Median fleet time-to-first-token, ms.
+    pub ttft_p50_ms: f64,
+    /// 99th-percentile fleet time-to-first-token, ms.
+    pub ttft_p99_ms: f64,
+    /// Fleet output-token throughput.
+    pub tokens_per_sec: f64,
+    /// Cross-replica re-materializations out of the fleet directory.
+    pub remote_fetches: u64,
+    /// Logical tokens restored across the inter-node fabric.
+    pub remote_fetched_tokens: u64,
+    /// Fetched payload crossing the fabric, GB.
+    pub remote_fetch_gb: f64,
+    /// Total wire time of those fetches (lands in TTFT), seconds.
+    pub remote_fetch_time_s: f64,
+    /// Total wire energy of those fetches, J.
+    pub remote_fetch_energy_j: f64,
+    /// Prefixes registered in the fleet directory at episode end.
+    pub directory_entries: u64,
+    /// Replicas that served at least one request.
+    pub replicas_used: usize,
+}
+
+/// A fleet-wide prefix-sharing sweep: the same membership-skewed
+/// multi-turn load, the same fleet — only the routing policy and the
+/// shared-tier configuration differ. Private-tier fleets
+/// (`shared_tiers` entry `None`) can only reuse a conversation's
+/// context on its home replica; shared-tier fleets re-materialize it
+/// from the owning replica at inter-node fabric cost, and the
+/// [`TierPricing::Free`] ablation isolates how much of the remaining
+/// gap is the wire.
+#[derive(Debug, Clone)]
+pub struct GlobalPrefixSweep {
+    /// Model served.
+    pub model: ModelPreset,
+    /// Per-node design replicated across the fleet.
+    pub design: DesignKind,
+    /// Prefix-structured request population (multi-turn conversations).
+    pub conversations: ConversationDataset,
+    /// Offered loads, requests per second.
+    pub rates: Vec<f64>,
+    /// Requests per point.
+    pub num_requests: usize,
+    /// Nodes per tensor-parallel group.
+    pub tp_degree: usize,
+    /// Data-parallel replicas behind the router.
+    pub dp_replicas: usize,
+    /// Routing policies compared.
+    pub policies: Vec<PolicySpec>,
+    /// Shared-tier configurations compared (`None` = private tiers
+    /// only).
+    pub shared_tiers: Vec<Option<SharedTierSpec>>,
+    /// Session knobs of every replica; must carry a `kv_tier` (the
+    /// directory registers spilled records).
+    pub tuning: SessionTuning,
+    /// Latency objective goodput is scored against.
+    pub slo: SloSpec,
+    /// Seed shared by every point.
+    pub seed: u64,
+}
+
+impl GlobalPrefixSweep {
+    /// Serves every `(rate, shared-tier, policy)` point and collects
+    /// one row each.
+    ///
+    /// Points are independent simulator runs and fan out across cores;
+    /// results are deterministic and ordered rate-major, then
+    /// shared-tier, then policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fleet shape is degenerate, exceeds the fabric's
+    /// fan-out, or enables a shared tier without a private `kv_tier`.
+    pub fn run(&self) -> Vec<GlobalPrefixRow> {
+        let points: Vec<(f64, Option<SharedTierSpec>, PolicySpec)> = self
+            .rates
+            .iter()
+            .flat_map(|&rate| {
+                self.shared_tiers.iter().flat_map(move |tier| {
+                    self.policies
+                        .iter()
+                        .map(move |&policy| (rate, tier.clone(), policy))
+                })
+            })
+            .collect();
+        points
+            .par_iter()
+            .map(|(rate, tier, policy)| {
+                let workload =
+                    ServingWorkload::poisson(self.conversations, *rate, self.num_requests)
+                        .with_seed(self.seed);
+                let mut spec = ClusterSpec::new(
+                    self.design,
+                    self.model.config(),
+                    self.tp_degree,
+                    self.dp_replicas,
+                )
+                .with_routing(*policy)
+                .with_tuning(self.tuning.clone());
+                if let Some(shared) = tier {
+                    spec = spec.with_shared_tier(shared.clone());
+                }
+                let engine = ClusterEngine::new(spec).expect("sweep shape is a valid fleet");
+                let report = engine.run(&workload);
+                let ttft = report.ttft_summary().expect("non-empty episode");
+                let global = report.global_tier.as_ref();
+                GlobalPrefixRow {
+                    routing: report.routing.clone(),
+                    shared_tier: global.map_or_else(|| "off".to_owned(), |g| g.pricing.clone()),
+                    rate_per_sec: *rate,
+                    requests: report.requests(),
+                    cache_hit_rate: report.cache_hit_rate(),
+                    goodput_rps: report.goodput(&self.slo),
+                    slo_attainment: report.slo_attainment(&self.slo),
+                    ttft_p50_ms: ttft.p50.as_millis(),
+                    ttft_p99_ms: ttft.p99.as_millis(),
+                    tokens_per_sec: report.tokens_per_second(),
+                    remote_fetches: global.map_or(0, |g| g.fetches),
+                    remote_fetched_tokens: global.map_or(0, |g| g.fetched_tokens),
+                    remote_fetch_gb: global.map_or(0.0, |g| g.bytes / 1e9),
+                    remote_fetch_time_s: report
+                        .replicas
+                        .iter()
+                        .map(|r| r.kv.remote_fetch_time_s)
+                        .sum(),
+                    remote_fetch_energy_j: global.map_or(0.0, |g| g.energy.value()),
+                    directory_entries: global.map_or(0, |g| g.entries),
+                    replicas_used: report
+                        .replicas
+                        .iter()
+                        .filter(|r| !r.records.is_empty())
+                        .count(),
+                }
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------
 // Disaggregation sweeps (beyond the paper: prefill/decode pools)
 // ---------------------------------------------------------------------
 
@@ -1546,6 +1708,68 @@ mod tests {
             "recovered hits should buy goodput: {} vs {}",
             affinity.goodput_rps,
             jsq.goodput_rps
+        );
+    }
+
+    /// The global-prefix sweep's grid discipline: rate-major, then
+    /// shared-tier configuration, then policy, with the tier column
+    /// labeled by its pricing — and the shared-tier rows actually use
+    /// the fabric on the membership-skewed workload while the
+    /// private-tier rows cannot.
+    #[test]
+    fn global_prefix_sweep_orders_rows_and_uses_the_fabric() {
+        let rows = GlobalPrefixSweep {
+            model: ModelPreset::Gpt3_175B,
+            design: DesignKind::PimOnlyPapi,
+            conversations: ConversationDataset::multi_turn(DatasetKind::LongContext, 8192, 12),
+            rates: vec![0.15],
+            num_requests: 120,
+            tp_degree: 1,
+            dp_replicas: 2,
+            policies: vec![
+                PolicySpec::prefix_affinity(),
+                PolicySpec::shared_tier_affinity(),
+            ],
+            shared_tiers: vec![None, Some(SharedTierSpec::new())],
+            tuning: SessionTuning::default()
+                .with_max_batch(16)
+                .with_kv_block_size(16)
+                .with_prefix_sharing(true)
+                .with_kv_tier(crate::KvTierSpec::new(60_000)),
+            slo: SloSpec::interactive(8_000.0, 80.0),
+            seed: 23,
+        }
+        .run();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(
+            rows.iter()
+                .map(|r| r.shared_tier.as_str())
+                .collect::<Vec<_>>(),
+            ["off", "off", "InfiniBand-NDR", "InfiniBand-NDR"]
+        );
+        assert_eq!(rows[0].routing, "prefix-affinity");
+        assert_eq!(rows[1].routing, "shared-tier-affinity");
+        for row in &rows {
+            assert_eq!(row.requests, 120);
+            assert_eq!(row.replicas_used, 2);
+        }
+        // Private tiers cannot cross the fabric...
+        assert_eq!(rows[0].remote_fetches, 0);
+        assert_eq!(rows[1].remote_fetches, 0);
+        assert_eq!(rows[0].directory_entries, 0);
+        // ...and the shared tier does, with honest wire accounting and
+        // a fleet-level hit-rate win for the relaxing policy.
+        let shared = &rows[3];
+        assert!(shared.remote_fetches > 0, "fabric unused");
+        assert!(shared.remote_fetch_gb > 0.0);
+        assert!(shared.remote_fetch_time_s > 0.0);
+        assert!(shared.remote_fetch_energy_j > 0.0);
+        assert!(shared.directory_entries > 0);
+        assert!(
+            shared.cache_hit_rate > rows[0].cache_hit_rate,
+            "shared tier should lift the fleet hit rate: {} vs {}",
+            shared.cache_hit_rate,
+            rows[0].cache_hit_rate
         );
     }
 

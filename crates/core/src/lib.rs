@@ -67,7 +67,10 @@ pub mod slo;
 pub use admission::{
     AdmissionCandidate, AdmissionPolicy, AdmissionSpec, AdmissionView, BlockGranular, Fcfs,
 };
-pub use cluster::{ClusterEngine, ClusterReport, ClusterSpec, MigrationReport, StepMode};
+pub use cluster::{
+    ClusterEngine, ClusterReport, ClusterSpec, GlobalTierReport, MigrationReport, SharedTierSpec,
+    StepMode,
+};
 pub use config::{DesignKind, SchedulerKind, SystemConfig, TpGroup};
 pub use engine::DecodingSimulator;
 pub use metrics::{
@@ -77,6 +80,7 @@ pub use papi_kv::KvCacheStats;
 pub use prefill::{prefill_cost, prefill_cost_for, PrefillCost, PromptStats};
 pub use pricer::IterationPricer;
 pub use serving::{
-    KvTierSpec, PrefillHandoff, ServingEngine, ServingSession, SessionStatus, SessionTuning,
+    KvTierSpec, PrefillHandoff, RemoteFetchEvent, ServingEngine, ServingSession, SessionStatus,
+    SessionTuning,
 };
 pub use slo::SloSpec;

@@ -39,10 +39,10 @@ use crate::config::SystemConfig;
 use crate::metrics::{PhaseBreakdown, RequestRecord, ServingReport};
 use crate::prefill::{prefill_cost_for, PromptStats};
 use crate::pricer::{IterationPricer, SharedIterationCache};
-use papi_interconnect::TierPricing;
+use papi_interconnect::{TierCost, TierPricing};
 use papi_kv::{
-    FetchCandidate, FetchPolicy, FetchSpec, KvBlockPool, KvCacheStats, KvPoolStats, KvSeq,
-    KvSeqExport, KvTier, PrefixHint, PrefixTree, SpillCandidate, SpillPolicy, SpillSpec,
+    FetchCandidate, FetchPolicy, FetchSpec, GlobalKvTier, KvBlockPool, KvCacheStats, KvPoolStats,
+    KvSeq, KvSeqExport, KvTier, PrefixHint, PrefixTree, SpillCandidate, SpillPolicy, SpillSpec,
 };
 use papi_sched::{FcScheduler, Placement};
 use papi_types::{Bytes, Energy, Time};
@@ -500,6 +500,7 @@ impl ServingEngine {
                 ..Default::default()
             },
             tier,
+            global: None,
             pool,
             scheduler: self.config.scheduler.build(),
             pricer: IterationPricer::new(&self.config),
@@ -572,6 +573,48 @@ pub enum SessionStatus {
     Idle,
 }
 
+/// One cross-replica prefix re-materialization, for the cluster
+/// engine's fleet-level accounting: which record was fetched from which
+/// owning replica, how many tokens crossed the fabric, and what the
+/// wire charged. The time and energy are *already* applied to the
+/// fetching session (TTFT and session energy); the event exists so the
+/// fleet report can attribute the traffic without double-charging.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RemoteFetchEvent {
+    /// The conversation-prefix key that was re-materialized.
+    pub key: u64,
+    /// Replica index the fleet-wide directory names as the record's
+    /// owner (the copy-out source).
+    pub owner: usize,
+    /// Logical tokens restored across the fabric.
+    pub tokens: u64,
+    /// What the transfer cost on the wire.
+    pub cost: TierCost,
+}
+
+/// The fleet-shared tier's per-session runtime state: a frozen view of
+/// the fleet-wide directory (re-installed only at control-plane
+/// barriers, so parallel and sequential fleet stepping observe the
+/// same snapshots), the fetch policy and fabric pricing for remote
+/// re-materializations, and the two egress queues the cluster engine
+/// drains at barriers in deterministic replica order.
+#[derive(Debug)]
+struct GlobalTierState {
+    /// This replica's index in the fleet (its identity in the
+    /// directory; a record it owns is never remote-fetched).
+    replica: usize,
+    /// Frozen directory snapshot.
+    view: Arc<GlobalKvTier>,
+    fetch: Box<dyn FetchPolicy>,
+    pricing: TierPricing,
+    /// Bytes one KV block carries across the fabric.
+    block_bytes: Bytes,
+    /// Accepted local spills awaiting registration: `(key, tokens)`.
+    publish_egress: Vec<(u64, u64)>,
+    /// Remote fetches performed since the last drain.
+    fetch_egress: Vec<RemoteFetchEvent>,
+}
+
 /// The capacity tier's runtime state: the tier itself, the built
 /// policy objects, and the pricing (with the per-block payload size
 /// precomputed from the model's KV geometry).
@@ -604,6 +647,11 @@ pub struct ServingSession<'a> {
     /// prefix-cache eviction spills here, admission fork-misses probe
     /// here before re-prefilling.
     tier: Option<TierState>,
+    /// The fleet-shared prefix tier, `Some` once the cluster engine
+    /// calls [`enable_global_tier`](Self::enable_global_tier): local
+    /// tier misses consult the fleet-wide directory and re-materialize
+    /// remote records at inter-node fabric cost.
+    global: Option<GlobalTierState>,
     kv_stats: KvCacheStats,
     scheduler: Box<dyn FcScheduler>,
     pricer: IterationPricer<'a>,
@@ -837,6 +885,76 @@ impl ServingSession<'_> {
         self.pricer.set_shared_cache(cache);
     }
 
+    /// Joins this session to a fleet-shared prefix tier as replica
+    /// `replica`: accepted local spills queue for registration in the
+    /// fleet-wide directory, and admission fork-misses that also miss
+    /// the private tier consult `view` and re-materialize remote
+    /// records at `pricing` (the fabric) cost. The caller — the
+    /// cluster engine — re-installs a fresh frozen view at every
+    /// control-plane barrier via
+    /// [`install_global_view`](Self::install_global_view) and drains
+    /// the egress queues in deterministic replica order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no private capacity tier is configured — the shared
+    /// directory registers *spilled* records, so it rides
+    /// [`KvTierSpec`] the same way the tier rides the prefix cache.
+    #[track_caller]
+    pub fn enable_global_tier(
+        &mut self,
+        replica: usize,
+        fetch: &FetchSpec,
+        pricing: TierPricing,
+        view: Arc<GlobalKvTier>,
+    ) {
+        assert!(
+            self.tier.is_some(),
+            "the fleet-shared tier registers spilled records: configure kv_tier first"
+        );
+        self.global = Some(GlobalTierState {
+            replica,
+            view,
+            fetch: fetch.build(),
+            pricing,
+            block_bytes: self.engine.config.model.kv_bytes_per_token()
+                * self.pool.block_size() as f64,
+            publish_egress: Vec::new(),
+            fetch_egress: Vec::new(),
+        });
+    }
+
+    /// Replaces the frozen fleet-directory snapshot this session reads.
+    /// No-op unless [`enable_global_tier`](Self::enable_global_tier)
+    /// was called. The cluster engine calls this at control-plane
+    /// barriers only — between barriers every replica reads the same
+    /// frozen view, which is what keeps parallel and sequential fleet
+    /// stepping bit-for-bit equal.
+    pub fn install_global_view(&mut self, view: Arc<GlobalKvTier>) {
+        if let Some(state) = self.global.as_mut() {
+            state.view = view;
+        }
+    }
+
+    /// Takes the `(key, tokens)` records this session's accepted spills
+    /// queued for fleet-wide registration since the last drain. Empty
+    /// unless the shared tier is enabled.
+    pub fn drain_global_publishes(&mut self) -> Vec<(u64, u64)> {
+        self.global
+            .as_mut()
+            .map_or_else(Vec::new, |s| std::mem::take(&mut s.publish_egress))
+    }
+
+    /// Takes the cross-replica fetches this session performed since the
+    /// last drain (their time and energy are already charged here; the
+    /// events are for fleet-level attribution). Empty unless the shared
+    /// tier is enabled.
+    pub fn drain_global_fetches(&mut self) -> Vec<RemoteFetchEvent> {
+        self.global
+            .as_mut()
+            .map_or_else(Vec::new, |s| std::mem::take(&mut s.fetch_egress))
+    }
+
     fn evictable_blocks(&self) -> u64 {
         self.prefix_tree
             .as_ref()
@@ -862,6 +980,12 @@ impl ServingSession<'_> {
                 if outcome.accepted {
                     self.kv_stats.tier_spills += 1;
                     self.kv_stats.tier_spilled_tokens += evicted.tokens;
+                    // Fleet-shared tier: an accepted spill queues for
+                    // registration in the fleet-wide directory at the
+                    // next control-plane barrier.
+                    if let Some(global) = self.global.as_mut() {
+                        global.publish_egress.push((evicted.key, evicted.tokens));
+                    }
                 }
                 self.kv_stats.tier_evictions += outcome.evicted_entries;
                 self.kv_stats.tier_peak_blocks = self
@@ -938,6 +1062,84 @@ impl ServingSession<'_> {
         self.kv_stats.tier_fetched_tokens += usable;
         self.kv_stats.tier_fetch_time_s += cost.time.value();
         self.kv_stats.tier_fetch_energy_j += cost.energy.value();
+        Some(seq)
+    }
+
+    /// On a miss in both the prefix cache and the private capacity
+    /// tier, consults the fleet-wide directory: if *another* replica
+    /// owns a spilled record under the key, re-materializes the usable
+    /// (block-aligned) overlap locally at inter-node fabric cost — a
+    /// copy-out, so the directory entry survives untouched. The wire
+    /// latency lands in the admitted request's TTFT and the energy in
+    /// this session's report; a [`RemoteFetchEvent`] queues for the
+    /// cluster engine's fleet-level attribution. Returns `None` when no
+    /// shared tier is enabled, the key is unregistered, this replica
+    /// owns the record (the local tier already ruled — it may have
+    /// LRU-dropped it, and no one else holds a copy), there is no
+    /// usable overlap, the fetch policy declines, or the hot pool
+    /// cannot make room.
+    fn try_global_fetch(&mut self, hint: PrefixHint) -> Option<KvSeq> {
+        let block_size = self.pool.block_size();
+        let state = self.global.as_mut()?;
+        let entry = state.view.lookup(hint.key)?;
+        if entry.owner == state.replica {
+            return None;
+        }
+        let usable = entry
+            .tokens
+            .min(hint.reuse_tokens / block_size * block_size);
+        if usable == 0 {
+            return None;
+        }
+        let candidate = FetchCandidate {
+            key: hint.key,
+            tier_tokens: entry.tokens,
+            reuse_tokens: hint.reuse_tokens,
+            usable_tokens: usable,
+        };
+        if !state.fetch.should_fetch(&candidate) {
+            return None;
+        }
+        // Make room in the hot pool exactly as a local tier fetch
+        // would; if it stays too tight, re-prefill instead.
+        let needed = self.pool.blocks_for(usable);
+        while self.pool.free_blocks() < needed {
+            if self.relieve_prefix_cache().is_none() {
+                break;
+            }
+        }
+        if self.pool.free_blocks() < needed {
+            return None;
+        }
+        let mut seq = self.pool.new_seq();
+        assert!(
+            self.pool.append(&mut seq, usable),
+            "global fetch allocation failed despite the room check"
+        );
+        // Republish locally so successor turns fork it for free — the
+        // remote copy crossed the fabric once, not per turn.
+        if let Some(tree) = self.prefix_tree.as_mut() {
+            if tree.publish(hint.key, seq.blocks(), usable, &mut self.pool) {
+                self.kv_stats.prefix_insertions += 1;
+            }
+        }
+        let state = self.global.as_mut().expect("shared tier checked above");
+        let cost = state
+            .pricing
+            .cost(usable.div_ceil(block_size), state.block_bytes);
+        state.fetch_egress.push(RemoteFetchEvent {
+            key: hint.key,
+            owner: entry.owner,
+            tokens: usable,
+            cost,
+        });
+        self.clock += cost.time.value();
+        self.prefill_time += cost.time;
+        self.energy += cost.energy;
+        self.kv_stats.remote_fetches += 1;
+        self.kv_stats.remote_fetched_tokens += usable;
+        self.kv_stats.remote_fetch_time_s += cost.time.value();
+        self.kv_stats.remote_fetch_energy_j += cost.energy.value();
         Some(seq)
     }
 
@@ -1123,6 +1325,9 @@ impl ServingSession<'_> {
                     .fork(h.key, h.reuse_tokens, &mut self.pool);
                 if fork.is_none() {
                     fork = self.try_tier_fetch(h);
+                }
+                if fork.is_none() {
+                    fork = self.try_global_fetch(h);
                 }
                 if let Some(forked) = &fork {
                     self.kv_stats.prefix_hits += 1;

@@ -190,6 +190,7 @@ mod tests {
         let c = ClusterTopology::papi_default(4, 2).unwrap();
         assert_eq!(c.link(Route::TpAllReduce).name, "InfiniBand-NDR");
         assert_eq!(c.link(Route::KvShard).name, "InfiniBand-NDR");
+        assert_eq!(c.link(Route::KvFetch).name, "InfiniBand-NDR");
         // Node-scope routes still resolve to the node's wiring.
         assert_eq!(c.link(Route::PuToFcPim).name, "NVLink");
         assert_eq!(c.link(Route::PuToAttnPim).name, "CXL");

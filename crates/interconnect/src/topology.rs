@@ -29,6 +29,12 @@ pub enum Route {
     /// one-shot transfer, priced by
     /// [`MigrationPricing`](crate::MigrationPricing)).
     KvMigrate,
+    /// A spilled prefix re-materialized from the replica that owns its
+    /// fleet-wide `GlobalKvTier` record onto the replica serving the
+    /// re-landed request (read-only copy-out over the inter-node
+    /// fabric, priced by [`TierPricing`](crate::TierPricing) composed
+    /// with the cluster's fabric [`LinkSpec`]).
+    KvFetch,
 }
 
 impl Route {
@@ -36,7 +42,10 @@ impl Route {
     /// a [`ClusterTopology`](crate::ClusterTopology), not a single-node
     /// [`SystemTopology`]).
     pub fn is_cluster_scope(&self) -> bool {
-        matches!(self, Route::TpAllReduce | Route::KvShard | Route::KvMigrate)
+        matches!(
+            self,
+            Route::TpAllReduce | Route::KvShard | Route::KvMigrate | Route::KvFetch
+        )
     }
 }
 
@@ -181,7 +190,7 @@ impl SystemTopology {
             Route::PuToFcPim => &self.fc_pim_link,
             Route::PuToAttnPim => &self.attn_pim_link,
             Route::HostToPu => &self.host_link,
-            Route::TpAllReduce | Route::KvShard | Route::KvMigrate => {
+            Route::TpAllReduce | Route::KvShard | Route::KvMigrate | Route::KvFetch => {
                 panic!("{route:?} is cluster-scope traffic; a single-node SystemTopology has no inter-node fabric")
             }
         }
@@ -198,7 +207,7 @@ impl SystemTopology {
             Route::PuToFcPim => self.fc_pim_devices,
             Route::PuToAttnPim => self.attn_pim_devices,
             Route::HostToPu => 0,
-            Route::TpAllReduce | Route::KvShard | Route::KvMigrate => {
+            Route::TpAllReduce | Route::KvShard | Route::KvMigrate | Route::KvFetch => {
                 panic!("{route:?} is cluster-scope traffic; a single-node SystemTopology has no inter-node fabric")
             }
         }
@@ -275,6 +284,7 @@ mod tests {
         assert!(!Route::HostToPu.is_cluster_scope());
         assert!(Route::TpAllReduce.is_cluster_scope());
         assert!(Route::KvShard.is_cluster_scope());
+        assert!(Route::KvFetch.is_cluster_scope());
     }
 
     #[test]

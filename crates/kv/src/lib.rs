@@ -28,6 +28,12 @@
 //!   a request that re-lands on the key can fetch it back (at a
 //!   transfer cost the serving layer prices) instead of re-prefilling.
 //!   The [`SpillPolicy`]/[`FetchPolicy`] seams decide the traffic.
+//! - [`GlobalKvTier`] — the *fleet-wide* directory over those private
+//!   tiers: every replica's spilled records registered under one
+//!   conversation-prefix key space (first-writer-wins owner,
+//!   extend-only length, no invalidation), so a request that re-lands
+//!   on the wrong replica can re-materialize its context from the
+//!   owner across the inter-node fabric instead of re-prefilling.
 //!
 //! Degenerate configuration — `block_size == 1` with no prefix tree —
 //! reproduces scalar token counting exactly (one block per token, no
@@ -63,10 +69,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod global;
 pub mod pool;
 pub mod prefix;
 pub mod tier;
 
+pub use global::{GlobalEntry, GlobalKvTier, GlobalTierStats, PublishOutcome};
 pub use pool::{BlockId, KvBlockPool, KvPoolStats, KvSeq, KvSeqExport};
 pub use prefix::{EvictedPrefix, KvCacheStats, PrefixHint, PrefixTree};
 pub use tier::{

@@ -111,6 +111,17 @@ pub struct KvCacheStats {
     pub tier_fetch_time_s: f64,
     /// Total fetch transfer energy, in joules.
     pub tier_fetch_energy_j: f64,
+    /// Prefixes re-materialized from *another* replica's spilled record
+    /// via the fleet-wide directory (zero: no shared tier, or every hit
+    /// was local).
+    pub remote_fetches: u64,
+    /// Tokens those remote fetches restored across the fabric.
+    pub remote_fetched_tokens: u64,
+    /// Total remote-fetch wire time, in seconds (each fetch's latency
+    /// also lands in the admitted request's TTFT).
+    pub remote_fetch_time_s: f64,
+    /// Total remote-fetch wire energy, in joules.
+    pub remote_fetch_energy_j: f64,
 }
 
 impl KvCacheStats {

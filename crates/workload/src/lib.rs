@@ -26,8 +26,9 @@
 //!   (now carrying a [`ReplicaRole`] for disaggregated fleets), the
 //!   open [`RoutePolicy`] trait a fleet router picks admission targets
 //!   through, the built-in policies (round-robin, join-shortest-queue,
-//!   KV-pressure-aware, prefix-affinity, adaptive-affinity), the
-//!   declarative [`PolicySpec`] naming them, and the decode-side
+//!   KV-pressure-aware, prefix-affinity, adaptive-affinity,
+//!   shared-tier-affinity), the declarative [`PolicySpec`] naming
+//!   them, and the decode-side
 //!   [`MigrationPolicy`] seam that places migrated prefill→decode
 //!   handoffs.
 //! - [`trace`] — per-iteration decode traces: the RLP/TLP/KV state the
@@ -56,6 +57,7 @@ pub use routing::{
     AdaptiveAffinity, BuiltinRoutePolicy, DecodeJsq, DecodeKvPressure, JoinShortestQueue,
     KvPressureAware, MigrationContext, MigrationPolicy, MigrationSpec, PolicySpec, PrefixAffinity,
     ReplicaRole, ReplicaSnapshot, RoundRobin, RouteContext, RoutePolicy, Router,
+    SharedTierAffinity,
 };
 pub use speculative::{AcceptanceModel, SpeculativeConfig, TlpPolicy};
 pub use trace::{DecodeTrace, IterationRecord};

@@ -10,7 +10,8 @@
 //!
 //! Routing is an open trait, not a closed enum: the bundled policies
 //! ([`RoundRobin`], [`JoinShortestQueue`], [`KvPressureAware`],
-//! [`PrefixAffinity`]) are ordinary `RoutePolicy` implementations, and
+//! [`PrefixAffinity`], [`AdaptiveAffinity`], [`SharedTierAffinity`])
+//! are ordinary `RoutePolicy` implementations, and
 //! user code can plug its own. Declarative surfaces (cluster specs,
 //! sweeps, JSON bins) name built-ins through the serde-able
 //! [`PolicySpec`], which also parses from strings
@@ -51,7 +52,7 @@
 //! ```
 
 use crate::arrival::ServingRequest;
-use papi_kv::PrefixHint;
+use papi_kv::{GlobalKvTier, PrefixHint};
 use serde::{Deserialize, Serialize};
 use std::str::FromStr;
 
@@ -179,11 +180,32 @@ impl ReplicaSnapshot {
     pub fn kv_saturated_for(&self, incoming_kv_tokens: u64) -> bool {
         self.kv_committed_blocks() + self.blocks_for(incoming_kv_tokens) > self.kv_budget_blocks
     }
+
+    /// Fraction of the capacity tier's block budget occupied (the
+    /// `kv_tier_blocks_in_use` / `kv_tier_budget_blocks` ratio). Zero
+    /// when no tier is configured: an absent tier exerts no pressure. A
+    /// full tier (1.0) means the replica's next spill evicts a cold
+    /// record outright — stickiness can no longer count on the local
+    /// hierarchy retaining a conversation's context.
+    pub fn tier_pressure(&self) -> f64 {
+        if self.kv_tier_budget_blocks == 0 {
+            return 0.0;
+        }
+        self.kv_tier_blocks_in_use as f64 / self.kv_tier_budget_blocks as f64
+    }
 }
 
 /// Everything a routing decision may inspect: the arriving request
-/// (identity, prompt/output lengths, prefix hint, arrival time) and the
-/// fleet's per-replica snapshots at the arrival instant.
+/// (identity, prompt/output lengths, prefix hint, arrival time), the
+/// fleet's per-replica snapshots at the arrival instant, and — when the
+/// cluster runs a fleet-shared KV tier — the global prefix directory.
+///
+/// Snapshots expose the full KV hierarchy: hot-pool occupancy
+/// (`kv_blocks_in_use` / `kv_budget_blocks`) *and* the capacity tier
+/// (`kv_tier_blocks_in_use` / `kv_tier_budget_blocks`, folded into
+/// [`ReplicaSnapshot::tier_pressure`]), so policies can react to a
+/// replica whose spill tier is churning, not just one whose hot pool is
+/// full.
 #[derive(Debug, Clone, Copy)]
 pub struct RouteContext<'a> {
     /// The request being placed — `ctx.request.request` is the static
@@ -193,6 +215,30 @@ pub struct RouteContext<'a> {
     /// One snapshot per replica, indexed by replica id; the policy's
     /// return value indexes this slice.
     pub replicas: &'a [ReplicaSnapshot],
+    /// The fleet-wide directory of spilled prefixes, when the cluster
+    /// runs a shared tier (`None` otherwise). Entries record which
+    /// replica owns each spilled prefix and how many tokens it holds;
+    /// [`SharedTierAffinity`] consults residency here to decide when
+    /// stickiness is safe to relax.
+    pub shared_prefixes: Option<&'a GlobalKvTier>,
+}
+
+impl<'a> RouteContext<'a> {
+    /// A context without a fleet-shared prefix directory (the common
+    /// private-tier fleet).
+    pub fn new(request: &'a ServingRequest, replicas: &'a [ReplicaSnapshot]) -> Self {
+        Self {
+            request,
+            replicas,
+            shared_prefixes: None,
+        }
+    }
+
+    /// Attaches the fleet-wide spilled-prefix directory.
+    pub fn with_shared_prefixes(mut self, directory: &'a GlobalKvTier) -> Self {
+        self.shared_prefixes = Some(directory);
+        self
+    }
 }
 
 impl RouteContext<'_> {
@@ -208,6 +254,17 @@ impl RouteContext<'_> {
     /// policies steer by).
     pub fn prefix(&self) -> Option<PrefixHint> {
         self.request.request.prefix
+    }
+
+    /// Whether the arriving request's prefix is registered in the
+    /// fleet-wide shared tier — i.e. *any* replica could re-materialize
+    /// its context over the fabric. `false` without a directory or a
+    /// prefix hint.
+    pub fn shared_resident(&self) -> bool {
+        match (self.shared_prefixes, self.prefix()) {
+            (Some(directory), Some(hint)) => directory.resident(hint.key),
+            _ => false,
+        }
     }
 
     /// The replica indices a new arrival may legally land on (role
@@ -588,6 +645,121 @@ impl RoutePolicy for AdaptiveAffinity {
     }
 }
 
+/// Label for a shared-tier-affinity policy; like [`affinity_label`],
+/// the queue threshold rides along when non-default so `Display` →
+/// [`FromStr`] round-trips losslessly.
+fn shared_tier_label(queue_pressure: f64) -> String {
+    if queue_pressure == SharedTierAffinity::DEFAULT_QUEUE_PRESSURE {
+        "shared-tier-affinity".to_owned()
+    } else {
+        format!("shared-tier-affinity:{queue_pressure}")
+    }
+}
+
+/// Affinity that relaxes stickiness exactly when the fleet-shared KV
+/// tier has made it redundant.
+///
+/// [`PrefixAffinity`]'s stickiness buys cache hits at the price of
+/// queueing: a hot home replica keeps winning its conversations even
+/// when its queue is deep, because no other replica holds their
+/// context. A fleet-shared tier changes that calculus — once a
+/// conversation's prefix is registered in the global directory, *any*
+/// replica can re-materialize it at one fabric hop, so waiting behind
+/// the home's queue no longer protects anything. This policy routes
+/// like `PrefixAffinity` while the home is healthy, but when the home
+/// is **pressured** (its queue has reached `queue_pressure`, or its
+/// private capacity tier is full per
+/// [`ReplicaSnapshot::tier_pressure`]) *and* the request's prefix is
+/// [resident](RouteContext::shared_resident) in the shared tier, it
+/// relaxes to [`JoinShortestQueue`] — the fetch path recovers the
+/// context wherever the request lands.
+///
+/// Unlike [`AdaptiveAffinity`], which degrades on fleet-wide pressure
+/// regardless of what the move costs in cache hits, this policy only
+/// relaxes when the remote-fetch escape hatch actually exists; a
+/// pressured home whose conversation is *not* in the directory stays
+/// sticky (moving it would cold-start the prefix). Without a shared
+/// tier (`ctx.shared_prefixes == None`) it is exactly
+/// `PrefixAffinity`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SharedTierAffinity {
+    affinity: PrefixAffinity,
+    queue_pressure: f64,
+    relaxed: u64,
+}
+
+impl SharedTierAffinity {
+    /// Default home-queue depth at which stickiness yields to load
+    /// balancing for tier-resident prefixes. A couple of queued
+    /// requests at the home means a remote fetch (microseconds of
+    /// fabric time) beats the wait.
+    pub const DEFAULT_QUEUE_PRESSURE: f64 = 2.0;
+
+    /// The policy at the default queue-pressure threshold.
+    pub fn new() -> Self {
+        Self::with_queue_pressure(Self::DEFAULT_QUEUE_PRESSURE)
+    }
+
+    /// The policy relaxing once the home replica's queue reaches
+    /// `queue_pressure` (tier-resident prefixes only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue_pressure` is not positive and finite.
+    #[track_caller]
+    pub fn with_queue_pressure(queue_pressure: f64) -> Self {
+        assert!(
+            queue_pressure.is_finite() && queue_pressure > 0.0,
+            "queue pressure must be positive, got {queue_pressure}"
+        );
+        Self {
+            affinity: PrefixAffinity::new(),
+            queue_pressure,
+            relaxed: 0,
+        }
+    }
+
+    /// Decisions where stickiness was relaxed because the prefix was
+    /// fleet-resident and the home was pressured.
+    pub fn relaxed_decisions(&self) -> u64 {
+        self.relaxed
+    }
+
+    /// Requests routed away from a saturated home replica while in the
+    /// sticky regime.
+    pub fn spills(&self) -> u64 {
+        self.affinity.spills()
+    }
+}
+
+impl Default for SharedTierAffinity {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RoutePolicy for SharedTierAffinity {
+    fn route(&mut self, ctx: &RouteContext<'_>) -> usize {
+        if ctx.prefix().is_some() && ctx.shared_resident() {
+            let targets = ctx.arrival_targets();
+            let hint = ctx.prefix().expect("checked above");
+            let home = targets[PrefixAffinity::home_replica(hint.key, targets.len())];
+            let snapshot = &ctx.replicas[home];
+            let pressured =
+                snapshot.queued as f64 >= self.queue_pressure || snapshot.tier_pressure() >= 1.0;
+            if pressured {
+                self.relaxed += 1;
+                return JoinShortestQueue.route(ctx);
+            }
+        }
+        self.affinity.route(ctx)
+    }
+
+    fn label(&self) -> String {
+        shared_tier_label(self.queue_pressure)
+    }
+}
+
 /// The built-in policies as a closed, serde-able value — the concrete
 /// state a [`Router`] snapshots and restores. Custom [`RoutePolicy`]
 /// implementations live outside this enum and drive the cluster engine
@@ -604,6 +776,8 @@ pub enum BuiltinRoutePolicy {
     PrefixAffinity(PrefixAffinity),
     /// See [`AdaptiveAffinity`].
     AdaptiveAffinity(AdaptiveAffinity),
+    /// See [`SharedTierAffinity`].
+    SharedTierAffinity(SharedTierAffinity),
 }
 
 impl RoutePolicy for BuiltinRoutePolicy {
@@ -614,6 +788,7 @@ impl RoutePolicy for BuiltinRoutePolicy {
             BuiltinRoutePolicy::KvPressureAware(p) => p.route(ctx),
             BuiltinRoutePolicy::PrefixAffinity(p) => p.route(ctx),
             BuiltinRoutePolicy::AdaptiveAffinity(p) => p.route(ctx),
+            BuiltinRoutePolicy::SharedTierAffinity(p) => p.route(ctx),
         }
     }
 
@@ -624,6 +799,7 @@ impl RoutePolicy for BuiltinRoutePolicy {
             BuiltinRoutePolicy::KvPressureAware(p) => p.label(),
             BuiltinRoutePolicy::PrefixAffinity(p) => p.label(),
             BuiltinRoutePolicy::AdaptiveAffinity(p) => p.label(),
+            BuiltinRoutePolicy::SharedTierAffinity(p) => p.label(),
         }
     }
 }
@@ -654,6 +830,14 @@ pub enum PolicySpec {
         /// affinity yields to load balancing.
         queue_pressure: f64,
     },
+    /// Conversation-sticky, relaxing to join-shortest-queue only for
+    /// prefixes resident in the fleet-shared KV tier whose home replica
+    /// is pressured.
+    SharedTierAffinity {
+        /// Home-replica queue depth at which stickiness yields for
+        /// tier-resident prefixes.
+        queue_pressure: f64,
+    },
 }
 
 impl PolicySpec {
@@ -670,6 +854,14 @@ impl PolicySpec {
     pub fn adaptive_affinity() -> Self {
         PolicySpec::AdaptiveAffinity {
             queue_pressure: AdaptiveAffinity::DEFAULT_QUEUE_PRESSURE,
+        }
+    }
+
+    /// Shared-tier-aware affinity at the default queue-pressure
+    /// threshold.
+    pub fn shared_tier_affinity() -> Self {
+        PolicySpec::SharedTierAffinity {
+            queue_pressure: SharedTierAffinity::DEFAULT_QUEUE_PRESSURE,
         }
     }
 
@@ -696,6 +888,11 @@ impl PolicySpec {
                     queue_pressure,
                 ))
             }
+            PolicySpec::SharedTierAffinity { queue_pressure } => {
+                BuiltinRoutePolicy::SharedTierAffinity(SharedTierAffinity::with_queue_pressure(
+                    queue_pressure,
+                ))
+            }
         }
     }
 
@@ -710,6 +907,7 @@ impl PolicySpec {
             PolicySpec::KvPressureAware => "kv-pressure-aware".to_owned(),
             PolicySpec::PrefixAffinity { spill_utilization } => affinity_label(spill_utilization),
             PolicySpec::AdaptiveAffinity { queue_pressure } => adaptive_label(queue_pressure),
+            PolicySpec::SharedTierAffinity { queue_pressure } => shared_tier_label(queue_pressure),
         }
     }
 }
@@ -730,6 +928,7 @@ impl FromStr for PolicySpec {
             "kv-pressure-aware" => return Ok(PolicySpec::KvPressureAware),
             "prefix-affinity" => return Ok(PolicySpec::prefix_affinity()),
             "adaptive-affinity" => return Ok(PolicySpec::adaptive_affinity()),
+            "shared-tier-affinity" => return Ok(PolicySpec::shared_tier_affinity()),
             _ => {}
         }
         if let Some(threshold) = s.strip_prefix("prefix-affinity:") {
@@ -754,9 +953,21 @@ impl FromStr for PolicySpec {
             }
             return Ok(PolicySpec::AdaptiveAffinity { queue_pressure });
         }
+        if let Some(threshold) = s.strip_prefix("shared-tier-affinity:") {
+            let queue_pressure: f64 = threshold
+                .parse()
+                .map_err(|_| format!("invalid queue pressure {threshold:?}"))?;
+            if !(queue_pressure.is_finite() && queue_pressure > 0.0) {
+                return Err(format!(
+                    "queue pressure must be positive, got {queue_pressure}"
+                ));
+            }
+            return Ok(PolicySpec::SharedTierAffinity { queue_pressure });
+        }
         Err(format!(
             "unknown routing policy {s:?} (expected round-robin, join-shortest-queue, \
-             kv-pressure-aware, prefix-affinity[:<spill>], or adaptive-affinity[:<pressure>])"
+             kv-pressure-aware, prefix-affinity[:<spill>], adaptive-affinity[:<pressure>], \
+             or shared-tier-affinity[:<pressure>])"
         ))
     }
 }
@@ -820,17 +1031,21 @@ impl Router {
     /// Panics if `replicas` is empty.
     #[track_caller]
     pub fn route(&mut self, request: &ServingRequest, replicas: &[ReplicaSnapshot]) -> usize {
-        assert!(!replicas.is_empty(), "cannot route to an empty fleet");
-        self.decisions += 1;
-        let pick = self.policy.route(&RouteContext { request, replicas });
-        debug_assert!(pick < replicas.len(), "built-in policy out of range");
-        pick
+        RoutePolicy::route(self, &RouteContext::new(request, replicas))
     }
 }
 
 impl RoutePolicy for Router {
+    // The trait impl is the real entry point: the positional
+    // `Router::route` wraps its arguments in a directory-free context
+    // and delegates here, so a caller-built context (e.g. one carrying
+    // `shared_prefixes`) reaches the policy intact.
     fn route(&mut self, ctx: &RouteContext<'_>) -> usize {
-        Router::route(self, ctx.request, ctx.replicas)
+        assert!(!ctx.replicas.is_empty(), "cannot route to an empty fleet");
+        self.decisions += 1;
+        let pick = self.policy.route(ctx);
+        debug_assert!(pick < ctx.replicas.len(), "built-in policy out of range");
+        pick
     }
 
     fn label(&self) -> String {
@@ -1195,11 +1410,10 @@ mod tests {
         // Every turn of the conversation lands on the home replica,
         // regardless of how busy the others are.
         for tokens in [100, 400, 900, 2_000] {
-            let ctx = RouteContext {
-                request: &turn(key, tokens),
-                replicas: &roomy,
-            };
-            assert_eq!(policy.route(&ctx), home);
+            assert_eq!(
+                policy.route(&RouteContext::new(&turn(key, tokens), &roomy)),
+                home
+            );
         }
         assert_eq!(policy.spills(), 0);
 
@@ -1207,11 +1421,7 @@ mod tests {
         // spill target has headroom.
         let mut strained = roomy.clone();
         strained[home] = snap(0, 8, 9_990, 10_000);
-        let ctx = RouteContext {
-            request: &turn(key, 200),
-            replicas: &strained,
-        };
-        let pick = policy.route(&ctx);
+        let pick = policy.route(&RouteContext::new(&turn(key, 200), &strained));
         assert_ne!(pick, home, "saturated home must spill");
         assert!(!strained[pick].kv_saturated_for(200));
         assert_eq!(policy.spills(), 1);
@@ -1223,10 +1433,7 @@ mod tests {
         let homes: std::collections::BTreeSet<usize> = (0..64)
             .map(|key| {
                 let mut policy = PrefixAffinity::new();
-                policy.route(&RouteContext {
-                    request: &turn(key, 100),
-                    replicas: &fleet,
-                })
+                policy.route(&RouteContext::new(&turn(key, 100), &fleet))
             })
             .collect();
         assert!(
@@ -1244,10 +1451,7 @@ mod tests {
         // 60% utilization: above the soft threshold even though the
         // prompt would still fit.
         fleet[home] = snap(0, 1, 6_000, 10_000);
-        let pick = policy.route(&RouteContext {
-            request: &turn(key, 10),
-            replicas: &fleet,
-        });
+        let pick = policy.route(&RouteContext::new(&turn(key, 10), &fleet));
         assert_ne!(pick, home);
         assert_eq!(policy.spills(), 1);
     }
@@ -1262,20 +1466,14 @@ mod tests {
         let mut fleet = vec![snap(0, 0, 9_990, 10_000); 3];
         let home = PrefixAffinity::home_replica(key, fleet.len());
         fleet[home] = snap(0, 1, 6_000, 10_000);
-        let pick = policy.route(&RouteContext {
-            request: &turn(key, 200),
-            replicas: &fleet,
-        });
+        let pick = policy.route(&RouteContext::new(&turn(key, 200), &fleet));
         assert_eq!(pick, home, "only home has headroom");
         assert_eq!(policy.spills(), 0, "staying home is not a spill");
         // Give another replica headroom: now the same request spills,
         // and the counter moves.
         let other = (home + 1) % fleet.len();
         fleet[other] = snap(0, 0, 1_000, 10_000);
-        let pick = policy.route(&RouteContext {
-            request: &turn(key, 200),
-            replicas: &fleet,
-        });
+        let pick = policy.route(&RouteContext::new(&turn(key, 200), &fleet));
         assert_eq!(pick, other);
         assert_eq!(policy.spills(), 1);
     }
@@ -1288,10 +1486,7 @@ mod tests {
             snap(1, 3, 100, 10_000),
             snap(2, 8, 100, 10_000),
         ];
-        let pick = policy.route(&RouteContext {
-            request: &req(50),
-            replicas: &fleet,
-        });
+        let pick = policy.route(&RouteContext::new(&req(50), &fleet));
         assert_eq!(pick, 1, "no hint: least-loaded replica");
     }
 
@@ -1318,14 +1513,12 @@ mod tests {
             PolicySpec::KvPressureAware,
             PolicySpec::prefix_affinity(),
             PolicySpec::adaptive_affinity(),
+            PolicySpec::shared_tier_affinity(),
         ] {
             let mut policy = spec.build();
             for key in 0..16u64 {
                 let request = turn(key, 100);
-                let pick = policy.route(&RouteContext {
-                    request: &request,
-                    replicas: &fleet,
-                });
+                let pick = policy.route(&RouteContext::new(&request, &fleet));
                 assert_ne!(pick, 1, "{spec:?} routed an arrival to a decode replica");
             }
         }
@@ -1341,12 +1534,7 @@ mod tests {
             role_snap(ReplicaRole::Decode, 0, 0),
         ];
         let picks: Vec<usize> = (0..5)
-            .map(|_| {
-                r.route(&RouteContext {
-                    request: &req(10),
-                    replicas: &fleet,
-                })
-            })
+            .map(|_| r.route(&RouteContext::new(&req(10), &fleet)))
             .collect();
         assert_eq!(picks, vec![0, 2, 0, 2, 0]);
     }
@@ -1371,16 +1559,10 @@ mod tests {
         let idle = vec![snap(0, 2, 1_000, 10_000); 4];
         let home = {
             let mut pure = PrefixAffinity::new();
-            pure.route(&RouteContext {
-                request: &turn(key, 100),
-                replicas: &idle,
-            })
+            pure.route(&RouteContext::new(&turn(key, 100), &idle))
         };
         assert_eq!(
-            policy.route(&RouteContext {
-                request: &turn(key, 100),
-                replicas: &idle,
-            }),
+            policy.route(&RouteContext::new(&turn(key, 100), &idle)),
             home
         );
         assert_eq!(policy.balanced_decisions(), 0);
@@ -1390,22 +1572,108 @@ mod tests {
         let mut hot = vec![snap(4, 8, 1_000, 10_000); 4];
         let other = (home + 1) % 4;
         hot[other] = snap(0, 1, 1_000, 10_000);
-        let pick = policy.route(&RouteContext {
-            request: &turn(key, 100),
-            replicas: &hot,
-        });
+        let pick = policy.route(&RouteContext::new(&turn(key, 100), &hot));
         assert_eq!(pick, other, "under pressure the hybrid must balance");
         assert_eq!(policy.balanced_decisions(), 1);
 
         // Pressure drains: affinity resumes.
         assert_eq!(
-            policy.route(&RouteContext {
-                request: &turn(key, 100),
-                replicas: &idle,
-            }),
+            policy.route(&RouteContext::new(&turn(key, 100), &idle)),
             home
         );
         assert_eq!(policy.balanced_decisions(), 1);
+    }
+
+    #[test]
+    fn tier_pressure_reads_the_capacity_tier() {
+        let mut s = snap(0, 0, 0, 1_000);
+        assert_eq!(s.tier_pressure(), 0.0, "no tier, no pressure");
+        s.kv_tier_budget_blocks = 200;
+        s.kv_tier_blocks_in_use = 50;
+        assert!((s.tier_pressure() - 0.25).abs() < 1e-12);
+        s.kv_tier_blocks_in_use = 200;
+        assert_eq!(s.tier_pressure(), 1.0);
+    }
+
+    #[test]
+    fn shared_tier_affinity_relaxes_only_for_resident_prefixes() {
+        let key = 42;
+        let fleet_size = 4;
+        let idle = vec![snap(0, 2, 1_000, 10_000); fleet_size];
+        let home = PrefixAffinity::home_replica(key, fleet_size);
+        let mut directory = GlobalKvTier::new(16);
+        directory.publish(key, home, 256);
+
+        // No directory attached: identical to prefix-affinity.
+        let mut policy = SharedTierAffinity::with_queue_pressure(2.0);
+        assert_eq!(
+            policy.route(&RouteContext::new(&turn(key, 100), &idle)),
+            home
+        );
+        assert_eq!(policy.relaxed_decisions(), 0);
+
+        // Resident prefix, idle home: stickiness still wins.
+        let request = turn(key, 100);
+        let ctx = RouteContext::new(&request, &idle).with_shared_prefixes(&directory);
+        assert_eq!(policy.route(&ctx), home);
+        assert_eq!(policy.relaxed_decisions(), 0);
+
+        // Pressured home + resident prefix: relax to JSQ.
+        let mut hot = idle.clone();
+        hot[home] = snap(3, 8, 1_000, 10_000);
+        let other = (home + 1) % fleet_size;
+        hot[other] = snap(0, 0, 1_000, 10_000);
+        let ctx = RouteContext::new(&request, &hot).with_shared_prefixes(&directory);
+        assert_eq!(
+            policy.route(&ctx),
+            other,
+            "remote fetch beats the hot queue"
+        );
+        assert_eq!(policy.relaxed_decisions(), 1);
+
+        // Pressured home, prefix NOT in the directory: stay sticky —
+        // moving would cold-start the conversation.
+        let absent = key + 1;
+        let stranger_home = PrefixAffinity::home_replica(absent, fleet_size);
+        let mut hot = idle.clone();
+        hot[stranger_home] = snap(3, 8, 1_000, 10_000);
+        let stranger = turn(absent, 100);
+        let ctx = RouteContext::new(&stranger, &hot).with_shared_prefixes(&directory);
+        assert_eq!(policy.route(&ctx), stranger_home);
+        assert_eq!(policy.relaxed_decisions(), 1, "non-resident never relaxes");
+
+        // A full private tier at the home also counts as pressure.
+        let mut churning = idle.clone();
+        churning[home].kv_tier_budget_blocks = 100;
+        churning[home].kv_tier_blocks_in_use = 100;
+        let ctx = RouteContext::new(&request, &churning).with_shared_prefixes(&directory);
+        let pick = policy.route(&ctx);
+        assert_eq!(
+            policy.relaxed_decisions(),
+            2,
+            "full tier relaxes stickiness"
+        );
+        assert!(pick < fleet_size);
+    }
+
+    #[test]
+    fn shared_tier_labels_and_parsing_round_trip() {
+        assert_eq!(
+            PolicySpec::shared_tier_affinity().label(),
+            "shared-tier-affinity"
+        );
+        assert_eq!(
+            "shared-tier-affinity".parse::<PolicySpec>().unwrap(),
+            PolicySpec::shared_tier_affinity()
+        );
+        let tuned = PolicySpec::SharedTierAffinity {
+            queue_pressure: 4.5,
+        };
+        assert_eq!(tuned.to_string(), "shared-tier-affinity:4.5");
+        assert_eq!(tuned.to_string().parse::<PolicySpec>().unwrap(), tuned);
+        assert!("shared-tier-affinity:-2".parse::<PolicySpec>().is_err());
+        assert!("shared-tier-affinity:soon".parse::<PolicySpec>().is_err());
+        assert_eq!(tuned.build().label(), tuned.label());
     }
 
     #[test]
@@ -1485,6 +1753,9 @@ mod tests {
             },
             PolicySpec::AdaptiveAffinity {
                 queue_pressure: 3.0,
+            },
+            PolicySpec::SharedTierAffinity {
+                queue_pressure: 1.5,
             },
         ] {
             let fleet: Vec<ReplicaSnapshot> = (0..5)

@@ -11,8 +11,11 @@
 //! consumption order — must come out identical. Any divergence is a
 //! correctness bug in the windowing, not noise.
 
-use papi::core::{ClusterEngine, ClusterReport, ClusterSpec, DesignKind, SessionTuning, StepMode};
-use papi::interconnect::MigrationPricing;
+use papi::core::{
+    ClusterEngine, ClusterReport, ClusterSpec, DesignKind, KvTierSpec, SessionTuning,
+    SharedTierSpec, StepMode,
+};
+use papi::interconnect::{MigrationPricing, TierPricing};
 use papi::llm::ModelPreset;
 use papi::workload::{
     ArrivalProcess, ConversationDataset, DatasetKind, PolicySpec, ReplicaRole, ServingWorkload,
@@ -160,4 +163,68 @@ fn parallel_matches_sequential_prefix_affinity_fleet() {
             .with_prefix_sharing(true),
     );
     assert_modes_agree(spec, &workload, "prefix-affinity fleet");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Shared-tier fleets: the global directory adds cross-replica
+    /// fetch traffic and control-plane sync ticks to both loops, and
+    /// the parallel loop must still reproduce the sequential reference
+    /// bit for bit — including the `GlobalTierReport` — across replica
+    /// counts, routing policies, fabric pricings, and sync intervals.
+    /// The workload is the thrash-prone long-context scatter shape
+    /// (odd conversation count, so turns change replicas), which makes
+    /// remote fetches actually occur rather than testing a quiet
+    /// directory.
+    #[test]
+    fn parallel_matches_sequential_shared_tier(
+        seed in 0u64..1_000_000,
+        dp in 2usize..5,
+        policy_pick in 0usize..3,
+        free_fabric in proptest::bool::ANY,
+        sync_pick in 0usize..3,
+    ) {
+        let policy = match policy_pick {
+            0 => PolicySpec::RoundRobin,
+            1 => PolicySpec::shared_tier_affinity(),
+            _ => PolicySpec::prefix_affinity(),
+        };
+        let sync_s = [0.01, 0.05, 0.5][sync_pick];
+        let workload = ServingWorkload::poisson(
+            ConversationDataset::multi_turn(DatasetKind::LongContext, 4096, 3),
+            4.0,
+            51,
+        )
+        .with_seed(seed);
+        let spec = ClusterSpec::new(
+            DesignKind::PimOnlyPapi,
+            papi::llm::ModelPreset::Gpt3_175B.config(),
+            1,
+            dp,
+        )
+        .with_routing(policy)
+        .with_tuning(
+            SessionTuning::default()
+                .with_max_batch(16)
+                .with_kv_block_size(16)
+                .with_prefix_sharing(true)
+                .with_kv_tier(KvTierSpec::new(60_000)),
+        )
+        .with_shared_tier({
+            // Default pricing rides the cluster's inter-node fabric;
+            // `Free` is the zero-cost ablation.
+            let shared = SharedTierSpec::new().with_sync_interval(sync_s);
+            if free_fabric {
+                shared.with_pricing(TierPricing::Free)
+            } else {
+                shared
+            }
+        });
+        assert_modes_agree(
+            spec,
+            &workload,
+            &format!("shared-tier dp={dp} policy={policy_pick} free={free_fabric} sync={sync_s}"),
+        );
+    }
 }
