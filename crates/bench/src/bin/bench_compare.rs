@@ -37,6 +37,13 @@
 //!   goodput more than the goodput tolerance (default 15 %) *below*
 //!   baseline fails — the tiered-KV scenario exists to hold that
 //!   number up. Tune with `--goodput-tolerance <fraction>`;
+//! - **provisioning cost**: for scenarios whose baseline reports
+//!   elastic-fleet cost (`replica_hours > 0` /
+//!   `energy_per_good_token_j > 0`, e.g. `autoscale_diurnal`), growth
+//!   beyond the cost tolerance (default 15 %) fails — replica-hours
+//!   and energy per SLO-good token are the numbers autoscaling exists
+//!   to minimize, and both are deterministic simulation outputs. Tune
+//!   with `--cost-tolerance <fraction>`;
 //! - **coverage**: a baseline scenario missing from the current report
 //!   fails; new scenarios are reported but pass.
 //!
@@ -44,7 +51,7 @@
 //! cargo run --release -p papi-bench --bin perf_bench > perf_bench.json
 //! cargo run --release -p papi-bench --bin bench_compare -- \
 //!     [--normalize] [--hit-rate-tolerance 0.05] [--latency-tolerance 0.05] \
-//!     BENCH_baseline.json perf_bench.json [tolerance]
+//!     [--cost-tolerance 0.05] BENCH_baseline.json perf_bench.json [tolerance]
 //! ```
 
 use serde::Deserialize;
@@ -68,6 +75,12 @@ struct ScenarioResult {
     /// (local DIMM + remote fabric); `None` (pre-shared-tier reports)
     /// or zero both mean "not a tier-gated scenario".
     tier_fetch_time_s: Option<f64>,
+    /// Replica-hours an elastic fleet rented; `None` (pre-autoscaling
+    /// reports) or zero both mean "not a cost-gated scenario".
+    replica_hours: Option<f64>,
+    /// Fleet energy per SLO-good output token, J; `None` or zero both
+    /// mean "not a cost-gated scenario".
+    energy_per_good_token_j: Option<f64>,
     /// Parallel-over-sequential wall-clock ratio for scenarios timing
     /// both cluster step modes; `None` elsewhere (and in old reports).
     speedup_vs_sequential: Option<f64>,
@@ -85,6 +98,14 @@ impl ScenarioResult {
     fn tier_fetch_time_s(&self) -> f64 {
         self.tier_fetch_time_s.unwrap_or(0.0)
     }
+
+    fn replica_hours(&self) -> f64 {
+        self.replica_hours.unwrap_or(0.0)
+    }
+
+    fn energy_per_good_token_j(&self) -> f64 {
+        self.energy_per_good_token_j.unwrap_or(0.0)
+    }
 }
 
 /// Hit rates are deterministic, but gate by default with the same 15 %
@@ -100,6 +121,11 @@ const DEFAULT_LATENCY_TOLERANCE: f64 = 0.15;
 /// Same rationale for SLO goodput (`--goodput-tolerance` overrides; it
 /// gates decay *below* baseline).
 const DEFAULT_GOODPUT_TOLERANCE: f64 = 0.15;
+
+/// Same rationale for elastic provisioning cost — replica-hours rented
+/// and energy per SLO-good token (`--cost-tolerance` overrides; it
+/// gates growth *above* baseline).
+const DEFAULT_COST_TOLERANCE: f64 = 0.15;
 
 #[derive(Debug, Deserialize)]
 struct PerfReport {
@@ -192,11 +218,16 @@ fn main() -> ExitCode {
             Ok(tolerance) => tolerance,
             Err(code) => return code,
         };
+    let cost_tolerance =
+        match parse_fraction_flag(&mut args, "--cost-tolerance", DEFAULT_COST_TOLERANCE) {
+            Ok(tolerance) => tolerance,
+            Err(code) => return code,
+        };
     let (Some(baseline_path), Some(current_path)) = (args.first(), args.get(1)) else {
         eprintln!(
             "usage: bench_compare [--normalize] [--hit-rate-tolerance <f>] \
              [--latency-tolerance <f>] [--goodput-tolerance <f>] \
-             <baseline.json> <current.json> [tolerance]"
+             [--cost-tolerance <f>] <baseline.json> <current.json> [tolerance]"
         );
         return ExitCode::from(2);
     };
@@ -328,6 +359,38 @@ fn main() -> ExitCode {
                 base.tier_fetch_time_s(),
                 cur.tier_fetch_time_s(),
                 latency_tolerance * 100.0
+            ));
+        }
+        // Elastic provisioning cost gates growth: an autoscaler that
+        // starts renting more replica-hours — or burning more joules
+        // per SLO-good token — than the committed baseline has
+        // regressed on the numbers the subsystem exists to minimize,
+        // even when throughput and goodput hold.
+        if base.replica_hours() > 0.0
+            && cur.replica_hours() > base.replica_hours() * (1.0 + cost_tolerance)
+        {
+            failures.push(format!(
+                "{}: replica-hours rented grew {:.1}% (baseline {:.4} h, current {:.4} h); \
+                 gate allows {:.0}%",
+                base.scenario,
+                (cur.replica_hours() / base.replica_hours() - 1.0) * 100.0,
+                base.replica_hours(),
+                cur.replica_hours(),
+                cost_tolerance * 100.0
+            ));
+        }
+        if base.energy_per_good_token_j() > 0.0
+            && cur.energy_per_good_token_j()
+                > base.energy_per_good_token_j() * (1.0 + cost_tolerance)
+        {
+            failures.push(format!(
+                "{}: energy per SLO-good token grew {:.1}% (baseline {:.3} J, current {:.3} J); \
+                 gate allows {:.0}%",
+                base.scenario,
+                (cur.energy_per_good_token_j() / base.energy_per_good_token_j() - 1.0) * 100.0,
+                base.energy_per_good_token_j(),
+                cur.energy_per_good_token_j(),
+                cost_tolerance * 100.0
             ));
         }
         if base.ttft_p99_ms() > 0.0

@@ -15,20 +15,23 @@
 //!
 //! `tokens_per_sec` is simulated output tokens per wall-clock second of
 //! simulation — the harness's throughput figure of merit.
-//! `cache_hit_rate`, `ttft_p99_ms`, `goodput_rps`, and
-//! `tier_fetch_time_s` are deterministic simulation *outputs* (the
-//! prefix cache's token hit rate, the episode's 99th-percentile
-//! simulated time-to-first-token, the scenario's SLO goodput, and the
-//! simulated seconds spent re-materializing KV from capacity tiers;
+//! `cache_hit_rate`, `ttft_p99_ms`, `goodput_rps`,
+//! `tier_fetch_time_s`, `replica_hours`, and `energy_per_good_token_j`
+//! are deterministic simulation *outputs* (the prefix cache's token
+//! hit rate, the episode's 99th-percentile simulated
+//! time-to-first-token, the scenario's SLO goodput, the simulated
+//! seconds spent re-materializing KV from capacity tiers, and the
+//! elastic fleet's rented hours and energy per SLO-good token;
 //! zero/null for scenarios where they don't apply), gated like
 //! `tokens`/`iterations` — `ttft_p99_ms` and `tier_fetch_time_s`
-//! within `bench_compare`'s latency tolerance and `goodput_rps` within
-//! its goodput tolerance. Run with
+//! within `bench_compare`'s latency tolerance, `goodput_rps` within
+//! its goodput tolerance, and the two cost outputs within its cost
+//! tolerance. Run with
 //! `cargo run --release -p papi-bench --bin perf_bench`.
 
 use papi_core::{
-    ClusterEngine, ClusterSpec, DecodingSimulator, DesignKind, KvTierSpec, ServingEngine,
-    SessionTuning, SharedTierSpec, SloSpec, StepMode, SystemConfig,
+    AutoscalePolicySpec, AutoscaleSpec, ClusterEngine, ClusterSpec, DecodingSimulator, DesignKind,
+    KvTierSpec, ServingEngine, SessionTuning, SharedTierSpec, SloSpec, StepMode, SystemConfig,
 };
 use papi_llm::ModelPreset;
 use papi_workload::{
@@ -57,6 +60,16 @@ struct ScenarioResult {
     /// deterministic simulation output, gated by `bench_compare`
     /// against growth like `ttft_p99_ms`.
     tier_fetch_time_s: Option<f64>,
+    /// Replica-hours the fleet provisioned, for elastic scenarios
+    /// (`null` elsewhere). A deterministic simulation output, gated by
+    /// `bench_compare` against growth through its cost tolerance — an
+    /// autoscaler that quietly rents more capacity is a regression even
+    /// when wall time and goodput look fine.
+    replica_hours: Option<f64>,
+    /// Fleet energy per SLO-good output token, J, for elastic scenarios
+    /// (`null` elsewhere). Deterministic; gated against growth like
+    /// `replica_hours`.
+    energy_per_good_token_j: Option<f64>,
     /// Parallel-over-sequential wall-clock ratio, for scenarios that
     /// time both cluster step modes (`null` elsewhere).
     speedup_vs_sequential: Option<f64>,
@@ -76,6 +89,8 @@ struct ScenarioOutputs {
     ttft_p99_ms: f64,
     goodput_rps: f64,
     tier_fetch_time_s: Option<f64>,
+    replica_hours: Option<f64>,
+    energy_per_good_token_j: Option<f64>,
 }
 
 impl ScenarioOutputs {
@@ -87,6 +102,8 @@ impl ScenarioOutputs {
             ttft_p99_ms: 0.0,
             goodput_rps: 0.0,
             tier_fetch_time_s: None,
+            replica_hours: None,
+            energy_per_good_token_j: None,
         }
     }
 }
@@ -112,6 +129,8 @@ fn time_scenario(name: &str, run: impl Fn() -> ScenarioOutputs) -> ScenarioResul
         ttft_p99_ms: outputs.ttft_p99_ms,
         goodput_rps: outputs.goodput_rps,
         tier_fetch_time_s: outputs.tier_fetch_time_s,
+        replica_hours: outputs.replica_hours,
+        energy_per_good_token_j: outputs.energy_per_good_token_j,
         speedup_vs_sequential: None,
     }
 }
@@ -157,6 +176,8 @@ fn main() {
                     .as_millis(),
                 goodput_rps: 0.0,
                 tier_fetch_time_s: None,
+                replica_hours: None,
+                energy_per_good_token_j: None,
             }
         }));
     }
@@ -189,6 +210,8 @@ fn main() {
                 .as_millis(),
             goodput_rps: 0.0,
             tier_fetch_time_s: None,
+            replica_hours: None,
+            energy_per_good_token_j: None,
         }
     }));
 
@@ -227,6 +250,8 @@ fn main() {
                 .as_millis(),
             goodput_rps: report.goodput(&slo),
             tier_fetch_time_s: Some(report.kv.tier_fetch_time_s),
+            replica_hours: None,
+            energy_per_good_token_j: None,
         }
     }));
 
@@ -282,6 +307,8 @@ fn main() {
                     .map(|r| r.kv.tier_fetch_time_s + r.kv.remote_fetch_time_s)
                     .sum(),
             ),
+            replica_hours: None,
+            energy_per_good_token_j: None,
         }
     }));
 
@@ -320,6 +347,8 @@ fn main() {
                 .as_millis(),
             goodput_rps: 0.0,
             tier_fetch_time_s: None,
+            replica_hours: None,
+            energy_per_good_token_j: None,
         }
     }));
 
@@ -362,6 +391,70 @@ fn main() {
                 .as_millis(),
             goodput_rps: 0.0,
             tier_fetch_time_s: None,
+            replica_hours: None,
+            energy_per_good_token_j: None,
+        }
+    }));
+
+    // Elastic autoscaling over a compressed diurnal cycle: a
+    // queue-depth policy resizes a 4-replica fleet through the full
+    // lifecycle machinery (decide ticks, cold spin-up, draining,
+    // ring-remapped prefix affinity). Times the elastic event loop and
+    // gates the three numbers the subsystem exists for — SLO goodput,
+    // the replica-hours rented, and the fleet's energy per SLO-good
+    // token (both through `bench_compare`'s cost tolerance).
+    scenarios.push(time_scenario("autoscale_diurnal", || {
+        let workload = ServingWorkload::new(
+            ConversationDataset::multi_turn(DatasetKind::GeneralQa, 256, 2),
+            ArrivalProcess::Diurnal {
+                base_rate_per_sec: 0.5,
+                peak_rate_per_sec: 4.0,
+                period_s: 120.0,
+                noise: 0.1,
+            },
+            300,
+        )
+        .with_seed(29);
+        let slo = SloSpec::interactive(2_000.0, 100.0);
+        let report = ClusterEngine::new(
+            ClusterSpec::new(DesignKind::PimOnlyPapi, model.config(), 1, 4)
+                .with_routing(PolicySpec::prefix_affinity())
+                .with_tuning(
+                    SessionTuning::default()
+                        .with_max_batch(8)
+                        .with_kv_block_size(16)
+                        .with_prefix_sharing(true),
+                )
+                .with_autoscale(
+                    AutoscaleSpec::new(
+                        AutoscalePolicySpec::QueueDepthTarget {
+                            scale_up_depth: 0.3,
+                            scale_down_depth: 0.02,
+                        },
+                        slo,
+                    )
+                    .with_min_replicas(1)
+                    .with_initial_replicas(2)
+                    .with_spin_up(6.0)
+                    .with_decide_interval(2.5),
+                ),
+        )
+        .expect("valid elastic fleet")
+        .run(&workload);
+        let cost = report.fleet_cost.as_ref().expect("elastic cost report");
+        ScenarioOutputs {
+            tokens: report.tokens(),
+            iterations: report.replicas.iter().map(|r| r.iterations).sum(),
+            cache_hit_rate: report.cache_hit_rate(),
+            ttft_p99_ms: report
+                .ttft_summary()
+                .expect("non-empty episode")
+                .p99
+                .as_millis(),
+            goodput_rps: report.goodput(&slo),
+            tier_fetch_time_s: None,
+            replica_hours: Some(cost.provisioned_hours),
+            energy_per_good_token_j: Some(cost.energy_per_good_token_j),
         }
     }));
 
@@ -423,6 +516,8 @@ fn main() {
                 .as_millis(),
             goodput_rps: 0.0,
             tier_fetch_time_s: None,
+            replica_hours: None,
+            energy_per_good_token_j: None,
             speedup_vs_sequential: Some(seq_best / par_best),
         }
     });

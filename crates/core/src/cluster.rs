@@ -35,6 +35,9 @@
 //! pre-disaggregation engine bit for bit
 //! (`tests/routing_equality.rs`).
 
+use crate::autoscale::{
+    AutoscaleControl, AutoscalePolicy, AutoscaleSpec, AutoscaleView, FleetCostReport, ScaleAction,
+};
 use crate::config::{DesignKind, SystemConfig};
 use crate::metrics::{LatencySummary, RequestRecord, ServingReport};
 use crate::pricer::SharedIterationCache;
@@ -48,7 +51,7 @@ use papi_llm::ModelConfig;
 use papi_types::{Energy, Time};
 use papi_workload::{
     MigrationContext, MigrationPolicy, MigrationSpec, PolicySpec, ReplicaRole, ReplicaSnapshot,
-    RouteContext, RoutePolicy, Router, ServingWorkload,
+    ReplicaState, RouteContext, RoutePolicy, Router, ServingWorkload,
 };
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -135,6 +138,15 @@ pub struct ClusterSpec {
     /// private. Requires `tuning.kv_tier` — the directory registers
     /// *spilled* records.
     pub shared_tier: Option<SharedTierSpec>,
+    /// Elastic autoscaling: replica lifecycle
+    /// (`Warming → Active → Draining → Retired`) driven by an
+    /// [`AutoscalePolicy`] evaluated at control-plane barriers every
+    /// `decide_interval_s`, with consistent-hash affinity routing over
+    /// the active membership and replica-hour cost accounting in the
+    /// report's [`FleetCostReport`]. `None` (the default) keeps every
+    /// replica `Active` forever — the fleet behaves bit-for-bit as
+    /// before elasticity existed.
+    pub autoscale: Option<AutoscaleSpec>,
 }
 
 impl ClusterSpec {
@@ -162,12 +174,20 @@ impl ClusterSpec {
             migration_pricing: MigrationPricing::default(),
             step_mode: StepMode::default(),
             shared_tier: None,
+            autoscale: None,
         }
     }
 
     /// Enables the fleet-shared prefix tier.
     pub fn with_shared_tier(mut self, shared_tier: SharedTierSpec) -> Self {
         self.shared_tier = Some(shared_tier);
+        self
+    }
+
+    /// Enables elastic autoscaling ([`ClusterEngine::new`] validates
+    /// the spec's bounds against the fleet shape).
+    pub fn with_autoscale(mut self, autoscale: AutoscaleSpec) -> Self {
+        self.autoscale = Some(autoscale);
         self
     }
 
@@ -433,10 +453,13 @@ impl ClusterEngine {
     /// exceeds the inter-node fabric's fan-out, carries a role vector
     /// whose length disagrees with `dp_replicas`, disaggregates
     /// without at least one prefill-capable *and* one decode-capable
-    /// replica (arrivals or migrations would have nowhere to go), or
+    /// replica (arrivals or migrations would have nowhere to go),
     /// enables a shared tier without a private `tuning.kv_tier` (the
     /// directory registers spilled records — nothing would ever be
-    /// published).
+    /// published), or configures autoscaling on a disaggregated or
+    /// shared-tier fleet or with degenerate bounds
+    /// (`1 <= min <= initial <= dp_replicas`, non-negative spin-up,
+    /// positive decision interval).
     pub fn new(spec: ClusterSpec) -> Result<Self, TopologyError> {
         if !spec.roles.is_empty() && spec.roles.len() != spec.dp_replicas {
             return Err(TopologyError::new(format!(
@@ -466,6 +489,41 @@ impl ClusterEngine {
             if !shared.sync_s.is_finite() || shared.sync_s <= 0.0 {
                 return Err(TopologyError::new(
                     "the shared tier's control-plane sync interval must be positive and finite",
+                ));
+            }
+        }
+        if let Some(autoscale) = &spec.autoscale {
+            if !spec.roles.is_empty() {
+                return Err(TopologyError::new(
+                    "autoscaling requires an all-Colocated fleet: draining a prefill or \
+                     decode pool can strand the other role's traffic",
+                ));
+            }
+            if spec.shared_tier.is_some() {
+                return Err(TopologyError::new(
+                    "autoscaling does not yet compose with the fleet-shared tier: a retired \
+                     replica's flushed records would go stale in the fleet directory",
+                ));
+            }
+            let initial = autoscale.initial_replicas.unwrap_or(spec.dp_replicas);
+            if autoscale.min_replicas == 0
+                || autoscale.min_replicas > initial
+                || initial > spec.dp_replicas
+            {
+                return Err(TopologyError::new(format!(
+                    "autoscale bounds must satisfy 1 <= min ({}) <= initial ({initial}) <= \
+                     dp_replicas ({})",
+                    autoscale.min_replicas, spec.dp_replicas
+                )));
+            }
+            if !autoscale.spin_up_s.is_finite() || autoscale.spin_up_s < 0.0 {
+                return Err(TopologyError::new(
+                    "the autoscale spin-up delay must be non-negative and finite",
+                ));
+            }
+            if !autoscale.decide_interval_s.is_finite() || autoscale.decide_interval_s <= 0.0 {
+                return Err(TopologyError::new(
+                    "the autoscale decision interval must be positive and finite",
                 ));
             }
         }
@@ -602,9 +660,57 @@ impl ClusterEngine {
         policy: &mut dyn RoutePolicy,
         migration: &mut dyn MigrationPolicy,
     ) -> ClusterReport {
+        let autoscale = self
+            .spec
+            .autoscale
+            .as_ref()
+            .map(|spec| AutoscaleControl::new(spec, self.spec.dp_replicas, None));
         match self.spec.step_mode {
-            StepMode::Sequential => self.run_sequential(workload, policy, migration),
-            StepMode::Parallel => self.run_parallel(workload, policy, migration),
+            StepMode::Sequential => self.run_sequential(workload, policy, migration, autoscale),
+            StepMode::Parallel => self.run_parallel(workload, policy, migration, autoscale),
+        }
+    }
+
+    /// Serves one episode with a caller-supplied [`AutoscalePolicy`]
+    /// deciding the fleet's scale — the open seam for scaling
+    /// strategies the built-in [`AutoscalePolicySpec`] names don't
+    /// cover (routing and migration use the spec's built-ins). The
+    /// spec must carry an [`AutoscaleSpec`] — its bounds, spin-up
+    /// delay, and decision interval still govern; only the decision
+    /// logic is replaced.
+    ///
+    /// [`AutoscalePolicySpec`]: crate::autoscale::AutoscalePolicySpec
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec has no autoscale configuration, or on the
+    /// same conditions as [`run_with_policies`](Self::run_with_policies)
+    /// (including the autoscaler returning an out-of-range replica
+    /// index).
+    pub fn run_elastic(
+        &self,
+        workload: &ServingWorkload,
+        autoscaler: &mut dyn AutoscalePolicy,
+    ) -> ClusterReport {
+        let spec = self
+            .spec
+            .autoscale
+            .as_ref()
+            .expect("run_elastic requires ClusterSpec::with_autoscale");
+        let control = AutoscaleControl::new(
+            spec,
+            self.spec.dp_replicas,
+            Some(Box::new(BorrowedAutoscaler(autoscaler))),
+        );
+        let mut router = Router::new(self.spec.routing);
+        let mut migration = self.spec.migration.build();
+        match self.spec.step_mode {
+            StepMode::Sequential => {
+                self.run_sequential(workload, &mut router, migration.as_mut(), Some(control))
+            }
+            StepMode::Parallel => {
+                self.run_parallel(workload, &mut router, migration.as_mut(), Some(control))
+            }
         }
     }
 
@@ -669,6 +775,7 @@ impl ClusterEngine {
         workload: &ServingWorkload,
         policy: &mut dyn RoutePolicy,
         migration: &mut dyn MigrationPolicy,
+        mut autoscale: Option<AutoscaleControl<'_>>,
     ) -> ClusterReport {
         let roles = self.roles();
         let mut sessions = self.open_sessions(workload, &roles);
@@ -685,16 +792,22 @@ impl ClusterEngine {
         };
         let mut transfer_times: Vec<Time> = Vec::new();
 
-        // Stamp each replica's snapshot with its configured role, so
-        // policies can honor the disaggregation contract.
-        let observe = |sessions: &[ServingSession<'_>]| -> Vec<ReplicaSnapshot> {
+        // Stamp each replica's snapshot with its configured role (and,
+        // for an elastic fleet, its lifecycle), so policies can honor
+        // the disaggregation and lifecycle contracts.
+        let observe = |sessions: &[ServingSession<'_>],
+                       lifecycles: Option<&[ReplicaState]>|
+         -> Vec<ReplicaSnapshot> {
             papi_perf::phase!("snapshot");
             sessions
                 .iter()
-                .zip(&roles)
-                .map(|(s, &role)| {
+                .enumerate()
+                .map(|(idx, s)| {
                     let mut snapshot = s.snapshot();
-                    snapshot.role = role;
+                    snapshot.role = roles[idx];
+                    if let Some(lifecycles) = lifecycles {
+                        snapshot.lifecycle = lifecycles[idx];
+                    }
                     snapshot
                 })
                 .collect()
@@ -736,6 +849,24 @@ impl ClusterEngine {
             } else {
                 (horizon, deliver_now)
             };
+            // Elastic fleets also close the window at the next
+            // autoscale decision tick (same latch discipline as the
+            // gossip tick, so both step modes decide on the same
+            // schedule). A decide tick that beats a gossip tick
+            // preempts it — the gossip window relatches next
+            // iteration, not here.
+            let decide_t = autoscale
+                .as_ref()
+                .map_or(f64::INFINITY, AutoscaleControl::next_decide);
+            let decide_window = autoscale.is_some()
+                && sessions.iter().any(|s| s.has_pending_work())
+                && horizon.is_none_or(|t| decide_t < t);
+            let (horizon, deliver_now) = if decide_window {
+                (Some(decide_t), None)
+            } else {
+                (horizon, deliver_now)
+            };
+            let sync_window = sync_window && !decide_window;
 
             // Advance the fleet toward the event one step at a time,
             // harvesting any handoffs each step exports — a fresh
@@ -781,11 +912,23 @@ impl ClusterEngine {
                     continue;
                 }
             }
+            // Autoscale decision barrier: every pending session has
+            // reached the decide tick. Promote due warm-ups, retire
+            // idle drainers, consult the policy, apply its actions,
+            // and latch the next tick.
+            if decide_window {
+                let control = autoscale.as_mut().expect("decide window without autoscale");
+                control.barrier(&mut sessions, &roles);
+                continue;
+            }
 
             match deliver_now {
                 Some(pos) => {
                     let migrated = in_flight.remove(pos);
-                    let snapshots = observe(&sessions);
+                    if let Some(control) = autoscale.as_mut() {
+                        control.promote_due(migrated.deliver_s);
+                    }
+                    let snapshots = observe(&sessions, autoscale.as_ref().map(|a| a.lifecycle()));
                     let target = {
                         papi_perf::phase!("migrate");
                         migration.place(&MigrationContext {
@@ -816,12 +959,20 @@ impl ClusterEngine {
                     true => {
                         let request = arrivals[next_arrival].clone();
                         next_arrival += 1;
-                        let snapshots = observe(&sessions);
+                        if let Some(control) = autoscale.as_mut() {
+                            control.promote_due(request.arrival_s);
+                        }
+                        let snapshots =
+                            observe(&sessions, autoscale.as_ref().map(|a| a.lifecycle()));
                         let target = {
                             papi_perf::phase!("route");
                             let ctx = RouteContext::new(&request, &snapshots);
                             let ctx = match shared.as_ref() {
                                 Some(control) => ctx.with_shared_prefixes(&control.directory),
+                                None => ctx,
+                            };
+                            let ctx = match autoscale.as_ref() {
+                                Some(control) => ctx.with_ring(control.ring()),
                                 None => ctx,
                             };
                             policy.route(&ctx)
@@ -837,6 +988,15 @@ impl ClusterEngine {
                             "routing policy {} sent an arrival to decode-only replica {target}",
                             policy.label()
                         );
+                        if let Some(control) = autoscale.as_ref() {
+                            let state = control.lifecycle()[target];
+                            assert!(
+                                state.serves_traffic(),
+                                "routing policy {} sent an arrival to {} replica {target}",
+                                policy.label(),
+                                state.label()
+                            );
+                        }
                         decisions += 1;
                         sessions[target].push(request);
                     }
@@ -855,6 +1015,7 @@ impl ClusterEngine {
             stats,
             global_tier,
             sessions,
+            autoscale,
         )
     }
 
@@ -888,6 +1049,7 @@ impl ClusterEngine {
         workload: &ServingWorkload,
         policy: &mut dyn RoutePolicy,
         migration: &mut dyn MigrationPolicy,
+        mut autoscale: Option<AutoscaleControl<'_>>,
     ) -> ClusterReport {
         let roles = self.roles();
         let mut sessions = self.open_sessions(workload, &roles);
@@ -921,10 +1083,13 @@ impl ClusterEngine {
         // not the whole fleet.
         let mut snaps: Vec<ReplicaSnapshot> = sessions
             .iter()
-            .zip(&roles)
-            .map(|(s, &role)| {
+            .enumerate()
+            .map(|(idx, s)| {
                 let mut snapshot = s.snapshot();
-                snapshot.role = role;
+                snapshot.role = roles[idx];
+                if let Some(control) = autoscale.as_ref() {
+                    snapshot.lifecycle = control.lifecycle()[idx];
+                }
                 snapshot
             })
             .collect();
@@ -960,6 +1125,21 @@ impl ClusterEngine {
             } else {
                 (horizon, deliver_now)
             };
+            // Autoscale decision ticks bound the window exactly as in
+            // the sequential loop (same latch, same schedule, same
+            // preemption of a tied-or-later gossip tick).
+            let decide_t = autoscale
+                .as_ref()
+                .map_or(f64::INFINITY, AutoscaleControl::next_decide);
+            let decide_window = autoscale.is_some()
+                && sessions.iter().any(|s| s.has_pending_work())
+                && horizon.is_none_or(|t| decide_t < t);
+            let (horizon, deliver_now) = if decide_window {
+                (Some(decide_t), None)
+            } else {
+                (horizon, deliver_now)
+            };
+            let sync_window = sync_window && !decide_window;
             let h = horizon.unwrap_or(f64::INFINITY);
             let mut advanced = false;
 
@@ -1037,11 +1217,31 @@ impl ClusterEngine {
                     continue;
                 }
             }
+            // Autoscale decision barrier — same point, same call as
+            // the sequential loop. Lifecycle may have changed, so the
+            // whole snapshot cache is stale.
+            if decide_window {
+                let control = autoscale.as_mut().expect("decide window without autoscale");
+                control.barrier(&mut sessions, &roles);
+                dirty.iter_mut().for_each(|flag| *flag = true);
+                continue;
+            }
 
             match deliver_now {
                 Some(pos) => {
                     let migrated = in_flight.remove(pos);
-                    refresh_snapshots(&sessions, &roles, &mut snaps, &mut dirty);
+                    if let Some(control) = autoscale.as_mut() {
+                        if control.promote_due(migrated.deliver_s) {
+                            dirty.iter_mut().for_each(|flag| *flag = true);
+                        }
+                    }
+                    refresh_snapshots(
+                        &sessions,
+                        &roles,
+                        autoscale.as_ref().map(|a| a.lifecycle()),
+                        &mut snaps,
+                        &mut dirty,
+                    );
                     let target = {
                         papi_perf::phase!("migrate");
                         migration.place(&MigrationContext {
@@ -1073,12 +1273,27 @@ impl ClusterEngine {
                     true => {
                         let request = arrivals[next_arrival].clone();
                         next_arrival += 1;
-                        refresh_snapshots(&sessions, &roles, &mut snaps, &mut dirty);
+                        if let Some(control) = autoscale.as_mut() {
+                            if control.promote_due(request.arrival_s) {
+                                dirty.iter_mut().for_each(|flag| *flag = true);
+                            }
+                        }
+                        refresh_snapshots(
+                            &sessions,
+                            &roles,
+                            autoscale.as_ref().map(|a| a.lifecycle()),
+                            &mut snaps,
+                            &mut dirty,
+                        );
                         let target = {
                             papi_perf::phase!("route");
                             let ctx = RouteContext::new(&request, &snaps);
                             let ctx = match shared.as_ref() {
                                 Some(control) => ctx.with_shared_prefixes(&control.directory),
+                                None => ctx,
+                            };
+                            let ctx = match autoscale.as_ref() {
+                                Some(control) => ctx.with_ring(control.ring()),
                                 None => ctx,
                             };
                             policy.route(&ctx)
@@ -1094,6 +1309,15 @@ impl ClusterEngine {
                             "routing policy {} sent an arrival to decode-only replica {target}",
                             policy.label()
                         );
+                        if let Some(control) = autoscale.as_ref() {
+                            let state = control.lifecycle()[target];
+                            assert!(
+                                state.serves_traffic(),
+                                "routing policy {} sent an arrival to {} replica {target}",
+                                policy.label(),
+                                state.label()
+                            );
+                        }
                         decisions += 1;
                         sessions[target].push(request);
                         dirty[target] = true;
@@ -1113,9 +1337,11 @@ impl ClusterEngine {
             stats,
             global_tier,
             sessions,
+            autoscale,
         )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn finish_report(
         &self,
         routing: String,
@@ -1124,7 +1350,19 @@ impl ClusterEngine {
         migration: MigrationReport,
         global_tier: Option<GlobalTierReport>,
         sessions: Vec<ServingSession<'_>>,
+        autoscale: Option<AutoscaleControl<'_>>,
     ) -> ClusterReport {
+        // The episode's end instant — the latest replica clock — must
+        // be captured before the sessions are consumed: still-
+        // provisioned replicas accrue replica-hours up to it.
+        let end_s = sessions.iter().map(|s| s.clock()).fold(0.0, f64::max);
+        let replicas: Vec<ServingReport> = sessions.into_iter().map(|s| s.into_report()).collect();
+        let fleet_cost = autoscale.map(|control| {
+            let fleet_energy = replicas
+                .iter()
+                .fold(migration.energy, |acc, r| acc + r.energy);
+            control.into_report(&replicas, end_s, fleet_energy, self.spec.dp_replicas)
+        });
         ClusterReport {
             design: self.replicas[0].config().design.label().to_owned(),
             model: self.spec.model.name.clone(),
@@ -1134,15 +1372,17 @@ impl ClusterEngine {
             roles,
             migration,
             global_tier,
-            replicas: sessions.into_iter().map(|s| s.into_report()).collect(),
+            fleet_cost,
+            replicas,
         }
     }
 }
 
-/// The first control-plane gossip tick strictly after `clock` on the
+/// The first control-plane tick strictly after `clock` on the
 /// `sync`-second grid (with a strict-progress guard against the grid
-/// point rounding down onto `clock` itself).
-fn next_sync_tick(clock: f64, sync: f64) -> f64 {
+/// point rounding down onto `clock` itself). Shared by the gossip and
+/// autoscale-decision schedules, so both latch identically.
+pub(crate) fn next_sync_tick(clock: f64, sync: f64) -> f64 {
     let tick = (clock / sync).floor() * sync + sync;
     if tick > clock {
         tick
@@ -1152,11 +1392,14 @@ fn next_sync_tick(clock: f64, sync: f64) -> f64 {
 }
 
 /// Refreshes the dirty entries of the cluster's snapshot cache (and
-/// re-stamps their roles). Clean entries are untouched — a session that
-/// neither stepped nor received a push snapshots identically.
+/// re-stamps their roles and — for elastic fleets — lifecycles). Clean
+/// entries are untouched — a session that neither stepped nor received
+/// a push snapshots identically (the event loops mark the whole cache
+/// dirty whenever a lifecycle changes).
 fn refresh_snapshots(
     sessions: &[ServingSession<'_>],
     roles: &[ReplicaRole],
+    lifecycles: Option<&[ReplicaState]>,
     snaps: &mut [ReplicaSnapshot],
     dirty: &mut [bool],
 ) {
@@ -1165,9 +1408,28 @@ fn refresh_snapshots(
         if *flag {
             let mut snapshot = sessions[idx].snapshot();
             snapshot.role = roles[idx];
+            if let Some(lifecycles) = lifecycles {
+                snapshot.lifecycle = lifecycles[idx];
+            }
             snaps[idx] = snapshot;
             *flag = false;
         }
+    }
+}
+
+/// Adapts a caller-borrowed autoscaler to the boxed policy
+/// [`AutoscaleControl`] owns — [`ClusterEngine::run_elastic`]'s
+/// equivalent of the router's borrowed-policy seam.
+#[derive(Debug)]
+struct BorrowedAutoscaler<'a>(&'a mut dyn AutoscalePolicy);
+
+impl AutoscalePolicy for BorrowedAutoscaler<'_> {
+    fn decide(&mut self, view: &AutoscaleView<'_>) -> Vec<ScaleAction> {
+        self.0.decide(view)
+    }
+
+    fn label(&self) -> String {
+        self.0.label()
     }
 }
 
@@ -1260,6 +1522,11 @@ pub struct ClusterReport {
     pub migration: MigrationReport,
     /// Shared-tier accounting; `None` for a private-tier fleet.
     pub global_tier: Option<GlobalTierReport>,
+    /// Autoscale cost accounting (replica-hours by lifecycle state,
+    /// energy per SLO-good token, the scale-event log); `None` for a
+    /// fixed-size fleet.
+    #[serde(default)]
+    pub fleet_cost: Option<FleetCostReport>,
     /// One report per data-parallel replica (some may be empty if the
     /// router starved them, and prefill-role replicas record nothing —
     /// their requests complete on the decode side).
@@ -1524,6 +1791,7 @@ mod tests {
             roles: vec![],
             migration: MigrationReport::default(),
             global_tier: None,
+            fleet_cost: None,
             replicas: vec![],
         };
         assert_eq!(report.requests(), 0);
@@ -1533,6 +1801,127 @@ mod tests {
         let slo = SloSpec::interactive(1_000.0, 50.0);
         assert_eq!(report.goodput(&slo), 0.0);
         assert_eq!(report.slo_attainment(&slo), 0.0);
+    }
+
+    /// Autoscale validation: disaggregated fleets, shared tiers, and
+    /// degenerate bounds are rejected up front.
+    #[test]
+    fn autoscale_validation_rejects_bad_specs() {
+        use crate::autoscale::AutoscalePolicySpec;
+        let model = ModelPreset::Llama65B.config();
+        let slo = SloSpec::interactive(1_000.0, 50.0);
+        let spec = AutoscaleSpec::new(AutoscalePolicySpec::queue_depth(), slo);
+        let fleet = |dp: usize| ClusterSpec::new(DesignKind::PimOnlyPapi, model.clone(), 1, dp);
+        // Role disaggregation and autoscaling don't compose (v1).
+        assert!(ClusterEngine::new(
+            fleet(2)
+                .with_roles(vec![ReplicaRole::Prefill, ReplicaRole::Decode])
+                .with_autoscale(spec.clone())
+        )
+        .is_err());
+        // min above initial.
+        assert!(ClusterEngine::new(
+            fleet(3).with_autoscale(spec.clone().with_min_replicas(3).with_initial_replicas(2))
+        )
+        .is_err());
+        // initial above the fleet size.
+        assert!(
+            ClusterEngine::new(fleet(3).with_autoscale(spec.clone().with_initial_replicas(5)))
+                .is_err()
+        );
+        // Degenerate knobs.
+        assert!(ClusterEngine::new(
+            fleet(3).with_autoscale(spec.clone().with_decide_interval(0.0))
+        )
+        .is_err());
+        assert!(
+            ClusterEngine::new(fleet(3).with_autoscale(spec.clone().with_spin_up(f64::NAN)))
+                .is_err()
+        );
+        // A sane spec builds.
+        assert!(ClusterEngine::new(
+            fleet(3).with_autoscale(spec.with_min_replicas(1).with_initial_replicas(2))
+        )
+        .is_ok());
+    }
+
+    /// A policy that never scales leaves the episode identical to the
+    /// same fleet without autoscaling — decision barriers are pure
+    /// control-plane pauses — while still producing a cost report.
+    #[test]
+    fn hold_policy_is_bit_identical_to_a_fixed_fleet() {
+        #[derive(Debug)]
+        struct Hold;
+        impl AutoscalePolicy for Hold {
+            fn decide(&mut self, _: &AutoscaleView<'_>) -> Vec<ScaleAction> {
+                Vec::new()
+            }
+            fn label(&self) -> String {
+                "hold".into()
+            }
+        }
+        let model = ModelPreset::Llama65B.config();
+        let w = workload(8.0, 40);
+        let slo = SloSpec::interactive(1_000.0, 50.0);
+        let fixed = ClusterEngine::new(
+            ClusterSpec::new(DesignKind::PimOnlyPapi, model.clone(), 1, 3).with_tuning(batch(8)),
+        )
+        .unwrap()
+        .run(&w);
+        let elastic = ClusterEngine::new(
+            ClusterSpec::new(DesignKind::PimOnlyPapi, model, 1, 3)
+                .with_tuning(batch(8))
+                .with_autoscale(
+                    AutoscaleSpec::new(crate::autoscale::AutoscalePolicySpec::queue_depth(), slo)
+                        .with_decide_interval(0.5),
+                ),
+        )
+        .unwrap()
+        .run_elastic(&w, &mut Hold);
+        for (f, e) in fixed.replicas.iter().zip(&elastic.replicas) {
+            assert_eq!(f.records, e.records);
+            assert_eq!(f.energy, e.energy);
+            assert_eq!(f.placements, e.placements);
+        }
+        let cost = elastic.fleet_cost.expect("elastic fleet reports cost");
+        assert_eq!(cost.policy, "hold");
+        assert!(cost.scale_events.is_empty());
+        assert!(cost.decisions > 0);
+        assert_eq!(cost.peak_active, 3);
+        assert_eq!(cost.warming_hours, 0.0);
+        assert!(cost.active_hours > 0.0);
+    }
+
+    /// Draining under light load frees replica-hours without losing a
+    /// single request.
+    #[test]
+    fn scale_down_saves_replica_hours_and_conserves_requests() {
+        let model = ModelPreset::Llama65B.config();
+        let w = workload(2.0, 40);
+        let slo = SloSpec::interactive(10_000.0, 1_000.0);
+        let report = ClusterEngine::new(
+            ClusterSpec::new(DesignKind::PimOnlyPapi, model, 1, 4)
+                .with_tuning(batch(8))
+                .with_autoscale(
+                    AutoscaleSpec::new(crate::autoscale::AutoscalePolicySpec::queue_depth(), slo)
+                        .with_min_replicas(1)
+                        .with_decide_interval(1.0),
+                ),
+        )
+        .unwrap()
+        .run(&w);
+        assert_eq!(report.requests(), 40);
+        let cost = report.fleet_cost.expect("cost report");
+        assert!(
+            !cost.scale_events.is_empty(),
+            "light load on 4 replicas should drain capacity"
+        );
+        assert!(
+            cost.provisioned_hours < cost.fixed_fleet_hours,
+            "provisioned {} should undercut fixed {}",
+            cost.provisioned_hours,
+            cost.fixed_fleet_hours
+        );
     }
 
     /// A 1-prefill + 1-decode fleet completes every request exactly

@@ -5,6 +5,7 @@
 //! paper plots. EXPERIMENTS.md records the paper-vs-measured comparison
 //! for each.
 
+use crate::autoscale::AutoscaleSpec;
 use crate::cluster::{ClusterEngine, ClusterSpec, SharedTierSpec};
 use crate::config::{DesignKind, SystemConfig};
 use crate::engine::DecodingSimulator;
@@ -1222,6 +1223,142 @@ impl GlobalPrefixSweep {
                         .iter()
                         .filter(|r| !r.records.is_empty())
                         .count(),
+                }
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Autoscaling sweeps (beyond the paper: elastic fleet provisioning)
+// ---------------------------------------------------------------------
+
+/// One provisioning configuration's row of an [`AutoscaleSweep`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AutoscaleRow {
+    /// Provisioning label: `"fixed"` for the peak-sized baseline,
+    /// otherwise the autoscale policy's label.
+    pub provisioning: String,
+    /// Requests served fleet-wide.
+    pub requests: u64,
+    /// Requests completed within the SLO, per second of fleet makespan.
+    pub goodput_rps: f64,
+    /// Fraction of requests meeting the SLO.
+    pub slo_attainment: f64,
+    /// Median fleet time-to-first-token, ms.
+    pub ttft_p50_ms: f64,
+    /// 99th-percentile fleet time-to-first-token, ms.
+    pub ttft_p99_ms: f64,
+    /// Fleet output-token throughput.
+    pub tokens_per_sec: f64,
+    /// Total fleet energy, kJ.
+    pub energy_kj: f64,
+    /// Replica-hours the configuration provisioned (rented). For the
+    /// fixed baseline this is `dp_replicas` × the episode length.
+    pub provisioned_hours: f64,
+    /// What the peak-sized fixed fleet rents over the same episode —
+    /// the savings denominator (equal to `provisioned_hours` on the
+    /// fixed row).
+    pub fixed_fleet_hours: f64,
+    /// Most replicas simultaneously active.
+    pub peak_active: usize,
+    /// Lifecycle transitions over the episode (0 for fixed).
+    pub scale_events: usize,
+    /// Fleet energy per SLO-good output token, J.
+    pub energy_per_good_token_j: f64,
+}
+
+/// An elastic-provisioning sweep: the same workload (typically a
+/// multi-hour [`ArrivalProcess::Diurnal`] or
+/// [`ArrivalProcess::FlashCrowd`] arrival pattern), the same
+/// peak-sized fleet — only the provisioning strategy differs. A `None`
+/// entry is the fixed peak-sized baseline; each `Some(spec)` entry
+/// lets the named [`AutoscalePolicy`](crate::autoscale::AutoscalePolicy)
+/// resize the fleet, trading warm-up lag against replica-hours and
+/// energy per good token.
+#[derive(Debug, Clone)]
+pub struct AutoscaleSweep {
+    /// Model served.
+    pub model: ModelPreset,
+    /// Per-node design replicated across the fleet.
+    pub design: DesignKind,
+    /// The workload every configuration serves (seed included).
+    pub workload: ServingWorkload,
+    /// Nodes per tensor-parallel group.
+    pub tp_degree: usize,
+    /// Data-parallel replicas provisioned at peak.
+    pub dp_replicas: usize,
+    /// How the router picks replicas.
+    pub routing: PolicySpec,
+    /// Session knobs of every replica.
+    pub tuning: SessionTuning,
+    /// Latency objective goodput and "good tokens" are scored against.
+    pub slo: SloSpec,
+    /// Provisioning configurations compared (`None` = fixed fleet).
+    pub autoscalers: Vec<Option<AutoscaleSpec>>,
+}
+
+impl AutoscaleSweep {
+    /// Serves the workload under every provisioning configuration and
+    /// collects one row each, in configuration order.
+    ///
+    /// Points are independent simulator runs and fan out across cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fleet shape is degenerate or an autoscale spec
+    /// fails [`ClusterEngine::new`] validation.
+    pub fn run(&self) -> Vec<AutoscaleRow> {
+        self.autoscalers
+            .par_iter()
+            .map(|autoscale| {
+                let mut spec = ClusterSpec::new(
+                    self.design,
+                    self.model.config(),
+                    self.tp_degree,
+                    self.dp_replicas,
+                )
+                .with_routing(self.routing)
+                .with_tuning(self.tuning.clone());
+                if let Some(autoscale) = autoscale {
+                    spec = spec.with_autoscale(autoscale.clone());
+                }
+                let engine = ClusterEngine::new(spec).expect("sweep shape is a valid fleet");
+                let report = engine.run(&self.workload);
+                let ttft = report.ttft_summary().expect("non-empty episode");
+                let energy = report.energy();
+                let good_tokens: u64 = report
+                    .records()
+                    .filter(|r| r.meets(&self.slo))
+                    .map(|r| r.output_tokens)
+                    .sum();
+                let cost = report.fleet_cost.as_ref();
+                // The fixed baseline rents the whole fleet for the
+                // whole episode.
+                let fixed_hours = self.dp_replicas as f64 * report.makespan().value() / 3600.0;
+                AutoscaleRow {
+                    provisioning: cost.map_or_else(|| "fixed".to_owned(), |c| c.policy.clone()),
+                    requests: report.requests(),
+                    goodput_rps: report.goodput(&self.slo),
+                    slo_attainment: report.slo_attainment(&self.slo),
+                    ttft_p50_ms: ttft.p50.as_millis(),
+                    ttft_p99_ms: ttft.p99.as_millis(),
+                    tokens_per_sec: report.tokens_per_second(),
+                    energy_kj: energy.value() / 1e3,
+                    provisioned_hours: cost.map_or(fixed_hours, |c| c.provisioned_hours),
+                    fixed_fleet_hours: cost.map_or(fixed_hours, |c| c.fixed_fleet_hours),
+                    peak_active: cost.map_or(self.dp_replicas, |c| c.peak_active),
+                    scale_events: cost.map_or(0, |c| c.scale_events.len()),
+                    energy_per_good_token_j: cost.map_or_else(
+                        || {
+                            if good_tokens > 0 {
+                                energy.value() / good_tokens as f64
+                            } else {
+                                0.0
+                            }
+                        },
+                        |c| c.energy_per_good_token_j,
+                    ),
                 }
             })
             .collect()

@@ -22,6 +22,10 @@
 //!   data-parallel behind a request router, with fleet-wide metrics —
 //!   including role-disaggregated fleets (prefill pool → priced KV
 //!   migration → decode pool).
+//! - [`autoscale`] — elastic fleet scaling: the replica lifecycle
+//!   (`Warming → Active → Draining → Retired`), the
+//!   [`AutoscalePolicy`] decision seam, and replica-hour /
+//!   energy-per-SLO-good-token cost accounting.
 //! - [`pricer`] — the shared hardware cost model (one implementation,
 //!   used by every execution path).
 //! - [`engine`] — the batch-mode decoding simulator (paper figures).
@@ -54,6 +58,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod admission;
+pub mod autoscale;
 pub mod cluster;
 pub mod config;
 pub mod engine;
@@ -66,6 +71,10 @@ pub mod slo;
 
 pub use admission::{
     AdmissionCandidate, AdmissionPolicy, AdmissionSpec, AdmissionView, BlockGranular, Fcfs,
+};
+pub use autoscale::{
+    AutoscalePolicy, AutoscalePolicySpec, AutoscaleSpec, AutoscaleView, FleetCostReport,
+    KvPressureTarget, QueueDepthTarget, ScaleAction, ScaleEvent, SloBurnBudget,
 };
 pub use cluster::{
     ClusterEngine, ClusterReport, ClusterSpec, GlobalTierReport, MigrationReport, SharedTierSpec,

@@ -856,6 +856,7 @@ impl ServingSession<'_> {
     pub fn snapshot(&self) -> ReplicaSnapshot {
         ReplicaSnapshot {
             role: papi_workload::ReplicaRole::Colocated,
+            lifecycle: papi_workload::ReplicaState::Active,
             queued: self.queue.len() + (self.requests.len() - self.next_arrival),
             live: self.live.len(),
             kv_blocks_in_use: self.pool.blocks_in_use(),
@@ -864,6 +865,28 @@ impl ServingSession<'_> {
             kv_block_size: self.pool.block_size(),
             kv_tier_blocks_in_use: self.tier.as_ref().map_or(0, |t| t.tier.blocks_in_use()),
             kv_tier_budget_blocks: self.tier.as_ref().map_or(0, |t| t.tier.budget_blocks()),
+        }
+    }
+
+    /// Per-request records completed so far (in completion order) —
+    /// the autoscale control plane reads these mid-run to judge SLO
+    /// burn without waiting for the episode report.
+    pub fn completed_records(&self) -> &[RequestRecord] {
+        &self.records
+    }
+
+    /// Cold-starts this replica's caches: clears the prefix tree (and
+    /// releases its block references) and drops every capacity-tier
+    /// record. A retired replica's DRAM does not survive
+    /// re-provisioning — the autoscaler calls this when a `Retired`
+    /// replica spins back up, so its first requests re-prefill from
+    /// scratch.
+    pub fn flush_caches(&mut self) {
+        if let Some(tree) = self.prefix_tree.as_mut() {
+            tree.clear(&mut self.pool);
+        }
+        if let Some(tier) = self.tier.as_mut() {
+            tier.tier.clear();
         }
     }
 

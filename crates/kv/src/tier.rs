@@ -207,6 +207,15 @@ impl KvTier {
         self.blocks_in_use -= self.blocks_for(entry.tokens);
         Some(entry.tokens)
     }
+
+    /// Drops every tier-resident prefix (a cold restart: the capacity
+    /// tier's memory does not survive a replica retiring and
+    /// re-provisioning).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.blocks_in_use = 0;
+        self.tick = 0;
+    }
 }
 
 /// An evicted hot prefix a [`SpillPolicy`] rules on.
@@ -377,6 +386,21 @@ mod tests {
         assert_eq!(tier.fetch(7), Some(40));
         assert_eq!(tier.blocks_in_use(), 0);
         assert_eq!(tier.fetch(7), None);
+    }
+
+    #[test]
+    fn clear_cold_starts_the_tier() {
+        let mut tier = KvTier::new(16, 8);
+        assert!(tier.spill(7, 40).accepted);
+        assert!(tier.spill(9, 16).accepted);
+        tier.clear();
+        assert!(tier.is_empty());
+        assert_eq!(tier.blocks_in_use(), 0);
+        assert_eq!(tier.peek(7), None);
+        assert_eq!(tier.fetch(9), None);
+        // The tier still works after a cold start.
+        assert!(tier.spill(7, 40).accepted);
+        assert_eq!(tier.blocks_in_use(), 3);
     }
 
     #[test]

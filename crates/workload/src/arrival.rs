@@ -51,6 +51,61 @@ pub enum ArrivalProcess {
         /// Gap between consecutive bursts, in seconds.
         interval_sec: f64,
     },
+    /// Multi-hour production diurnal load: a non-homogeneous Poisson
+    /// process whose rate follows a raised sinusoid from
+    /// `base_rate_per_sec` (trough) to `peak_rate_per_sec` (crest) over
+    /// `period_s`, with per-arrival multiplicative noise of relative
+    /// magnitude `noise` (0 disables it). The episode starts at the
+    /// trough — day traffic ramps up, peaks at `period_s / 2`, and
+    /// falls back.
+    Diurnal {
+        /// Trough arrival rate, requests per second.
+        base_rate_per_sec: f64,
+        /// Crest arrival rate, requests per second.
+        peak_rate_per_sec: f64,
+        /// Seconds per full day/night cycle.
+        period_s: f64,
+        /// Relative rate jitter in `[0, 1)`: the instantaneous rate is
+        /// scaled by `1 ± noise` uniformly.
+        noise: f64,
+    },
+    /// Steady `base_rate_per_sec` Poisson baseline with flash-crowd
+    /// spikes: every `spike_every_s` the rate jumps to
+    /// `spike_rate_per_sec` for `spike_duration_s` (a viral link, a
+    /// retry storm). The first spike starts one full period in, so the
+    /// fleet sees the steady state first.
+    FlashCrowd {
+        /// Baseline arrival rate, requests per second.
+        base_rate_per_sec: f64,
+        /// Arrival rate during a spike, requests per second.
+        spike_rate_per_sec: f64,
+        /// Seconds between spike onsets.
+        spike_every_s: f64,
+        /// Seconds each spike lasts.
+        spike_duration_s: f64,
+    },
+}
+
+/// Draws arrivals from a non-homogeneous Poisson process by thinning:
+/// candidate events at the envelope rate `max_rate`, each kept with
+/// probability `rate(t) / max_rate`.
+fn thinned_arrivals(
+    rng: &mut StdRng,
+    max_rate: f64,
+    n: usize,
+    mut rate_at: impl FnMut(&mut StdRng, f64) -> f64,
+) -> Vec<f64> {
+    let mut clock = 0.0;
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        clock += -u.ln() / max_rate;
+        let keep: f64 = rng.gen_range(0.0..1.0);
+        if keep * max_rate < rate_at(rng, clock) {
+            out.push(clock);
+        }
+    }
+    out
 }
 
 impl ArrivalProcess {
@@ -118,6 +173,83 @@ impl ArrivalProcess {
                 (0..n)
                     .map(|i| (i / burst_size) as f64 * interval_sec)
                     .collect()
+            }
+            ArrivalProcess::Diurnal {
+                base_rate_per_sec,
+                peak_rate_per_sec,
+                period_s,
+                noise,
+            } => {
+                assert!(
+                    base_rate_per_sec.is_finite() && *base_rate_per_sec > 0.0,
+                    "diurnal base rate must be positive, got {base_rate_per_sec}"
+                );
+                assert!(
+                    peak_rate_per_sec.is_finite() && *peak_rate_per_sec >= *base_rate_per_sec,
+                    "diurnal peak rate must be >= base, got {peak_rate_per_sec}"
+                );
+                assert!(
+                    period_s.is_finite() && *period_s > 0.0,
+                    "diurnal period must be positive, got {period_s}"
+                );
+                assert!(
+                    noise.is_finite() && (0.0..1.0).contains(noise),
+                    "diurnal noise must be in [0, 1), got {noise}"
+                );
+                let mut rng = StdRng::seed_from_u64(seed ^ 0xa55a_a55a_0f0f_f0f0);
+                let base = *base_rate_per_sec;
+                let swing = peak_rate_per_sec - base;
+                let period = *period_s;
+                let noise = *noise;
+                // Envelope: peak rate times the worst-case noise boost.
+                let max_rate = *peak_rate_per_sec * (1.0 + noise);
+                thinned_arrivals(&mut rng, max_rate, n, |rng, t| {
+                    let phase = core::f64::consts::TAU * t / period;
+                    let rate = base + swing * 0.5 * (1.0 - phase.cos());
+                    if noise > 0.0 {
+                        rate * rng.gen_range(1.0 - noise..1.0 + noise)
+                    } else {
+                        rate
+                    }
+                })
+            }
+            ArrivalProcess::FlashCrowd {
+                base_rate_per_sec,
+                spike_rate_per_sec,
+                spike_every_s,
+                spike_duration_s,
+            } => {
+                assert!(
+                    base_rate_per_sec.is_finite() && *base_rate_per_sec > 0.0,
+                    "flash-crowd base rate must be positive, got {base_rate_per_sec}"
+                );
+                assert!(
+                    spike_rate_per_sec.is_finite() && *spike_rate_per_sec >= *base_rate_per_sec,
+                    "flash-crowd spike rate must be >= base, got {spike_rate_per_sec}"
+                );
+                assert!(
+                    spike_every_s.is_finite() && *spike_every_s > 0.0,
+                    "spike interval must be positive, got {spike_every_s}"
+                );
+                assert!(
+                    spike_duration_s.is_finite()
+                        && *spike_duration_s > 0.0
+                        && spike_duration_s <= spike_every_s,
+                    "spike duration must be positive and <= the interval, got {spike_duration_s}"
+                );
+                let mut rng = StdRng::seed_from_u64(seed ^ 0xa55a_a55a_0f0f_f0f0);
+                let base = *base_rate_per_sec;
+                let spike = *spike_rate_per_sec;
+                let every = *spike_every_s;
+                let duration = *spike_duration_s;
+                thinned_arrivals(&mut rng, spike, n, |_, t| {
+                    // First spike one full period in: [every, every+duration).
+                    if t >= every && (t % every) < duration {
+                        spike
+                    } else {
+                        base
+                    }
+                })
             }
         }
     }
@@ -382,6 +514,73 @@ mod tests {
         }
         .arrival_times(0, 8);
         assert_eq!(t, vec![0.0, 0.0, 0.0, 2.0, 2.0, 2.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn diurnal_rate_tracks_the_sinusoid() {
+        let p = ArrivalProcess::Diurnal {
+            base_rate_per_sec: 2.0,
+            peak_rate_per_sec: 20.0,
+            period_s: 1000.0,
+            noise: 0.1,
+        };
+        let times = p.arrival_times(11, 8000);
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(times, p.arrival_times(11, 8000), "seeded determinism");
+        // Count arrivals in the trough vs the crest of the first cycle:
+        // the crest must see several times the trough's traffic.
+        let in_window = |lo: f64, hi: f64| times.iter().filter(|&&t| t >= lo && t < hi).count();
+        let trough = in_window(0.0, 100.0);
+        let crest = in_window(450.0, 550.0);
+        assert!(
+            crest > trough * 3,
+            "crest {crest} should dwarf trough {trough}"
+        );
+    }
+
+    #[test]
+    fn flash_crowd_spikes_after_a_quiet_period() {
+        let p = ArrivalProcess::FlashCrowd {
+            base_rate_per_sec: 1.0,
+            spike_rate_per_sec: 30.0,
+            spike_every_s: 100.0,
+            spike_duration_s: 10.0,
+        };
+        let times = p.arrival_times(3, 2000);
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(times, p.arrival_times(3, 2000), "seeded determinism");
+        let in_window = |lo: f64, hi: f64| times.iter().filter(|&&t| t >= lo && t < hi).count();
+        // The first period is all baseline — no spike at t = 0.
+        let quiet = in_window(0.0, 100.0);
+        let spike = in_window(100.0, 110.0);
+        assert!(
+            spike > quiet,
+            "a 10 s spike ({spike}) should outdraw 100 s of baseline ({quiet})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "peak rate must be >= base")]
+    fn inverted_diurnal_rejected() {
+        ArrivalProcess::Diurnal {
+            base_rate_per_sec: 5.0,
+            peak_rate_per_sec: 1.0,
+            period_s: 100.0,
+            noise: 0.0,
+        }
+        .arrival_times(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "spike duration")]
+    fn overlong_spike_rejected() {
+        ArrivalProcess::FlashCrowd {
+            base_rate_per_sec: 1.0,
+            spike_rate_per_sec: 5.0,
+            spike_every_s: 10.0,
+            spike_duration_s: 20.0,
+        }
+        .arrival_times(0, 1);
     }
 
     #[test]

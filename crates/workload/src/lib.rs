@@ -20,8 +20,13 @@
 //!   models.
 //! - [`batching`] — static batching and mixed continuous batching.
 //! - [`arrival`] — open-loop arrival processes (Poisson, uniform,
-//!   replayed traces) and the online request lifecycle
+//!   multi-hour diurnal, flash-crowd, replayed traces) and the online
+//!   request lifecycle
 //!   (`Queued → Prefilling → Decoding → Finished`).
+//! - [`replay`] — the JSONL production-trace format
+//!   ([`TraceReplay`]): validated arrival logs with optional
+//!   per-request shape/prefix overrides, lowered onto
+//!   [`ArrivalProcess::Trace`].
 //! - [`routing`] — cluster-level request routing: replica snapshots
 //!   (now carrying a [`ReplicaRole`] for disaggregated fleets), the
 //!   open [`RoutePolicy`] trait a fleet router picks admission targets
@@ -41,6 +46,7 @@ pub mod arrival;
 pub mod batching;
 pub mod conversation;
 pub mod dataset;
+pub mod replay;
 pub mod request;
 pub mod routing;
 pub mod speculative;
@@ -50,13 +56,14 @@ pub use arrival::{ArrivalProcess, RequestSource, RequestState, ServingRequest, S
 pub use batching::{BatchingPolicy, WorkloadSpec};
 pub use conversation::ConversationDataset;
 pub use dataset::DatasetKind;
+pub use replay::{ReplayError, TraceRecord, TraceReplay};
 pub use request::Request;
 #[allow(deprecated)]
 pub use routing::RoutingPolicy;
 pub use routing::{
-    AdaptiveAffinity, BuiltinRoutePolicy, DecodeJsq, DecodeKvPressure, JoinShortestQueue,
+    AdaptiveAffinity, BuiltinRoutePolicy, DecodeJsq, DecodeKvPressure, HashRing, JoinShortestQueue,
     KvPressureAware, MigrationContext, MigrationPolicy, MigrationSpec, PolicySpec, PrefixAffinity,
-    ReplicaRole, ReplicaSnapshot, RoundRobin, RouteContext, RoutePolicy, Router,
+    ReplicaRole, ReplicaSnapshot, ReplicaState, RoundRobin, RouteContext, RoutePolicy, Router,
     SharedTierAffinity,
 };
 pub use speculative::{AcceptanceModel, SpeculativeConfig, TlpPolicy};

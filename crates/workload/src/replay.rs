@@ -1,0 +1,339 @@
+//! Production trace replay: a JSONL format that drives any experiment
+//! with real arrival logs.
+//!
+//! One JSON object per line. Required field: `arrival_s` (seconds from
+//! episode start, non-negative, non-decreasing across lines). Optional
+//! fields: `prompt_tokens`, `decode_tokens` (positive request shape
+//! overrides), and `prefix_key` (a conversation identity — lines
+//! sharing a key share a prefix-cache home under affinity routing).
+//!
+//! ```text
+//! {"arrival_s": 0.0,  "prompt_tokens": 512, "decode_tokens": 64, "prefix_key": 7}
+//! {"arrival_s": 0.25}
+//! {"arrival_s": 1.5,  "prefix_key": 7}
+//! ```
+//!
+//! [`TraceReplay::parse`] validates eagerly — negative or unsorted
+//! timestamps, malformed JSON, and zero-token overrides are
+//! [`ReplayError`]s, not later panics — and [`TraceReplay::arrivals`]
+//! lowers the timestamps onto the existing
+//! [`ArrivalProcess::Trace`] variant so replayed traces flow through
+//! every serving path unchanged.
+
+use crate::arrival::ArrivalProcess;
+use serde::{Deserialize, Serialize};
+
+/// One parsed trace line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Arrival offset, seconds from episode start.
+    pub arrival_s: f64,
+    /// Prompt length override, tokens.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub prompt_tokens: Option<u64>,
+    /// Output length override, tokens.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub decode_tokens: Option<u64>,
+    /// Conversation identity for prefix-affinity routing.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub prefix_key: Option<u64>,
+}
+
+/// Why a trace file failed validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplayError {
+    /// The trace had no records (blank lines are skipped, so a file of
+    /// blank lines is empty too).
+    Empty,
+    /// A line was not a valid JSON object with the expected fields.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// The JSON parser's message.
+        message: String,
+    },
+    /// A record's `arrival_s` was negative or not finite.
+    NegativeTimestamp {
+        /// 1-based line number.
+        line: usize,
+        /// The offending timestamp.
+        arrival_s: f64,
+    },
+    /// A record arrived earlier than its predecessor.
+    UnsortedTimestamp {
+        /// 1-based line number.
+        line: usize,
+        /// The offending timestamp.
+        arrival_s: f64,
+        /// The preceding record's timestamp.
+        previous_s: f64,
+    },
+    /// A token override was zero.
+    ZeroTokens {
+        /// 1-based line number.
+        line: usize,
+        /// Which field was zero (`prompt_tokens` or `decode_tokens`).
+        field: &'static str,
+    },
+}
+
+impl core::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ReplayError::Empty => write!(f, "trace has no records"),
+            ReplayError::Malformed { line, message } => {
+                write!(f, "line {line}: malformed trace record: {message}")
+            }
+            ReplayError::NegativeTimestamp { line, arrival_s } => {
+                write!(
+                    f,
+                    "line {line}: arrival_s must be finite and >= 0, got {arrival_s}"
+                )
+            }
+            ReplayError::UnsortedTimestamp {
+                line,
+                arrival_s,
+                previous_s,
+            } => write!(
+                f,
+                "line {line}: arrival_s {arrival_s} precedes previous record at {previous_s}"
+            ),
+            ReplayError::ZeroTokens { line, field } => {
+                write!(f, "line {line}: {field} must be positive when present")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// A validated production trace, ready to drive a workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceReplay {
+    records: Vec<TraceRecord>,
+}
+
+impl TraceReplay {
+    /// Parses JSONL text (one record per line; blank lines skipped).
+    pub fn parse(text: &str) -> Result<Self, ReplayError> {
+        let mut records = Vec::new();
+        let mut previous_s = f64::NEG_INFINITY;
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx + 1;
+            if raw.trim().is_empty() {
+                continue;
+            }
+            let record: TraceRecord =
+                serde_json::from_str(raw).map_err(|e| ReplayError::Malformed {
+                    line,
+                    message: e.to_string(),
+                })?;
+            if !record.arrival_s.is_finite() || record.arrival_s < 0.0 {
+                return Err(ReplayError::NegativeTimestamp {
+                    line,
+                    arrival_s: record.arrival_s,
+                });
+            }
+            if record.arrival_s < previous_s {
+                return Err(ReplayError::UnsortedTimestamp {
+                    line,
+                    arrival_s: record.arrival_s,
+                    previous_s,
+                });
+            }
+            if record.prompt_tokens == Some(0) {
+                return Err(ReplayError::ZeroTokens {
+                    line,
+                    field: "prompt_tokens",
+                });
+            }
+            if record.decode_tokens == Some(0) {
+                return Err(ReplayError::ZeroTokens {
+                    line,
+                    field: "decode_tokens",
+                });
+            }
+            previous_s = record.arrival_s;
+            records.push(record);
+        }
+        if records.is_empty() {
+            return Err(ReplayError::Empty);
+        }
+        Ok(Self { records })
+    }
+
+    /// Loads and parses a trace file from disk.
+    pub fn load(path: &std::path::Path) -> Result<Self, ReplayError> {
+        let text = std::fs::read_to_string(path).map_err(|e| ReplayError::Malformed {
+            line: 0,
+            message: format!("cannot read {}: {e}", path.display()),
+        })?;
+        Self::parse(&text)
+    }
+
+    /// The validated records, in arrival order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Number of records in the trace.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace is empty (never true for a parsed trace).
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The trace's arrival schedule as an [`ArrivalProcess::Trace`] —
+    /// drop-in for any [`ServingWorkload`](crate::ServingWorkload).
+    pub fn arrivals(&self) -> ArrivalProcess {
+        ArrivalProcess::Trace(self.records.iter().map(|r| r.arrival_s).collect())
+    }
+
+    /// Applies the trace's per-request overrides onto generated
+    /// requests: record `i` overrides request `i`'s prompt/output
+    /// lengths and prefix identity where present. Requests beyond the
+    /// trace's length are untouched. A `prefix_key` gets conversation
+    /// semantics: the key's first appearance opens it (nothing cached
+    /// yet), later appearances may reuse their whole prompt, and every
+    /// turn publishes its full context for the next one.
+    pub fn apply_overrides(&self, requests: &mut [crate::ServingRequest]) {
+        let mut seen = std::collections::HashSet::new();
+        for (record, serving) in self.records.iter().zip(requests.iter_mut()) {
+            if let Some(prompt) = record.prompt_tokens {
+                serving.request.input_len = prompt;
+            }
+            if let Some(decode) = record.decode_tokens {
+                serving.request.output_len = decode;
+            }
+            if let Some(key) = record.prefix_key {
+                let reuse = if seen.insert(key) {
+                    0
+                } else {
+                    serving.request.input_len
+                };
+                serving.request.prefix = Some(papi_kv::PrefixHint {
+                    key,
+                    reuse_tokens: reuse,
+                    publish_tokens: serving.request.input_len + serving.request.output_len,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_well_formed_trace() {
+        let text = r#"
+{"arrival_s": 0.0, "prompt_tokens": 512, "decode_tokens": 64, "prefix_key": 7}
+{"arrival_s": 0.25}
+
+{"arrival_s": 1.5, "prefix_key": 7}
+"#;
+        let trace = TraceReplay::parse(text).unwrap();
+        assert_eq!(trace.len(), 3);
+        assert!(!trace.is_empty());
+        assert_eq!(trace.records()[0].prompt_tokens, Some(512));
+        assert_eq!(trace.records()[1].prompt_tokens, None);
+        assert_eq!(trace.records()[2].prefix_key, Some(7));
+        assert_eq!(
+            trace.arrivals(),
+            ArrivalProcess::Trace(vec![0.0, 0.25, 1.5])
+        );
+    }
+
+    #[test]
+    fn arrivals_drive_a_workload() {
+        use crate::{DatasetKind, ServingWorkload};
+        let trace = TraceReplay::parse("{\"arrival_s\": 0.5}\n{\"arrival_s\": 2.0}\n").unwrap();
+        let w = ServingWorkload::new(DatasetKind::GeneralQa, trace.arrivals(), 2);
+        let requests = w.requests();
+        assert_eq!(requests[0].arrival_s, 0.5);
+        assert_eq!(requests[1].arrival_s, 2.0);
+    }
+
+    #[test]
+    fn overrides_land_on_requests() {
+        use crate::{DatasetKind, ServingWorkload};
+        let text = "{\"arrival_s\": 0.0, \"prompt_tokens\": 99, \"decode_tokens\": 11, \"prefix_key\": 3}\n{\"arrival_s\": 1.0}\n";
+        let trace = TraceReplay::parse(text).unwrap();
+        let w = ServingWorkload::new(DatasetKind::GeneralQa, trace.arrivals(), 2);
+        let mut requests = w.requests();
+        let untouched = requests[1].request;
+        trace.apply_overrides(&mut requests);
+        assert_eq!(requests[0].request.input_len, 99);
+        assert_eq!(requests[0].request.output_len, 11);
+        let hint = requests[0].request.prefix.unwrap();
+        assert_eq!(hint.key, 3);
+        assert_eq!(hint.reuse_tokens, 0, "first appearance opens the key");
+        assert_eq!(hint.publish_tokens, 110);
+        assert_eq!(requests[1].request, untouched);
+    }
+
+    #[test]
+    fn negative_timestamp_rejected() {
+        let err = TraceReplay::parse("{\"arrival_s\": -1.0}\n").unwrap_err();
+        assert!(matches!(
+            err,
+            ReplayError::NegativeTimestamp { line: 1, .. }
+        ));
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn unsorted_timestamps_rejected() {
+        let err = TraceReplay::parse("{\"arrival_s\": 2.0}\n{\"arrival_s\": 1.0}\n").unwrap_err();
+        assert_eq!(
+            err,
+            ReplayError::UnsortedTimestamp {
+                line: 2,
+                arrival_s: 1.0,
+                previous_s: 2.0
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_line_reports_its_number() {
+        let err = TraceReplay::parse("{\"arrival_s\": 0.0}\nnot json\n").unwrap_err();
+        assert!(matches!(err, ReplayError::Malformed { line: 2, .. }));
+    }
+
+    #[test]
+    fn missing_arrival_rejected() {
+        let err = TraceReplay::parse("{\"prompt_tokens\": 5}\n").unwrap_err();
+        assert!(matches!(err, ReplayError::Malformed { line: 1, .. }));
+    }
+
+    #[test]
+    fn zero_token_override_rejected() {
+        let err = TraceReplay::parse("{\"arrival_s\": 0.0, \"decode_tokens\": 0}\n").unwrap_err();
+        assert_eq!(
+            err,
+            ReplayError::ZeroTokens {
+                line: 1,
+                field: "decode_tokens"
+            }
+        );
+    }
+
+    #[test]
+    fn empty_trace_rejected() {
+        assert_eq!(TraceReplay::parse("\n  \n"), Err(ReplayError::Empty));
+        assert_eq!(TraceReplay::parse(""), Err(ReplayError::Empty));
+    }
+
+    #[test]
+    fn records_round_trip_through_serde() {
+        let trace = TraceReplay::parse("{\"arrival_s\": 0.5, \"prefix_key\": 9}\n").unwrap();
+        let json = serde_json::to_string(&trace).unwrap();
+        let back: TraceReplay = serde_json::from_str(&json).unwrap();
+        assert_eq!(trace, back);
+    }
+}

@@ -108,6 +108,64 @@ impl core::fmt::Display for ReplicaRole {
     }
 }
 
+/// Where a replica sits in its provisioning lifecycle — the elasticity
+/// axis of a fleet, orthogonal to its [`ReplicaRole`].
+///
+/// A fixed-size fleet (the default) keeps every replica `Active`
+/// forever, and nothing below changes behavior. An autoscaled fleet
+/// walks replicas through `Retired → Warming → Active → Draining →
+/// Retired`: a `Warming` replica is spinning up (model loading, cache
+/// cold) and admits nothing until its spin-up delay elapses; a
+/// `Draining` replica finishes its in-flight requests but receives no
+/// new work; a `Retired` replica is deprovisioned — it costs no
+/// replica-hours and serves nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReplicaState {
+    /// Provisioned but still spinning up: admits nothing yet, and its
+    /// prefix caches start cold when it activates.
+    Warming,
+    /// Serving traffic (the only state routers may target).
+    #[default]
+    Active,
+    /// Finishing in-flight work; receives no new arrivals, migrations,
+    /// or conversation homes.
+    Draining,
+    /// Deprovisioned: not running, not billed.
+    Retired,
+}
+
+impl ReplicaState {
+    /// Whether a router or migration policy may send *new* work here.
+    /// Only `Active` replicas take traffic — warming replicas are not
+    /// ready, draining replicas are on their way out, retired replicas
+    /// do not exist.
+    pub fn serves_traffic(&self) -> bool {
+        matches!(self, ReplicaState::Active)
+    }
+
+    /// Whether the replica is provisioned (billed by the hour):
+    /// everything but `Retired`.
+    pub fn provisioned(&self) -> bool {
+        !matches!(self, ReplicaState::Retired)
+    }
+
+    /// Display label for reports and sweeps.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ReplicaState::Warming => "warming",
+            ReplicaState::Active => "active",
+            ReplicaState::Draining => "draining",
+            ReplicaState::Retired => "retired",
+        }
+    }
+}
+
+impl core::fmt::Display for ReplicaState {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// A replica's admission-relevant state at one instant.
 ///
 /// KV occupancy is reported in *blocks* of the replica's paged cache,
@@ -125,6 +183,12 @@ pub struct ReplicaSnapshot {
     /// replicas; migration policies place decode-ready sequences only
     /// on [`can_decode`](ReplicaRole) ones.
     pub role: ReplicaRole,
+    /// Where the replica sits in its provisioning lifecycle. Built-in
+    /// policies route new work only to [`ReplicaState::Active`]
+    /// replicas; a fixed-size fleet (the default) reports every
+    /// replica `Active` and behaves exactly as before elasticity
+    /// existed.
+    pub lifecycle: ReplicaState,
     /// Requests waiting in the replica's arrival queue.
     pub queued: usize,
     /// Requests in the running batch (prefilling or decoding).
@@ -221,6 +285,14 @@ pub struct RouteContext<'a> {
     /// [`SharedTierAffinity`] consults residency here to decide when
     /// stickiness is safe to relax.
     pub shared_prefixes: Option<&'a GlobalKvTier>,
+    /// The consistent-hash ring over the currently-active membership,
+    /// when the cluster is elastic (`None` for a fixed-size fleet).
+    /// Affinity policies derive conversation homes from the ring when
+    /// present, so a scale event re-homes only ~K/N conversations
+    /// instead of reshuffling every modulo-N assignment; without a
+    /// ring they fall back to the classic stateless modulo hash,
+    /// keeping fixed fleets bit-for-bit on their goldens.
+    pub ring: Option<&'a HashRing>,
 }
 
 impl<'a> RouteContext<'a> {
@@ -231,12 +303,19 @@ impl<'a> RouteContext<'a> {
             request,
             replicas,
             shared_prefixes: None,
+            ring: None,
         }
     }
 
     /// Attaches the fleet-wide spilled-prefix directory.
     pub fn with_shared_prefixes(mut self, directory: &'a GlobalKvTier) -> Self {
         self.shared_prefixes = Some(directory);
+        self
+    }
+
+    /// Attaches the elastic fleet's consistent-hash membership ring.
+    pub fn with_ring(mut self, ring: &'a HashRing) -> Self {
+        self.ring = Some(ring);
         self
     }
 }
@@ -267,12 +346,24 @@ impl RouteContext<'_> {
         }
     }
 
-    /// The replica indices a new arrival may legally land on (role
-    /// accepts arrivals). Falls back to *every* index when no replica
-    /// advertises a prefill-capable role — a policy must stay total
-    /// even over a malformed fleet (the cluster engine validates shape
+    /// The replica indices a new arrival may legally land on: role
+    /// accepts arrivals *and* lifecycle is [`ReplicaState::Active`]
+    /// (warming, draining, and retired replicas take no new work).
+    /// Falls back to the role-capable subset when nothing is active,
+    /// then to *every* index — a policy must stay total even over a
+    /// malformed fleet (the cluster engine validates shape
     /// separately).
     pub fn arrival_targets(&self) -> Vec<usize> {
+        let serving: Vec<usize> = self
+            .replicas
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.role.accepts_arrivals() && s.lifecycle.serves_traffic())
+            .map(|(i, _)| i)
+            .collect();
+        if !serving.is_empty() {
+            return serving;
+        }
         let capable: Vec<usize> = self
             .replicas
             .iter()
@@ -325,6 +416,97 @@ fn splitmix64(mut x: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// A consistent-hash ring over an elastic fleet's active membership.
+///
+/// The classic `splitmix64(key) % N` home assignment reshuffles almost
+/// *every* conversation whenever `N` changes — one scale event and the
+/// whole fleet's prefix caches go cold at once. The ring fixes the
+/// blast radius: each member replica owns
+/// [`VNODES`](Self::VNODES) pseudo-random points on a `u64` circle,
+/// and a key homes to the owner of the first point at or after its
+/// hash (wrapping). Adding or removing one replica moves only the
+/// arcs adjacent to that replica's points — ~K/N of the keys — while
+/// every other conversation keeps its warm home.
+///
+/// Construction is a pure function of the member set, so both cluster
+/// step modes (and any two runs) build identical rings.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HashRing {
+    /// `(point, member)` pairs sorted by point; keys home to the first
+    /// point at or after their hash, wrapping at the top.
+    points: Vec<(u64, usize)>,
+}
+
+impl HashRing {
+    /// Virtual nodes per member: enough that per-member load imbalance
+    /// and single-event remap fractions concentrate near their ideal
+    /// 1/N, cheap enough that rebuilding on a scale event is free at
+    /// fleet scale.
+    pub const VNODES: usize = 64;
+
+    /// The ring over `members` (replica indices; order is irrelevant,
+    /// duplicates collapse). An empty member set builds an empty ring —
+    /// [`home`](Self::home) then returns `None`.
+    pub fn new(members: &[usize]) -> Self {
+        let mut points: Vec<(u64, usize)> = members
+            .iter()
+            .flat_map(|&m| {
+                (0..Self::VNODES).map(move |v| {
+                    let point = splitmix64((m as u64) ^ ((v as u64) << 32) ^ 0xA076_1D64_78BD_642F);
+                    (point, m)
+                })
+            })
+            .collect();
+        // Sort by point, tie-breaking by member index, then keep the
+        // first owner of any colliding point — deterministic no matter
+        // the input order.
+        points.sort_unstable();
+        points.dedup_by_key(|&mut (point, _)| point);
+        Self { points }
+    }
+
+    /// Whether the ring has no members.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The home member for `key`: the owner of the first ring point at
+    /// or after `splitmix64(key)`, wrapping. `None` on an empty ring.
+    pub fn home(&self, key: u64) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let hash = splitmix64(key);
+        let idx = self.points.partition_point(|&(point, _)| point < hash);
+        let (_, member) = self.points[if idx == self.points.len() { 0 } else { idx }];
+        Some(member)
+    }
+
+    /// The distinct members on the ring, ascending.
+    pub fn members(&self) -> Vec<usize> {
+        let mut members: Vec<usize> = self.points.iter().map(|&(_, m)| m).collect();
+        members.sort_unstable();
+        members.dedup();
+        members
+    }
+}
+
+/// The affinity home for `key` over the legal `targets`: the ring's
+/// assignment when an elastic membership ring is attached (and names a
+/// legal target), otherwise the classic stateless modulo hash over the
+/// target subset. The modulo path is what every fixed-size fleet takes
+/// — bit-for-bit the pre-elasticity behavior.
+fn affinity_home(ctx: &RouteContext<'_>, targets: &[usize], key: u64) -> usize {
+    if let Some(ring) = ctx.ring {
+        if let Some(home) = ring.home(key) {
+            if targets.contains(&home) {
+                return home;
+            }
+        }
+    }
+    targets[PrefixAffinity::home_replica(key, targets.len())]
 }
 
 /// Cycle through replicas in order, ignoring state — the classic
@@ -522,9 +704,11 @@ impl RoutePolicy for PrefixAffinity {
         // Hash over the arrival-capable subset (in an all-colocated
         // fleet: every replica, i.e. the classic behavior), so a
         // disaggregated fleet's conversations stay sticky to prefill
-        // homes and decode-only replicas are never picked.
+        // homes and decode-only replicas are never picked. Elastic
+        // fleets attach a membership ring, which bounds how many homes
+        // a scale event moves.
         let targets = ctx.arrival_targets();
-        let home = targets[Self::home_replica(hint.key, targets.len())];
+        let home = affinity_home(ctx, &targets, hint.key);
         let snapshot = &ctx.replicas[home];
         if !snapshot.kv_saturated_for(incoming)
             && snapshot.kv_utilization() < self.spill_utilization
@@ -743,7 +927,7 @@ impl RoutePolicy for SharedTierAffinity {
         if ctx.prefix().is_some() && ctx.shared_resident() {
             let targets = ctx.arrival_targets();
             let hint = ctx.prefix().expect("checked above");
-            let home = targets[PrefixAffinity::home_replica(hint.key, targets.len())];
+            let home = affinity_home(ctx, &targets, hint.key);
             let snapshot = &ctx.replicas[home];
             let pressured =
                 snapshot.queued as f64 >= self.queue_pressure || snapshot.tier_pressure() >= 1.0;
@@ -1077,11 +1261,24 @@ pub struct MigrationContext<'a> {
 }
 
 impl MigrationContext<'_> {
-    /// The replica indices a migrated sequence may legally land on
-    /// (role can decode). Falls back to every index when no replica
-    /// advertises a decode-capable role, so policies stay total; the
-    /// cluster engine validates fleet shape separately.
+    /// The replica indices a migrated sequence may legally land on:
+    /// role can decode *and* lifecycle is [`ReplicaState::Active`]
+    /// (the same uniform skip routing applies — a draining replica
+    /// finishes what it has, it does not absorb new sequences). Falls
+    /// back to the role-capable subset when nothing is active, then to
+    /// every index, so policies stay total; the cluster engine
+    /// validates fleet shape separately.
     pub fn decode_targets(&self) -> Vec<usize> {
+        let serving: Vec<usize> = self
+            .replicas
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.role.can_decode() && s.lifecycle.serves_traffic())
+            .map(|(i, _)| i)
+            .collect();
+        if !serving.is_empty() {
+            return serving;
+        }
         let capable: Vec<usize> = self
             .replicas
             .iter()
@@ -1225,6 +1422,7 @@ mod tests {
         // Block size 1: blocks are tokens, the scalar configuration.
         ReplicaSnapshot {
             role: ReplicaRole::Colocated,
+            lifecycle: ReplicaState::Active,
             queued,
             live,
             kv_blocks_in_use: kv,
@@ -1325,6 +1523,7 @@ mod tests {
         // tails, and saturation is judged in its own block units.
         let paged = ReplicaSnapshot {
             role: ReplicaRole::Colocated,
+            lifecycle: ReplicaState::Active,
             queued: 0,
             live: 4,
             kv_blocks_in_use: 60,
@@ -1724,6 +1923,144 @@ mod tests {
             replicas: &strained,
         };
         assert_eq!(DecodeJsq.place(&ctx), 2);
+    }
+
+    /// A replica snapshot with an explicit lifecycle state.
+    fn lifecycle_snap(lifecycle: ReplicaState, queued: usize, kv: u64) -> ReplicaSnapshot {
+        ReplicaSnapshot {
+            lifecycle,
+            ..snap(queued, 0, kv, 10_000)
+        }
+    }
+
+    #[test]
+    fn lifecycle_capabilities() {
+        assert!(ReplicaState::Active.serves_traffic());
+        assert!(!ReplicaState::Warming.serves_traffic());
+        assert!(!ReplicaState::Draining.serves_traffic());
+        assert!(!ReplicaState::Retired.serves_traffic());
+        assert!(ReplicaState::Warming.provisioned());
+        assert!(ReplicaState::Active.provisioned());
+        assert!(ReplicaState::Draining.provisioned());
+        assert!(!ReplicaState::Retired.provisioned());
+        assert_eq!(ReplicaState::default(), ReplicaState::Active);
+        assert_eq!(ReplicaState::Draining.to_string(), "draining");
+    }
+
+    #[test]
+    fn every_builtin_skips_non_active_replicas() {
+        // Replica 1 (warming) and replica 3 (draining) are by every
+        // metric the most attractive targets — each built-in must
+        // still avoid them.
+        let fleet = vec![
+            lifecycle_snap(ReplicaState::Active, 5, 8_000),
+            lifecycle_snap(ReplicaState::Warming, 0, 0),
+            lifecycle_snap(ReplicaState::Active, 3, 4_000),
+            lifecycle_snap(ReplicaState::Draining, 0, 0),
+            lifecycle_snap(ReplicaState::Retired, 0, 0),
+        ];
+        for spec in [
+            PolicySpec::RoundRobin,
+            PolicySpec::JoinShortestQueue,
+            PolicySpec::KvPressureAware,
+            PolicySpec::prefix_affinity(),
+            PolicySpec::adaptive_affinity(),
+            PolicySpec::shared_tier_affinity(),
+        ] {
+            let mut policy = spec.build();
+            for key in 0..16u64 {
+                let request = turn(key, 100);
+                let pick = policy.route(&RouteContext::new(&request, &fleet));
+                assert!(
+                    matches!(pick, 0 | 2),
+                    "{spec:?} routed an arrival to non-active replica {pick}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn migration_builtins_skip_non_active_replicas() {
+        let fleet = vec![
+            lifecycle_snap(ReplicaState::Draining, 0, 0),
+            lifecycle_snap(ReplicaState::Active, 2, 6_000),
+            lifecycle_snap(ReplicaState::Warming, 0, 0),
+        ];
+        let request = req(100);
+        let ctx = MigrationContext {
+            request: &request,
+            kv_tokens: 100,
+            source: 0,
+            replicas: &fleet,
+        };
+        assert_eq!(DecodeJsq.place(&ctx), 1);
+        assert_eq!(DecodeKvPressure.place(&ctx), 1);
+    }
+
+    #[test]
+    fn ring_is_deterministic_and_covers_members() {
+        let ring = HashRing::new(&[0, 1, 2, 3]);
+        assert_eq!(ring, HashRing::new(&[3, 2, 1, 0]), "order-independent");
+        assert_eq!(ring.members(), vec![0, 1, 2, 3]);
+        // Every key homes to a member, identically across calls.
+        for key in 0..256u64 {
+            let home = ring.home(key).unwrap();
+            assert!(home < 4);
+            assert_eq!(ring.home(key), Some(home));
+        }
+        // All members receive a share of the keyspace.
+        let homes: std::collections::BTreeSet<usize> =
+            (0..512u64).map(|k| ring.home(k).unwrap()).collect();
+        assert_eq!(homes.len(), 4, "512 keys must touch all 4 members");
+        assert!(HashRing::new(&[]).is_empty());
+        assert_eq!(HashRing::new(&[]).home(7), None);
+    }
+
+    #[test]
+    fn ring_scale_event_remaps_a_bounded_fraction() {
+        let before = HashRing::new(&[0, 1, 2, 3]);
+        let after = HashRing::new(&[0, 1, 2, 3, 4]);
+        let keys = 4_000u64;
+        let moved = (0..keys)
+            .filter(|&k| before.home(k) != after.home(k))
+            .count();
+        // Ideal remap on 4→5 members is 1/5 of keys; vnode variance
+        // stays well under double that. Mod-N hashing would move ~4/5.
+        assert!(
+            (moved as f64) < keys as f64 * 0.4,
+            "adding one member moved {moved}/{keys} homes"
+        );
+        assert!(moved > 0, "a scale event must move some homes");
+        // Every moved key moved *to* the new member (pure accretion).
+        for k in 0..keys {
+            if before.home(k) != after.home(k) {
+                assert_eq!(after.home(k), Some(4));
+            }
+        }
+    }
+
+    #[test]
+    fn affinity_uses_the_ring_when_attached() {
+        let fleet = vec![snap(0, 0, 1_000, 10_000); 4];
+        let ring = HashRing::new(&[0, 1, 2, 3]);
+        let key = 42;
+        let request = turn(key, 100);
+        let ctx = RouteContext::new(&request, &fleet).with_ring(&ring);
+        let mut policy = PrefixAffinity::new();
+        assert_eq!(policy.route(&ctx), ring.home(key).unwrap());
+        // Without the ring: the classic modulo home.
+        let mut policy = PrefixAffinity::new();
+        assert_eq!(
+            policy.route(&RouteContext::new(&request, &fleet)),
+            PrefixAffinity::home_replica(key, 4)
+        );
+        // A ring over drained membership (member absent from the
+        // active target set) falls back to the modulo home rather
+        // than routing to a non-target.
+        let stale = HashRing::new(&[17]);
+        let ctx = RouteContext::new(&request, &fleet).with_ring(&stale);
+        let mut policy = PrefixAffinity::new();
+        assert_eq!(policy.route(&ctx), PrefixAffinity::home_replica(key, 4));
     }
 
     #[test]

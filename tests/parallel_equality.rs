@@ -12,8 +12,8 @@
 //! correctness bug in the windowing, not noise.
 
 use papi::core::{
-    ClusterEngine, ClusterReport, ClusterSpec, DesignKind, KvTierSpec, SessionTuning,
-    SharedTierSpec, StepMode,
+    AutoscalePolicySpec, AutoscaleSpec, ClusterEngine, ClusterReport, ClusterSpec, DesignKind,
+    KvTierSpec, SessionTuning, SharedTierSpec, SloSpec, StepMode,
 };
 use papi::interconnect::{MigrationPricing, TierPricing};
 use papi::llm::ModelPreset;
@@ -225,6 +225,86 @@ proptest! {
             spec,
             &workload,
             &format!("shared-tier dp={dp} policy={policy_pick} free={free_fabric} sync={sync_s}"),
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Autoscaled fleets: lifecycle transitions, decision ticks,
+    /// warm-up promotions, and ring-affinity routing all ride the
+    /// control-plane barrier machinery, and the parallel loop must
+    /// still reproduce the sequential reference bit for bit —
+    /// including the `FleetCostReport` (replica-hours, scale-event
+    /// log, energy per good token) — across fleet sizes, built-in
+    /// scaling policies, initial fleet fractions, decision intervals,
+    /// and both elastic arrival shapes.
+    #[test]
+    fn parallel_matches_sequential_autoscaled(
+        seed in 0u64..1_000_000,
+        dp in 2usize..6,
+        policy_pick in 0usize..3,
+        initial in 1usize..4,
+        decide_pick in 0usize..3,
+        diurnal in proptest::bool::ANY,
+    ) {
+        let slo = SloSpec::interactive(2_000.0, 100.0);
+        let policy = match policy_pick {
+            0 => AutoscalePolicySpec::queue_depth(),
+            1 => AutoscalePolicySpec::kv_pressure(),
+            _ => AutoscalePolicySpec::slo_burn(slo),
+        };
+        let decide_s = [0.5, 2.0, 5.0][decide_pick];
+        let initial = initial.min(dp);
+        let arrivals = if diurnal {
+            ArrivalProcess::Diurnal {
+                base_rate_per_sec: 2.0,
+                peak_rate_per_sec: 16.0,
+                period_s: 20.0,
+                noise: 0.2,
+            }
+        } else {
+            ArrivalProcess::FlashCrowd {
+                base_rate_per_sec: 2.0,
+                spike_rate_per_sec: 24.0,
+                spike_every_s: 8.0,
+                spike_duration_s: 2.0,
+            }
+        };
+        let workload = ServingWorkload::new(
+            ConversationDataset::multi_turn(DatasetKind::GeneralQa, 256, 2),
+            arrivals,
+            48,
+        )
+        .with_seed(seed);
+        let spec = ClusterSpec::new(
+            DesignKind::PimOnlyPapi,
+            ModelPreset::Llama65B.config(),
+            1,
+            dp,
+        )
+        .with_routing(PolicySpec::prefix_affinity())
+        .with_tuning(
+            SessionTuning::default()
+                .with_max_batch(8)
+                .with_kv_block_size(16)
+                .with_prefix_sharing(true),
+        )
+        .with_autoscale(
+            AutoscaleSpec::new(policy, slo)
+                .with_min_replicas(1)
+                .with_initial_replicas(initial)
+                .with_spin_up(3.0)
+                .with_decide_interval(decide_s),
+        );
+        assert_modes_agree(
+            spec,
+            &workload,
+            &format!(
+                "autoscaled dp={dp} policy={policy_pick} initial={initial} \
+                 decide={decide_s} diurnal={diurnal}"
+            ),
         );
     }
 }
